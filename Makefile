@@ -1,0 +1,30 @@
+# Convenience targets for the P3 reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench report quick-report figures clean
+
+install:
+	pip install -e .[dev]
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -x -q -p no:randomly -m "not slow"
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+report:
+	$(PYTHON) -m repro.analysis.report --out report.md
+
+quick-report:
+	$(PYTHON) -m repro.analysis.report --quick --out report.md
+
+figures:
+	$(PYTHON) -m repro.cli summary
+
+clean:
+	rm -rf results report.md trace.json .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

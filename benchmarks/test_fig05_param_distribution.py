@@ -1,0 +1,23 @@
+"""Figure 5: per-layer parameter distributions.  Paper facts: VGG-19's
+fc6 weight holds 71.5% of the model; ResNet-50 has ~160 small arrays;
+Sockeye's heaviest array is its first layer."""
+
+from __future__ import annotations
+
+from repro.analysis import fig5_param_distribution, skew_statistics
+from repro.models import get_model
+
+from conftest import run_once
+
+
+def test_fig05_param_distribution(benchmark, report):
+    fig = run_once(benchmark, fig5_param_distribution)
+    report(fig)
+    for name in ("resnet50", "vgg19", "sockeye"):
+        stats = skew_statistics(name)
+        print(f"{name:10s}: {int(stats['n_layers'])} arrays, "
+              f"{stats['total_mparams']:.1f}M params, "
+              f"max array share {stats['max_share'] * 100:.1f}%")
+    assert skew_statistics("vgg19")["max_share"] > 0.70
+    assert 155 <= skew_statistics("resnet50")["n_layers"] <= 165
+    assert get_model("sockeye").heaviest_layer == 0

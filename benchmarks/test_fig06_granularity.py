@@ -1,0 +1,21 @@
+"""Figure 6: layer-level vs fine-grained synchronization of a model with
+one disproportionately heavy layer.  Paper: slicing pipelines receive /
+update / send and cuts communication cost ~30%."""
+
+from __future__ import annotations
+
+from repro.analysis import fig6_granularity_comparison, schedule_figure
+
+from conftest import run_once
+
+
+def test_fig06_granularity(benchmark, report):
+    out = run_once(benchmark, fig6_granularity_comparison)
+    fig = schedule_figure(out, "fig6", "Toy granularity: layer vs sliced")
+    report(fig)
+    coarse, fine = out["layer_granularity"], out["sliced"]
+    saved = 1 - fine.stall_time / coarse.stall_time
+    print(f"paper: ~30% communication saving | measured: stall "
+          f"{coarse.stall_time:.2f}s -> {fine.stall_time:.2f}s "
+          f"({saved * 100:.0f}% saving)")
+    assert saved > 0.2

@@ -1,0 +1,29 @@
+"""Figure 8: baseline network-utilization traces (bwm-ng methodology).
+
+Paper: bursty traffic with regular peaks and dominant idle time for
+VGG-19/Sockeye; inbound and outbound not overlapped."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import FIG8_9_CONFIGS, fig8_baseline_utilization
+
+from conftest import run_once
+
+
+@pytest.mark.parametrize("model_name", sorted(FIG8_9_CONFIGS))
+def test_fig08_baseline_utilization(benchmark, report, model_name):
+    fig = run_once(benchmark, lambda: fig8_baseline_utilization(model_name))
+    report(fig, f"fig8_{model_name}.csv")
+    out_idle = fig.notes["outbound_idle_frac"]
+    peak = fig.notes["outbound_peak_gbps"]
+    mean = fig.notes["outbound_mean_gbps"]
+    print(f"{model_name}: peak {peak:.2f} Gbps, mean {mean:.2f} Gbps, "
+          f"idle fraction {out_idle:.2f}")
+    bandwidth = FIG8_9_CONFIGS[model_name]
+    # Bursty: transmissions saturate the throttled link during peaks...
+    assert peak > 0.9 * bandwidth
+    # ...yet the link sits idle a substantial fraction of the iteration.
+    assert out_idle > 0.15

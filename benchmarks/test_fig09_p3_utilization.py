@@ -1,0 +1,27 @@
+"""Figure 9: P3's network-utilization traces.
+
+Paper: vs Figure 8, idle time shrinks, peaks flatten, and bidirectional
+bandwidth is used simultaneously."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import FIG8_9_CONFIGS, fig8_baseline_utilization, fig9_p3_utilization
+
+from conftest import run_once
+
+
+@pytest.mark.parametrize("model_name", sorted(FIG8_9_CONFIGS))
+def test_fig09_p3_vs_baseline_utilization(benchmark, report, model_name):
+    p3_fig = run_once(benchmark, lambda: fig9_p3_utilization(model_name))
+    base_fig = fig8_baseline_utilization(model_name)
+    report(p3_fig, f"fig9_{model_name}.csv")
+    print(f"{model_name}: idle frac baseline={base_fig.notes['outbound_idle_frac']:.2f} "
+          f"-> p3={p3_fig.notes['outbound_idle_frac']:.2f}; "
+          f"iteration {base_fig.notes['iteration_time_s']:.3f}s "
+          f"-> {p3_fig.notes['iteration_time_s']:.3f}s")
+    # P3 reduces idle time and the iteration gets faster (or no slower).
+    assert p3_fig.notes["outbound_idle_frac"] <= base_fig.notes["outbound_idle_frac"] + 0.02
+    assert p3_fig.notes["iteration_time_s"] <= base_fig.notes["iteration_time_s"] * 1.01

@@ -1,0 +1,47 @@
+"""Figure 10: throughput scaling on 2/4/8/16 machines at 10 Gbps
+(AWS g3.4xlarge calibration).
+
+Paper shape: ResNet-50 ≈ parity (10 Gbps suffices); VGG-19 gains up to
+61% (8 machines); Sockeye gains ~18%."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import fig10_scalability
+
+from conftest import run_once
+from paper_expectations import (
+    PAPER_SOCKEYE_SCALABILITY_GAIN,
+    PAPER_VGG_SCALABILITY_GAIN,
+)
+
+
+def test_fig10a_resnet50(benchmark, report):
+    fig = run_once(benchmark, lambda: fig10_scalability("resnet50", iterations=5))
+    report(fig)
+    print(f"paper: near-linear for both | measured p3 scaling efficiency "
+          f"{fig.notes['scaling_efficiency_p3']:.2f}, max speedup "
+          f"{fig.notes['max_p3_speedup']:.2f}x")
+    assert fig.notes["scaling_efficiency_p3"] > 0.9
+    assert fig.notes["max_p3_speedup"] < 1.25  # near parity at 10 Gbps
+
+
+def test_fig10b_vgg19(benchmark, report):
+    fig = run_once(benchmark, lambda: fig10_scalability("vgg19", iterations=5))
+    report(fig)
+    print(f"paper: up to {PAPER_VGG_SCALABILITY_GAIN:.2f}x | measured "
+          f"{fig.notes['max_p3_speedup']:.2f}x at "
+          f"{fig.notes['max_p3_speedup_at_size']} machines")
+    assert fig.notes["max_p3_speedup"] > 1.25
+    # baseline scales worse than P3
+    assert (fig.notes["scaling_efficiency_p3"]
+            > fig.notes["scaling_efficiency_baseline"])
+
+
+def test_fig10c_sockeye(benchmark, report):
+    fig = run_once(benchmark, lambda: fig10_scalability("sockeye", iterations=5))
+    report(fig)
+    print(f"paper: up to {PAPER_SOCKEYE_SCALABILITY_GAIN:.2f}x | measured "
+          f"{fig.notes['max_p3_speedup']:.2f}x")
+    assert fig.notes["max_p3_speedup"] > 1.0

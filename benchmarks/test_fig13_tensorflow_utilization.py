@@ -1,0 +1,23 @@
+"""Figure 13 (Appendix B.1): ResNet-50 under TensorFlow-style
+synchronization at 4 Gbps — the same bursty under-utilization as MXNet's
+baseline, because the deferred pull disconnects send and receive."""
+
+from __future__ import annotations
+
+from repro.analysis import fig13_tensorflow_utilization
+
+from conftest import run_once
+
+
+def test_fig13_tensorflow_utilization(benchmark, report):
+    fig = run_once(benchmark, fig13_tensorflow_utilization)
+    report(fig)
+    peak = fig.notes["outbound_peak_gbps"]
+    mean = fig.notes["outbound_mean_gbps"]
+    print(f"paper: bursty traffic like MXNet | measured peak {peak:.2f} Gbps "
+          f"(cap 4), mean {mean:.2f} Gbps, inbound idle "
+          f"{fig.notes['inbound_idle_frac']:.2f}")
+    # Bursty: saturating peaks with idle valleys.
+    assert peak > 0.9 * 4.0
+    # Inbound arrives disjointly from outbound (deferred pulls):
+    assert fig.notes["inbound_idle_frac"] > 0.2

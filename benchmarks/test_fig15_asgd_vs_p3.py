@@ -1,0 +1,27 @@
+"""Figure 15 (Appendix B.2): accuracy vs wall-clock, P3 vs ASGD at
+1 Gbps.
+
+Paper: P3 reaches 93% final accuracy vs 88% for ASGD, and hits 80%
+roughly 6x sooner.  ASGD iterates faster (no barrier) but staleness
+costs accuracy."""
+
+from __future__ import annotations
+
+from repro.analysis import fig15_asgd_vs_p3
+
+from conftest import run_once
+from paper_expectations import PAPER_ASGD_FINAL, PAPER_P3_FINAL
+
+
+def test_fig15_asgd_vs_p3(benchmark, report):
+    fig = run_once(benchmark, lambda: fig15_asgd_vs_p3(epochs=16))
+    report(fig)
+    print(f"paper: P3 {PAPER_P3_FINAL:.2f} vs ASGD {PAPER_ASGD_FINAL:.2f} final | "
+          f"measured: P3 {fig.notes['p3_final']:.3f} vs "
+          f"ASGD {fig.notes['asgd_final']:.3f}")
+    if "asgd_to_p3_time_ratio" in fig.notes:
+        print(f"paper: P3 ~6x faster to 80% | measured ratio "
+              f"{fig.notes['asgd_to_p3_time_ratio']:.1f}x")
+    # Shape: sync converges higher; async iterates no slower per step.
+    assert fig.notes["p3_final"] > fig.notes["asgd_final"]
+    assert fig.notes["asgd_iter_time_s"] <= fig.notes["p3_iter_time_s"] * 1.05

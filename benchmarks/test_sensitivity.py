@@ -1,0 +1,22 @@
+"""Robustness benchmark: the reproduction's headline conclusion under
+order-of-magnitude sweeps of every calibrated cost constant
+(docs/calibration.md argues the conclusions depend on byte volumes and
+overlap windows, not these knobs — this verifies it)."""
+
+from __future__ import annotations
+
+from repro.analysis import sensitivity_scan
+
+from conftest import run_once
+
+
+def test_sensitivity_of_headline_speedup(benchmark, report):
+    fig = run_once(benchmark, lambda: sensitivity_scan(
+        "resnet50", bandwidth_gbps=4.0, iterations=4))
+    report(fig)
+    print(f"P3 speedup across all knob sweeps: "
+          f"{fig.notes['min_speedup']:.2f}x .. {fig.notes['max_speedup']:.2f}x")
+    for label in fig.labels:
+        print(f"  {label:20s} speedup range {fig.notes[f'{label}_range']:.3f}")
+    # The conclusion survives every sweep.
+    assert fig.notes["min_speedup"] > 1.05

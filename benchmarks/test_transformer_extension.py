@@ -1,0 +1,65 @@
+"""Extension benchmark: P3 on a modern transformer LM workload.
+
+The paper predates transformers; this asks whether its conclusions
+carry over.  A GPT-2-small-like model has the Sockeye pathology at 10x
+scale: a ~38M-parameter token embedding consumed *first* each iteration
+but produced *last* in backprop, plus an equally large LM head at the
+other end."""
+
+from __future__ import annotations
+
+from repro.analysis.series import FigureData
+from repro.models import transformer_lm
+from repro.sim import ClusterConfig, simulate
+from repro.strategies import baseline, p3, slicing_only
+
+from conftest import run_once
+
+
+def test_transformer_bandwidth_sweep(benchmark, report):
+    model = transformer_lm()
+
+    def run():
+        fig = FigureData("ext_transformer",
+                         "Transformer LM: bandwidth vs throughput",
+                         "bandwidth (Gbps)", "sequences/s per worker")
+        for strat in (baseline(), slicing_only(), p3()):
+            ys = []
+            for bw in (5.0, 10.0, 20.0, 40.0):
+                cfg = ClusterConfig(n_workers=4, bandwidth_gbps=bw)
+                r = simulate(model, strat, cfg, iterations=5, warmup=2)
+                ys.append(r.throughput / 4)
+            fig.add(strat.name, [5.0, 10.0, 20.0, 40.0], ys)
+        return fig
+
+    fig = run_once(benchmark, run)
+    report(fig)
+    base, fast = fig.get("baseline"), fig.get("p3")
+    gain = (fast.y / base.y).max()
+    print(f"P3 peak speedup on transformer LM: {gain:.2f}x")
+    assert gain > 1.1  # the paper's conclusions carry over
+
+
+def test_transformer_tied_vs_untied(benchmark):
+    """Weight tying halves the embedding traffic — how much of P3's win
+    does it absorb?"""
+    cfg = ClusterConfig(n_workers=4, bandwidth_gbps=10.0)
+
+    def run():
+        out = {}
+        for tied in (False, True):
+            model = transformer_lm(tied_head=tied)
+            b = simulate(model, baseline(), cfg, iterations=5, warmup=2)
+            f = simulate(model, p3(), cfg, iterations=5, warmup=2)
+            out[tied] = (b.throughput / 4, f.throughput / 4)
+        return out
+
+    out = run_once(benchmark, run)
+    print()
+    for tied, (b, f) in out.items():
+        label = "tied" if tied else "untied"
+        print(f"  {label:7s} baseline={b:6.2f} p3={f:6.2f} seq/s/worker "
+              f"({f / b:.2f}x)")
+    # Tying reduces bytes, so both get faster; P3 still helps both.
+    assert out[True][1] >= out[False][1]
+    assert out[True][1] >= out[True][0]

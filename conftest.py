@@ -1,0 +1,12 @@
+"""Repo-root pytest hook: make `repro` importable straight from src/.
+
+Lets ``pytest tests/ benchmarks/`` run from a fresh checkout even when
+the package has not been pip-installed (e.g. offline environments where
+PEP 660 editable installs are unavailable)."""
+
+import pathlib
+import sys
+
+_SRC = str(pathlib.Path(__file__).resolve().parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,66 @@
+"""Render the paper's Figure-4 timelines as ASCII Gantt charts.
+
+Recreates the worked example: a 3-layer model where every layer costs
+one time unit per pass and roughly two units to synchronize, under the
+aggressive baseline and under P3.  Rows show the worker's compute
+segments and both NIC directions, drawn from real simulated events.
+
+Run:  python examples/schedule_visualization.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.schedules import _toy_cluster
+from repro.models import fig4_model
+from repro.sim import build_trace_events, simulate
+from repro.strategies import baseline, p3
+
+
+def gantt(events, t0: float, t1: float, width: int = 78) -> str:
+    """ASCII Gantt: one row per (pid, tid) lane within [t0, t1]."""
+    lanes = {}
+    labels = {0: "compute", 1: "nic tx ", 2: "nic rx "}
+    for e in events:
+        start, end = e["ts"] / 1e6, (e["ts"] + e["dur"]) / 1e6
+        if end <= t0 or start >= t1 or e["pid"] != 0:
+            continue
+        lane = lanes.setdefault(e["tid"], [" "] * width)
+        a = int((max(start, t0) - t0) / (t1 - t0) * (width - 1))
+        b = int((min(end, t1) - t0) / (t1 - t0) * (width - 1))
+        if e["cat"] == "compute":
+            char = "F" if e["name"].startswith("forward") else "B"
+        elif e["cat"] == "stall":
+            char = "."
+        else:
+            char = "#"
+        for i in range(a, max(a + 1, b + 1)):
+            lane[i] = char
+    rows = []
+    for tid in sorted(lanes):
+        rows.append(f"  {labels.get(tid, str(tid)):8s}|" + "".join(lanes[tid]) + "|")
+    return "\n".join(rows)
+
+
+def main() -> None:
+    model = fig4_model()
+    for strategy in (baseline(), p3(slice_params=5_000)):
+        result = simulate(model, strategy, _toy_cluster(), iterations=5,
+                          warmup=2, trace_utilization=True)
+        events = build_trace_events(result)
+        recs = result.iterations.worker_iterations(0)
+        t0 = recs[2].forward_start
+        t1 = recs[3].end if len(recs) > 3 else result.steady_end
+        stall = result.mean_iteration_time - model.iteration_compute_time()
+        print(f"== {strategy.name}: one steady-state iteration "
+              f"(iteration {result.mean_iteration_time:.1f}s, "
+              f"stall {stall:.1f}s) ==")
+        print(gantt(events, t0, t1))
+        print("    F forward  B backward  . stall  # transfer\n")
+    print("Compare with the paper's Figure 4: the baseline's forward row "
+          "is stretched by waiting for FIFO-queued layer-0 parameters "
+          "(its NIC drains in bursts with gaps), while P3's transfers "
+          "hug both passes and the iteration is much shorter.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""Gradient bucketing for collective operations.
+
+Frameworks (Horovod, PyTorch DDP) fuse small gradients into buckets to
+amortize per-collective overhead; the bucket launches when all its
+gradients exist.  Buckets are assembled in *backward* order — the order
+gradients are produced — which means the bucket containing the first
+forward layer completes last, the exact pathology P3 identifies for
+parameter servers.
+
+``slice_buckets`` is the P3-style alternative: cap bucket size so large
+layers split (slicing), and tag each bucket with the priority of its
+*most urgent* layer so a priority scheduler can reorder launches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..models.base import ModelSpec
+
+
+@dataclass(frozen=True)
+class Bucket:
+    """A fused group of (parts of) layer gradients, allreduced as one op."""
+
+    bucket_id: int
+    layer_indices: tuple  # layers contributing to this bucket
+    payload_bytes: int
+    priority: int         # min forward index of contributing layers
+    ready_layer: int      # backward must reach this layer for readiness
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes <= 0:
+            raise ValueError("bucket must carry at least one byte")
+        if not self.layer_indices:
+            raise ValueError("bucket must contain at least one layer")
+
+
+def fused_buckets(model: ModelSpec, bucket_bytes: int = 25 * 1024 * 1024) -> List[Bucket]:
+    """Framework-default bucketing: greedily fuse consecutive gradients
+    in backward (generation) order up to ``bucket_bytes`` per bucket.
+
+    A layer larger than the cap still forms a single bucket — default
+    DDP/Horovod fusion never splits one tensor.
+    """
+    if bucket_bytes <= 0:
+        raise ValueError("bucket_bytes must be positive")
+    buckets: List[Bucket] = []
+    current: List[int] = []
+    current_bytes = 0
+    for idx in reversed(range(model.n_layers)):  # backward order
+        layer_bytes = model.layers[idx].bytes
+        if current and current_bytes + layer_bytes > bucket_bytes:
+            buckets.append(_mk(len(buckets), current, current_bytes))
+            current, current_bytes = [], 0
+        current.append(idx)
+        current_bytes += layer_bytes
+    if current:
+        buckets.append(_mk(len(buckets), current, current_bytes))
+    return buckets
+
+
+def sliced_buckets(model: ModelSpec, bucket_bytes: int = 200_000) -> List[Bucket]:
+    """P3-style bucketing: split layers so no bucket exceeds the cap,
+    keeping each bucket within one layer (slices inherit its priority)."""
+    if bucket_bytes <= 0:
+        raise ValueError("bucket_bytes must be positive")
+    buckets: List[Bucket] = []
+    for idx in reversed(range(model.n_layers)):
+        layer_bytes = model.layers[idx].bytes
+        n_parts = max(1, -(-layer_bytes // bucket_bytes))
+        base, extra = divmod(layer_bytes, n_parts)
+        for part in range(n_parts):
+            size = base + (1 if part < extra else 0)
+            if size == 0:
+                continue
+            buckets.append(Bucket(
+                bucket_id=len(buckets),
+                layer_indices=(idx,),
+                payload_bytes=size,
+                priority=idx,
+                ready_layer=idx,
+            ))
+    return buckets
+
+
+def _mk(bucket_id: int, layers: Sequence[int], payload: int) -> Bucket:
+    return Bucket(
+        bucket_id=bucket_id,
+        layer_indices=tuple(layers),
+        payload_bytes=payload,
+        # Fused buckets become urgent as soon as any early-forward layer
+        # is inside; readiness requires the *last generated* (min index).
+        priority=min(layers),
+        ready_layer=min(layers),
+    )
+
+
+def total_bytes(buckets: Sequence[Bucket]) -> int:
+    return sum(b.payload_bytes for b in buckets)

@@ -1,0 +1,59 @@
+"""Ring-allreduce cost model.
+
+The paper's Section 2 notes that gradient aggregation is also done with
+MPI-style allreduce and Section 6 argues P3's principles (slicing +
+priority) apply there too.  This package tests that claim with a
+bandwidth-optimal ring allreduce (Baidu/Horovod style):
+
+* a tensor of B bytes on W workers is reduced in ``2 (W - 1)`` steps;
+* each step moves ``B / W`` bytes between ring neighbours on every link
+  simultaneously, so wall-clock time is
+
+      t(B) = 2 (W - 1) / W * B / rate  +  2 (W - 1) * step_overhead
+
+The per-step overhead term (latency + kernel launch) is what makes very
+small buckets expensive — the allreduce analogue of P3's Figure 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RingCostModel:
+    """Wall-clock cost of one ring allreduce operation."""
+
+    n_workers: int
+    rate_bytes_per_s: float
+    step_overhead_s: float = 30e-6
+    reduce_bytes_per_s: float = 10e9  # local summation during the reduce phase
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if self.rate_bytes_per_s <= 0:
+            raise ValueError("rate must be positive")
+
+    def op_time(self, payload_bytes: int) -> float:
+        """Seconds to allreduce ``payload_bytes`` across the ring."""
+        if payload_bytes < 0:
+            raise ValueError("payload_bytes must be non-negative")
+        w = self.n_workers
+        if w == 1:
+            return self.step_overhead_s
+        steps = 2 * (w - 1)
+        wire = steps / w * payload_bytes / self.rate_bytes_per_s
+        reduce = (w - 1) / w * payload_bytes / self.reduce_bytes_per_s
+        return wire + reduce + steps * self.step_overhead_s
+
+    def bandwidth_optimality(self, payload_bytes: int) -> float:
+        """Ratio of pure wire time to total op time (1.0 = ideal)."""
+        total = self.op_time(payload_bytes)
+        if total == 0:
+            return 1.0
+        w = self.n_workers
+        if w == 1:
+            return 0.0
+        wire = 2 * (w - 1) / w * payload_bytes / self.rate_bytes_per_s
+        return wire / total

@@ -1,0 +1,263 @@
+"""Event-driven simulation of bucketed ring-allreduce training.
+
+Reuses the discrete-event engine; the network abstraction differs from
+the PS simulator: collectives occupy *every* worker's NIC at once, so a
+single serialized "collective stream" (as in NCCL) stands in for the
+ring.  The scheduling question is the same one P3 answers for parameter
+servers: in what order do ready buckets launch?
+
+* ``fifo``    — launch order == readiness order (backward order), the
+  framework default;
+* ``priority``— ready buckets launch lowest-forward-index first, the
+  P3/ByteScheduler discipline.  In-flight collectives are never
+  preempted (NCCL kernels aren't either); slicing provides the
+  preemption granularity, exactly as in Section 4.2.
+
+A forward layer of the next iteration may start once every bucket
+containing a part of it has completed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..models.base import ModelSpec
+from ..sim.engine import SimulationError, Simulator
+from ..sim.network import gbps_to_bytes_per_s
+from .buckets import Bucket, fused_buckets, sliced_buckets
+from .rings import RingCostModel
+
+
+@dataclass(frozen=True)
+class AllreduceConfig:
+    """Cluster parameters for the collective substrate."""
+
+    n_workers: int = 4
+    bandwidth_gbps: float = 10.0
+    step_overhead_s: float = 30e-6
+    reduce_bytes_per_s: float = 10e9
+    compute_scale: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_workers <= 0:
+            raise ValueError("n_workers must be positive")
+        if self.bandwidth_gbps <= 0:
+            raise ValueError("bandwidth_gbps must be positive")
+
+    def cost_model(self) -> RingCostModel:
+        return RingCostModel(
+            n_workers=self.n_workers,
+            rate_bytes_per_s=gbps_to_bytes_per_s(self.bandwidth_gbps),
+            step_overhead_s=self.step_overhead_s,
+            reduce_bytes_per_s=self.reduce_bytes_per_s,
+        )
+
+
+@dataclass(frozen=True)
+class AllreduceStrategy:
+    """Bucketing + scheduling policy for the collective stream."""
+
+    name: str
+    prioritized: bool
+    bucket_bytes: int
+    sliced: bool
+
+    def buckets(self, model: ModelSpec) -> List[Bucket]:
+        if self.sliced:
+            return sliced_buckets(model, self.bucket_bytes)
+        return fused_buckets(model, self.bucket_bytes)
+
+
+def framework_bucketing(bucket_mb: float = 25.0) -> AllreduceStrategy:
+    """Horovod/DDP default: ~25 MB fused buckets, FIFO launch order."""
+    return AllreduceStrategy("allreduce_fifo", False, int(bucket_mb * 1024 * 1024), False)
+
+
+def priority_allreduce(bucket_bytes: int = 4_000_000) -> AllreduceStrategy:
+    """P3's principles on allreduce: sliced buckets + priority launch.
+
+    The default slice is 4 MB — much coarser than the PS optimum of
+    50k params (200 KB), because a ring collective pays its fixed
+    overhead ``2 (W - 1)`` times per op.  The extension benchmark sweeps
+    this (the allreduce analogue of the paper's Figure 12).
+    """
+    return AllreduceStrategy("allreduce_p3", True, bucket_bytes, True)
+
+
+def unsliced_priority_allreduce(bucket_mb: float = 25.0) -> AllreduceStrategy:
+    """Ablation: priority launch order but framework-sized fused buckets."""
+    return AllreduceStrategy("allreduce_priority_only", True,
+                             int(bucket_mb * 1024 * 1024), False)
+
+
+@dataclass
+class AllreduceResult:
+    model_name: str
+    strategy_name: str
+    config: AllreduceConfig
+    throughput: float
+    mean_iteration_time: float
+    iteration_times: np.ndarray
+    collective_busy_time: float
+    n_buckets: int
+
+    def speedup_over(self, other: "AllreduceResult") -> float:
+        return self.throughput / other.throughput
+
+
+class _AllreduceSim:
+    """Symmetric-worker simulation: per-worker backward timelines (with
+    jitter) feed bucket readiness; one serialized collective stream."""
+
+    def __init__(self, model: ModelSpec, strategy: AllreduceStrategy,
+                 config: AllreduceConfig) -> None:
+        self.model = model
+        self.strategy = strategy
+        self.config = config
+        self.sim = Simulator()
+        self.cost = config.cost_model()
+        self.buckets = strategy.buckets(model)
+        if not self.buckets:
+            raise SimulationError("no buckets built")
+        self.buckets_by_ready_layer: Dict[int, List[Bucket]] = {}
+        for b in self.buckets:
+            self.buckets_by_ready_layer.setdefault(b.ready_layer, []).append(b)
+        # forward layer -> buckets that must complete before it runs
+        self.buckets_for_layer: List[List[int]] = [[] for _ in model.layers]
+        for b in self.buckets:
+            for idx in b.layer_indices:
+                self.buckets_for_layer[idx].append(b.bucket_id)
+
+        self.fwd_times = model.forward_times(config.compute_scale)
+        self.bwd_times = model.backward_times(config.compute_scale)
+        self._rng = np.random.default_rng(config.seed)
+
+        # Collective stream state.
+        self._queue: List = []
+        self._seq = itertools.count()
+        self._stream_busy = False
+        self.collective_busy_time = 0.0
+
+        # Per-iteration state.
+        self.iteration = 0
+        self.target = 0
+        self.done = False
+        self.bucket_done = [True] * len(self.buckets)  # initial params present
+        self.ready_counts: Dict[int, int] = {}  # bucket -> workers that reached it
+        self.fwd_layer = 0
+        self.waiting = False
+        self.iter_starts: List[float] = []
+        # Straggler spread: per-iteration per-worker compute multipliers.
+        self.n_layers = model.n_layers
+
+    # ---------------- iteration machinery ----------------
+    def start(self, iterations: int) -> None:
+        self.target = iterations
+        self._begin_iteration()
+
+    def _begin_iteration(self) -> None:
+        self.iter_starts.append(self.sim.now)
+        if self.iteration >= self.target:
+            self.done = True
+            return
+        sigma = self.model.jitter_sigma
+        if sigma > 0:
+            mults = np.exp(self._rng.normal(0.0, sigma, size=self.config.n_workers))
+        else:
+            mults = np.ones(self.config.n_workers)
+        # The slowest worker gates every bucket: scale this iteration's
+        # compute by max(mults); collectives need all participants.
+        self._mult = float(mults.max())
+        self.fwd_layer = 0
+        self._try_forward()
+
+    def _try_forward(self) -> None:
+        i = self.fwd_layer
+        if not all(self.bucket_done[b] for b in self.buckets_for_layer[i]):
+            self.waiting = True
+            return
+        self.waiting = False
+        self.sim.schedule(self.fwd_times[i] * self._mult, self._fwd_done)
+
+    def _fwd_done(self) -> None:
+        self.fwd_layer += 1
+        if self.fwd_layer >= self.n_layers:
+            self._begin_backward()
+        else:
+            self._try_forward()
+
+    def _begin_backward(self) -> None:
+        self.bwd_layer = self.n_layers - 1
+        self.sim.schedule(self.bwd_times[self.bwd_layer] * self._mult, self._bwd_done)
+
+    def _bwd_done(self) -> None:
+        i = self.bwd_layer
+        for b in self.buckets_by_ready_layer.get(i, ()):  # buckets now ready
+            self.bucket_done[b.bucket_id] = False
+            self._enqueue(b)
+        self.bwd_layer -= 1
+        if self.bwd_layer >= 0:
+            self.sim.schedule(self.bwd_times[self.bwd_layer] * self._mult, self._bwd_done)
+        else:
+            self.iteration += 1
+            self._begin_iteration()
+
+    # ---------------- collective stream ----------------
+    def _enqueue(self, bucket: Bucket) -> None:
+        prio = bucket.priority if self.strategy.prioritized else next(self._seq)
+        heapq.heappush(self._queue, (prio, next(self._seq), bucket))
+        if not self._stream_busy:
+            self._launch_next()
+
+    def _launch_next(self) -> None:
+        _, _, bucket = heapq.heappop(self._queue)
+        self._stream_busy = True
+        dur = self.cost.op_time(bucket.payload_bytes)
+        self.collective_busy_time += dur
+        self.sim.schedule(dur, self._op_done, bucket)
+
+    def _op_done(self, bucket: Bucket) -> None:
+        self._stream_busy = False
+        self.bucket_done[bucket.bucket_id] = True
+        if self._queue:
+            self._launch_next()
+        if self.waiting and not self.done:
+            self._try_forward()
+
+
+def simulate_allreduce(
+    model: ModelSpec,
+    strategy: AllreduceStrategy,
+    config: Optional[AllreduceConfig] = None,
+    iterations: int = 6,
+    warmup: int = 2,
+) -> AllreduceResult:
+    """Simulate bucketed ring-allreduce training; same metrics as
+    :func:`repro.sim.simulate`."""
+    if iterations <= warmup:
+        raise ValueError("iterations must exceed warmup")
+    cfg = config or AllreduceConfig()
+    sim = _AllreduceSim(model, strategy, cfg)
+    sim.start(iterations)
+    sim.sim.run()
+    if not sim.done:
+        raise SimulationError("allreduce simulation stalled")
+    starts = np.array(sim.iter_starts)
+    iter_times = np.diff(starts)[warmup:]
+    mean_t = float(iter_times.mean())
+    return AllreduceResult(
+        model_name=model.name,
+        strategy_name=strategy.name,
+        config=cfg,
+        throughput=cfg.n_workers * model.batch_size / mean_t,
+        mean_iteration_time=mean_t,
+        iteration_times=iter_times,
+        collective_busy_time=sim.collective_busy_time,
+        n_buckets=len(sim.buckets),
+    )

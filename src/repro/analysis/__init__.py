@@ -1,0 +1,104 @@
+"""Experiment drivers: one per paper figure, plus ablations."""
+
+from .ablations import (
+    colocation_ablation,
+    component_ablation,
+    latency_sensitivity,
+    oversubscription_sweep,
+    priority_policy_ablation,
+    server_count_sweep,
+    shared_cluster_sweep,
+    straggler_sensitivity,
+)
+from .accuracy import (
+    DEFAULT_SETTINGS,
+    HyperSetting,
+    fig11_p3_vs_dgc,
+    fig15_asgd_vs_p3,
+)
+from .ascii_plot import ascii_plot
+from .bandwidth import FIG7_GRIDS, fig7_bandwidth_sweep, peak_speedups
+from .distributions import fig5_param_distribution, skew_statistics
+from .scalability import FIG10_SIZES, fig10_scalability
+from .schedules import (
+    ScheduleOutcome,
+    fig4_schedule_comparison,
+    fig6_granularity_comparison,
+    schedule_figure,
+)
+from .bounds import (
+    IterationBounds,
+    baseline_crossover_gbps,
+    iteration_bounds,
+    p3_crossover_gbps,
+    wire_bytes_per_direction,
+)
+from .sensitivity import sensitivity_scan, speedup_at
+from .series import FigureData, Series, speedup
+from .stats import SeedStats, speedup_stats, summarize, throughput_stats
+from .storage import load_figure, save_figure
+from .tails import iteration_time_percentiles, tail_comparison
+from .slice_size import FIG12_SLICES, fig12_slice_size_sweep
+from .utilization import (
+    FIG8_9_CONFIGS,
+    burstiness_comparison,
+    fig8_baseline_utilization,
+    fig9_p3_utilization,
+    fig13_tensorflow_utilization,
+    fig14_poseidon_utilization,
+    utilization_trace,
+)
+
+__all__ = [
+    "DEFAULT_SETTINGS",
+    "IterationBounds",
+    "baseline_crossover_gbps",
+    "iteration_bounds",
+    "p3_crossover_gbps",
+    "sensitivity_scan",
+    "speedup_at",
+    "wire_bytes_per_direction",
+    "FIG10_SIZES",
+    "FIG12_SLICES",
+    "FIG7_GRIDS",
+    "FIG8_9_CONFIGS",
+    "FigureData",
+    "HyperSetting",
+    "ScheduleOutcome",
+    "Series",
+    "ascii_plot",
+    "burstiness_comparison",
+    "colocation_ablation",
+    "component_ablation",
+    "fig10_scalability",
+    "fig11_p3_vs_dgc",
+    "fig12_slice_size_sweep",
+    "fig13_tensorflow_utilization",
+    "fig14_poseidon_utilization",
+    "fig15_asgd_vs_p3",
+    "fig4_schedule_comparison",
+    "fig5_param_distribution",
+    "fig6_granularity_comparison",
+    "fig7_bandwidth_sweep",
+    "fig8_baseline_utilization",
+    "fig9_p3_utilization",
+    "latency_sensitivity",
+    "load_figure",
+    "oversubscription_sweep",
+    "peak_speedups",
+    "SeedStats",
+    "iteration_time_percentiles",
+    "save_figure",
+    "server_count_sweep",
+    "speedup_stats",
+    "summarize",
+    "tail_comparison",
+    "throughput_stats",
+    "priority_policy_ablation",
+    "schedule_figure",
+    "shared_cluster_sweep",
+    "skew_statistics",
+    "straggler_sensitivity",
+    "speedup",
+    "utilization_trace",
+]

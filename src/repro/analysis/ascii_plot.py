@@ -1,0 +1,63 @@
+"""Terminal line plots for FigureData (no plotting dependencies)."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .series import FigureData
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(fig: FigureData, width: int = 72, height: int = 20,
+               logx: bool = False) -> str:
+    """Render all series of ``fig`` into a character grid."""
+    if not fig.series:
+        return f"[{fig.figure_id}] (no series)"
+    all_x = np.concatenate([s.x for s in fig.series]).astype(float)
+    all_y = np.concatenate([s.y for s in fig.series]).astype(float)
+    if logx:
+        if (all_x <= 0).any():
+            raise ValueError("logx requires positive x values")
+        all_x = np.log10(all_x)
+    x_lo, x_hi = float(all_x.min()), float(all_x.max())
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    pad = 0.05 * (y_hi - y_lo)
+    y_lo, y_hi = y_lo - pad, y_hi + pad
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, s in enumerate(fig.series):
+        marker = _MARKERS[si % len(_MARKERS)]
+        xs = np.log10(s.x) if logx else s.x
+        # Draw line segments by sampling between consecutive points.
+        for i in range(len(xs)):
+            if i + 1 < len(xs):
+                n_samples = max(2, width // max(1, len(xs) - 1))
+                xt = np.linspace(xs[i], xs[i + 1], n_samples)
+                yt = np.linspace(s.y[i], s.y[i + 1], n_samples)
+            else:
+                xt, yt = np.array([xs[i]]), np.array([s.y[i]])
+            for xv, yv in zip(xt, yt):
+                col = int((xv - x_lo) / (x_hi - x_lo) * (width - 1))
+                row = int((yv - y_lo) / (y_hi - y_lo) * (height - 1))
+                grid[height - 1 - row][col] = marker
+
+    lines: List[str] = [f"{fig.title}  [{fig.figure_id}]"]
+    for r, row in enumerate(grid):
+        y_val = y_hi - (y_hi - y_lo) * r / (height - 1)
+        lines.append(f"{y_val:>9.2f} |" + "".join(row))
+    x_left = 10 ** x_lo if logx else x_lo
+    x_right = 10 ** x_hi if logx else x_hi
+    axis = " " * 10 + "+" + "-" * width
+    lines.append(axis)
+    lines.append(" " * 11 + f"{x_left:<12.3g}{fig.x_label:^{max(0, width - 24)}}{x_right:>12.3g}")
+    legend = "   ".join(f"{_MARKERS[i % len(_MARKERS)]} {s.label}"
+                        for i, s in enumerate(fig.series))
+    lines.append(" " * 11 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,77 @@
+"""Figure 7: throughput vs. network bandwidth (the headline experiment).
+
+Sweeps interface bandwidth for Baseline / Slicing / P3 on a 4-machine
+cluster, exactly the setup of Section 5.3 (tc-qdisc throttling of a
+100 Gbps fabric).  Throughput is reported per worker, matching the
+figure's axes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..models import get_model
+from ..sim import ClusterConfig, simulate
+from ..strategies import StrategyConfig, baseline, p3, slicing_only
+from .series import FigureData, speedup
+
+# Bandwidth grids used by the paper's sub-figures.
+FIG7_GRIDS: Dict[str, Sequence[float]] = {
+    "resnet50": (1, 2, 3, 4, 5, 6, 7, 8, 9, 10),
+    "inceptionv3": (1, 2, 3, 4, 5, 6, 7, 8, 9, 10),
+    "vgg19": (2, 5, 10, 15, 20, 25, 30),
+    "sockeye": (2, 5, 10, 15, 20, 25, 30),
+}
+
+FIG7_PANELS = {"resnet50": "fig7a", "inceptionv3": "fig7b",
+               "vgg19": "fig7c", "sockeye": "fig7d"}
+
+
+def default_strategies() -> Sequence[StrategyConfig]:
+    return (baseline(), slicing_only(), p3())
+
+
+def fig7_bandwidth_sweep(
+    model_name: str,
+    bandwidths: Optional[Sequence[float]] = None,
+    strategies: Optional[Sequence[StrategyConfig]] = None,
+    n_workers: int = 4,
+    iterations: int = 5,
+    warmup: int = 2,
+    seed: int = 0,
+) -> FigureData:
+    """Throughput-vs-bandwidth series for one model (one Fig 7 panel)."""
+    model = get_model(model_name)
+    if bandwidths is None:
+        # Models outside the paper's four panels get the wide grid.
+        bandwidths = FIG7_GRIDS.get(model_name, (1, 2, 4, 6, 8, 10, 15, 20, 30))
+    strategies = strategies if strategies is not None else default_strategies()
+    fig = FigureData(
+        figure_id=FIG7_PANELS.get(model_name, f"fig7_{model_name}"),
+        title=f"Bandwidth vs throughput: {model_name}",
+        x_label="bandwidth (Gbps)",
+        y_label=f"throughput ({model.sample_unit}/s per worker)",
+    )
+    for strat in strategies:
+        ys = []
+        for bw in bandwidths:
+            cfg = ClusterConfig(n_workers=n_workers, bandwidth_gbps=float(bw), seed=seed)
+            result = simulate(model, strat, cfg, iterations=iterations, warmup=warmup)
+            ys.append(result.throughput / n_workers)
+        fig.add(strat.name, list(bandwidths), ys)
+    if {"baseline", "p3"} <= set(fig.labels):
+        ratios = speedup(fig, over="baseline", of="p3")
+        best = float(ratios.y.max())
+        fig.notes["max_p3_speedup"] = round(best, 3)
+        fig.notes["max_p3_speedup_at_gbps"] = float(ratios.x[ratios.y.argmax()])
+    return fig
+
+
+def peak_speedups(model_names: Sequence[str] = tuple(FIG7_GRIDS),
+                  **kwargs) -> Dict[str, float]:
+    """Max P3-over-baseline speedup per model (the abstract's 25/38/66%)."""
+    out = {}
+    for name in model_names:
+        fig = fig7_bandwidth_sweep(name, **kwargs)
+        out[name] = float(fig.notes["max_p3_speedup"])
+    return out

@@ -1,0 +1,105 @@
+"""Closed-form fluid-limit bounds on iteration time.
+
+These validate the simulator against what queueing theory says must
+hold, and explain *why* the paper's curves bend where they do:
+
+* **compute bound** — an iteration can never beat pure compute;
+* **wire bound** — with colocated PS shards each NIC direction must
+  carry, per iteration, the worker's remote gradients plus the local
+  shard's remote parameter traffic, so
+
+      t >= compute            and
+      t >= wire_bytes / rate  (per direction, full duplex)
+
+  P3 approaches ``max(compute, wire)`` because it can overlap
+  communication with the *entire* iteration (Figure 4b);
+* **baseline overlap bound** — aggressive layer-order FIFO sync can
+  overlap communication only with the backward pass (Figure 4a), so its
+  iteration time is bounded below by roughly
+  ``compute + max(0, wire - backward)``.
+
+The bounds are fluid approximations: they ignore per-message overheads,
+aggregation costs and discreteness, so they are lower bounds for the
+simulator and the predicted *crossover bandwidths* (where wire == the
+relevant overlap window) match the paper's Figure 7 breakpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..models.base import ModelSpec
+from ..sim.network import gbps_to_bytes_per_s
+
+
+@dataclass(frozen=True)
+class IterationBounds:
+    """Fluid-limit iteration-time bounds (seconds) for one configuration."""
+
+    compute: float
+    wire: float              # per-NIC per-direction transfer time
+    p3_bound: float          # max(compute, wire)
+    baseline_bound: float    # compute + max(0, wire - backward_window)
+
+    @property
+    def p3_throughput_bound(self) -> float:
+        """Samples/s/worker upper bound for full-overlap strategies."""
+        return 1.0 / self.p3_bound
+
+    @property
+    def baseline_throughput_bound(self) -> float:
+        return 1.0 / self.baseline_bound
+
+
+def wire_bytes_per_direction(model: ModelSpec, n_workers: int,
+                             gradient_scale: float = 1.0,
+                             param_scale: float = 1.0) -> float:
+    """Bytes each NIC must move per direction per iteration.
+
+    With one colocated PS shard per machine holding 1/W of the model:
+    the worker pushes (W-1)/W of the model remotely, and the shard sends
+    its 1/W of the model to each of the W-1 remote workers — another
+    (W-1)/W.  Both flows share the NIC direction.
+    """
+    if n_workers <= 0:
+        raise ValueError("n_workers must be positive")
+    remote_fraction = (n_workers - 1) / n_workers
+    push = model.total_bytes * remote_fraction * gradient_scale
+    params = model.total_bytes * remote_fraction * param_scale
+    return push + params
+
+
+def iteration_bounds(model: ModelSpec, bandwidth_gbps: float,
+                     n_workers: int = 4, compute_scale: float = 1.0) -> IterationBounds:
+    """Compute the fluid bounds for one model/cluster configuration."""
+    if bandwidth_gbps <= 0:
+        raise ValueError("bandwidth_gbps must be positive")
+    compute = model.iteration_compute_time(compute_scale)
+    rate = gbps_to_bytes_per_s(bandwidth_gbps)
+    wire = wire_bytes_per_direction(model, n_workers) / rate
+    backward = compute * (1.0 - model.forward_fraction)
+    return IterationBounds(
+        compute=compute,
+        wire=wire,
+        p3_bound=max(compute, wire),
+        baseline_bound=compute + max(0.0, wire - backward),
+    )
+
+
+def p3_crossover_gbps(model: ModelSpec, n_workers: int = 4,
+                      compute_scale: float = 1.0) -> float:
+    """Bandwidth below which even perfect overlap cannot hide
+    communication: wire time == full iteration compute time."""
+    compute = model.iteration_compute_time(compute_scale)
+    bytes_dir = wire_bytes_per_direction(model, n_workers)
+    return bytes_dir / compute * 8.0 / 1e9
+
+
+def baseline_crossover_gbps(model: ModelSpec, n_workers: int = 4,
+                            compute_scale: float = 1.0) -> float:
+    """Bandwidth below which backward-only overlap starts leaking delay:
+    wire time == backward time."""
+    compute = model.iteration_compute_time(compute_scale)
+    backward = compute * (1.0 - model.forward_fraction)
+    bytes_dir = wire_bytes_per_direction(model, n_workers)
+    return bytes_dir / backward * 8.0 / 1e9

@@ -1,0 +1,45 @@
+"""Figure 5: per-layer parameter distributions of the workload models."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..models import get_model
+from .series import FigureData
+
+_FIG5_MODELS = ("resnet50", "vgg19", "sockeye")
+
+
+def fig5_param_distribution(models: Sequence[str] = _FIG5_MODELS) -> FigureData:
+    """Parameter count per layer index (in millions), one series per model."""
+    fig = FigureData(
+        figure_id="fig5",
+        title="Parameter distribution per layer",
+        x_label="layer index",
+        y_label="parameters (millions)",
+    )
+    for name in models:
+        model = get_model(name)
+        counts = model.param_counts() / 1e6
+        fig.add(name, np.arange(1, model.n_layers + 1), counts)
+        fig.notes[f"{name}_total_Mparams"] = round(model.total_params / 1e6, 2)
+        fig.notes[f"{name}_heaviest_index"] = model.heaviest_layer + 1
+        fig.notes[f"{name}_heaviest_share"] = round(
+            model.param_fraction(model.heaviest_layer), 3)
+    return fig
+
+
+def skew_statistics(model_name: str) -> Dict[str, float]:
+    """Quantify layer-size skew: share of the top array and top decile."""
+    model = get_model(model_name)
+    counts = np.sort(model.param_counts())[::-1]
+    total = counts.sum()
+    top_decile = max(1, len(counts) // 10)
+    return {
+        "n_layers": float(len(counts)),
+        "total_mparams": total / 1e6,
+        "max_share": float(counts[0] / total),
+        "top_decile_share": float(counts[:top_decile].sum() / total),
+    }

@@ -1,0 +1,59 @@
+"""Figure 10: throughput scaling with cluster size.
+
+The paper's Section 5.5 runs AWS g3.4xlarge machines on a shared
+10 Gbps network.  ``compute_scale=0.5`` calibrates the g3's M60 GPU
+against the P4000 testbed rates (ResNet-50 at ~52 img/s/worker matches
+the figure's ~800 img/s at 16 machines).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..models import get_model
+from ..sim import ClusterConfig, simulate
+from ..strategies import StrategyConfig, baseline, p3
+from .series import FigureData
+
+FIG10_SIZES = (2, 4, 8, 16)
+FIG10_PANELS = {"resnet50": "fig10a", "vgg19": "fig10b", "sockeye": "fig10c"}
+AWS_COMPUTE_SCALE = 0.5
+
+
+def fig10_scalability(
+    model_name: str,
+    cluster_sizes: Sequence[int] = FIG10_SIZES,
+    strategies: Optional[Sequence[StrategyConfig]] = None,
+    bandwidth_gbps: float = 10.0,
+    compute_scale: float = AWS_COMPUTE_SCALE,
+    iterations: int = 5,
+    warmup: int = 2,
+    seed: int = 0,
+) -> FigureData:
+    """Cluster-total throughput at each cluster size, baseline vs P3."""
+    model = get_model(model_name)
+    strategies = strategies if strategies is not None else (baseline(), p3())
+    fig = FigureData(
+        figure_id=FIG10_PANELS.get(model_name, f"fig10_{model_name}"),
+        title=f"Scalability: {model_name} @ {bandwidth_gbps:g} Gbps",
+        x_label="cluster size",
+        y_label=f"throughput ({model.sample_unit}/s)",
+    )
+    for strat in strategies:
+        ys = []
+        for n in cluster_sizes:
+            cfg = ClusterConfig(n_workers=int(n), bandwidth_gbps=bandwidth_gbps,
+                                compute_scale=compute_scale, seed=seed)
+            result = simulate(model, strat, cfg, iterations=iterations, warmup=warmup)
+            ys.append(result.throughput)
+        fig.add(strat.name, list(cluster_sizes), ys)
+    base = fig.get("baseline")
+    new = fig.get("p3")
+    gains = new.y / base.y
+    fig.notes["max_p3_speedup"] = round(float(gains.max()), 3)
+    fig.notes["max_p3_speedup_at_size"] = int(base.x[gains.argmax()])
+    fig.notes["scaling_efficiency_p3"] = round(
+        float((new.y[-1] / new.x[-1]) / (new.y[0] / new.x[0])), 3)
+    fig.notes["scaling_efficiency_baseline"] = round(
+        float((base.y[-1] / base.x[-1]) / (base.y[0] / base.x[0])), 3)
+    return fig

@@ -1,0 +1,73 @@
+"""Sensitivity of the reproduction's conclusions to simulator constants.
+
+DESIGN.md argues the qualitative results depend on byte volumes and
+overlap windows, not on the calibrated cost constants.  These scans
+check that: for each knob, sweep it across an order of magnitude and
+record the P3-over-baseline speedup — the *conclusion* — at a
+communication-constrained operating point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Sequence
+
+from ..models import get_model
+from ..sim import ClusterConfig, simulate
+from ..strategies import baseline, p3
+from .series import FigureData
+
+# knob -> sweep values (defaults marked by ClusterConfig defaults)
+DEFAULT_SWEEPS: Dict[str, Sequence[float]] = {
+    "per_message_cpu_s": (1e-6, 5e-6, 20e-6),
+    "update_bytes_per_s": (1e9, 3e9, 12e9),
+    "overhead_bytes": (0, 64, 512),
+    "latency_s": (10e-6, 50e-6, 500e-6),
+    "loopback_latency_s": (1e-6, 5e-6, 50e-6),
+}
+
+
+def speedup_at(model_name: str, cfg: ClusterConfig,
+               iterations: int = 4, warmup: int = 1) -> float:
+    """P3-over-baseline throughput ratio at one configuration."""
+    model = get_model(model_name)
+    base = simulate(model, baseline(), cfg, iterations=iterations, warmup=warmup)
+    fast = simulate(model, p3(), cfg, iterations=iterations, warmup=warmup)
+    return fast.throughput / base.throughput
+
+
+def sensitivity_scan(
+    model_name: str = "resnet50",
+    bandwidth_gbps: float = 4.0,
+    sweeps: Dict[str, Sequence[float]] | None = None,
+    n_workers: int = 4,
+    iterations: int = 4,
+    seed: int = 0,
+) -> FigureData:
+    """P3 speedup as each cost constant sweeps; one series per knob.
+
+    x is the knob value normalized to its default (so all series share
+    an axis); y is the P3/baseline speedup.
+    """
+    sweeps = sweeps if sweeps is not None else DEFAULT_SWEEPS
+    base_cfg = ClusterConfig(n_workers=n_workers, bandwidth_gbps=bandwidth_gbps,
+                             seed=seed)
+    fig = FigureData(
+        figure_id="sensitivity",
+        title=f"Speedup sensitivity: {model_name} @ {bandwidth_gbps:g} Gbps",
+        x_label="knob value / default",
+        y_label="P3 speedup over baseline",
+    )
+    for knob, values in sweeps.items():
+        default = getattr(base_cfg, knob)
+        xs, ys = [], []
+        for value in values:
+            cfg = replace(base_cfg, **{knob: type(default)(value)})
+            xs.append(value / default if default else float(value) + 1.0)
+            ys.append(speedup_at(model_name, cfg, iterations=iterations))
+        fig.add(knob, xs, ys)
+        fig.notes[f"{knob}_range"] = round(max(ys) - min(ys), 3)
+    all_speedups = [y for s in fig.series for y in s.y]
+    fig.notes["min_speedup"] = round(float(min(all_speedups)), 3)
+    fig.notes["max_speedup"] = round(float(max(all_speedups)), 3)
+    return fig

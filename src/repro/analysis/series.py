@@ -1,0 +1,101 @@
+"""Containers for regenerated figure data: series, figures, CSV export."""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+import numpy as np
+
+
+@dataclass
+class Series:
+    """One line of a figure: labelled (x, y) arrays."""
+
+    label: str
+    x: np.ndarray
+    y: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.x = np.asarray(self.x, dtype=float)
+        self.y = np.asarray(self.y, dtype=float)
+        if self.x.shape != self.y.shape:
+            raise ValueError(f"series {self.label!r}: x and y shapes differ")
+
+    def y_at(self, x_value: float) -> float:
+        """y at the x closest to ``x_value``."""
+        return float(self.y[np.argmin(np.abs(self.x - x_value))])
+
+
+@dataclass
+class FigureData:
+    """All series of one reproduced paper figure plus metadata."""
+
+    figure_id: str          # e.g. "fig7c"
+    title: str
+    x_label: str
+    y_label: str
+    series: List[Series] = field(default_factory=list)
+    notes: Dict[str, Union[str, float]] = field(default_factory=dict)
+
+    def add(self, label: str, x: Sequence[float], y: Sequence[float]) -> Series:
+        s = Series(label, np.asarray(x), np.asarray(y))
+        self.series.append(s)
+        return s
+
+    def get(self, label: str) -> Series:
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(f"no series {label!r} in {self.figure_id}")
+
+    @property
+    def labels(self) -> List[str]:
+        return [s.label for s in self.series]
+
+    def to_csv(self, path: Union[str, Path]) -> Path:
+        """Write long-format CSV: figure, series, x, y."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", newline="") as f:
+            writer = csv.writer(f)
+            writer.writerow(["figure", "series", self.x_label, self.y_label])
+            for s in self.series:
+                for xv, yv in zip(s.x, s.y):
+                    writer.writerow([self.figure_id, s.label, xv, yv])
+        return path
+
+    def table(self, fmt: str = "{:>10.2f}") -> str:
+        """Render as an aligned text table (rows = x, columns = series)."""
+        xs = sorted({float(x) for s in self.series for x in s.x})
+        header = [f"{self.x_label:>12}"] + [f"{s.label:>12}" for s in self.series]
+        lines = ["  ".join(header)]
+        for xv in xs:
+            row = [f"{xv:>12.3g}"]
+            for s in self.series:
+                match = np.nonzero(np.isclose(s.x, xv))[0]
+                row.append(f"{s.y[match[0]]:>12.3f}" if len(match) else " " * 12)
+            lines.append("  ".join(row))
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        lines = [f"[{self.figure_id}] {self.title}"]
+        if self.notes:
+            lines += [f"  note: {k} = {v}" for k, v in self.notes.items()]
+        lines.append(self.table())
+        return "\n".join(lines)
+
+
+def speedup(figure: FigureData, over: str, of: str) -> Series:
+    """Series of ``of``/``over`` throughput ratios at matching x."""
+    base = figure.get(over)
+    new = figure.get(of)
+    xs, ratios = [], []
+    for xv, yv in zip(new.x, new.y):
+        match = np.nonzero(np.isclose(base.x, xv))[0]
+        if len(match):
+            xs.append(xv)
+            ratios.append(yv / base.y[match[0]])
+    return Series(f"{of}/{over}", np.array(xs), np.array(ratios))

@@ -1,0 +1,51 @@
+"""Figure 12: throughput vs. parameter-slice size.
+
+Section 5.7's sweep: below the optimum, per-message overheads dominate;
+above it, pipelining/preemption granularity degrades.  The paper finds
+50,000 parameters per slice optimal.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..models import get_model
+from ..sim import ClusterConfig, simulate
+from ..strategies import p3
+from .series import FigureData
+
+FIG12_SLICES = (1_000, 3_000, 10_000, 30_000, 50_000, 100_000, 300_000, 1_000_000)
+FIG12_PANELS = {"resnet50": "fig12a", "vgg19": "fig12b", "sockeye": "fig12c"}
+# Bandwidths chosen as in the paper's sensitive regimes (Fig 7).
+FIG12_BANDWIDTH = {"resnet50": 4.0, "vgg19": 15.0, "sockeye": 4.0}
+
+
+def fig12_slice_size_sweep(
+    model_name: str,
+    slice_sizes: Sequence[int] = FIG12_SLICES,
+    bandwidth_gbps: float | None = None,
+    n_workers: int = 4,
+    iterations: int = 4,
+    warmup: int = 1,
+    seed: int = 0,
+) -> FigureData:
+    """P3 throughput per worker at each slice size for one model."""
+    model = get_model(model_name)
+    bw = bandwidth_gbps if bandwidth_gbps is not None else FIG12_BANDWIDTH.get(model_name, 4.0)
+    fig = FigureData(
+        figure_id=FIG12_PANELS.get(model_name, f"fig12_{model_name}"),
+        title=f"Slice size vs throughput: {model_name} @ {bw:g} Gbps",
+        x_label="slice size (parameters)",
+        y_label=f"throughput ({model.sample_unit}/s per worker)",
+    )
+    ys = []
+    for size in slice_sizes:
+        cfg = ClusterConfig(n_workers=n_workers, bandwidth_gbps=bw, seed=seed)
+        result = simulate(model, p3(slice_params=int(size)), cfg,
+                          iterations=iterations, warmup=warmup)
+        ys.append(result.throughput / n_workers)
+    fig.add("p3", [float(s) for s in slice_sizes], ys)
+    s = fig.get("p3")
+    fig.notes["best_slice_size"] = int(s.x[s.y.argmax()])
+    fig.notes["best_throughput"] = round(float(s.y.max()), 2)
+    return fig

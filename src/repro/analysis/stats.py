@@ -1,0 +1,98 @@
+"""Multi-seed statistics for stochastic simulations.
+
+Sockeye's jitter and the random placement of small KVStore keys make
+some simulated throughputs seed-dependent.  These helpers rerun a
+configuration across seeds and report mean / std / a normal-theory
+confidence interval, so EXPERIMENTS.md can state results as
+point ± uncertainty where it matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..models import get_model
+from ..sim import ClusterConfig, simulate
+from ..strategies import StrategyConfig
+
+
+@dataclass(frozen=True)
+class SeedStats:
+    """Summary of one metric across seeds."""
+
+    values: tuple
+    mean: float
+    std: float
+    ci95_half_width: float
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
+    def lo(self) -> float:
+        return self.mean - self.ci95_half_width
+
+    @property
+    def hi(self) -> float:
+        return self.mean + self.ci95_half_width
+
+    def __str__(self) -> str:  # pragma: no cover - formatting
+        return f"{self.mean:.2f} ± {self.ci95_half_width:.2f} (n={self.n})"
+
+
+def summarize(values: Sequence[float]) -> SeedStats:
+    """Mean / std / 95% CI half-width (normal approximation)."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("need at least one value")
+    std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    half = 1.96 * std / np.sqrt(arr.size) if arr.size > 1 else 0.0
+    return SeedStats(tuple(float(v) for v in arr), float(arr.mean()), std, half)
+
+
+def throughput_stats(
+    model_name: str,
+    strategy: StrategyConfig,
+    bandwidth_gbps: float,
+    seeds: Sequence[int] = (0, 1, 2, 3, 4),
+    n_workers: int = 4,
+    iterations: int = 5,
+    warmup: int = 2,
+    per_worker: bool = True,
+) -> SeedStats:
+    """Per-worker throughput across seeds for one configuration."""
+    model = get_model(model_name)
+    values = []
+    for seed in seeds:
+        cfg = ClusterConfig(n_workers=n_workers, bandwidth_gbps=bandwidth_gbps,
+                            seed=int(seed))
+        result = simulate(model, strategy, cfg, iterations=iterations,
+                          warmup=warmup)
+        values.append(result.throughput / (n_workers if per_worker else 1))
+    return summarize(values)
+
+
+def speedup_stats(
+    model_name: str,
+    bandwidth_gbps: float,
+    seeds: Sequence[int] = (0, 1, 2, 3, 4),
+    **kwargs,
+) -> SeedStats:
+    """P3-over-baseline speedup across seeds (paired per seed)."""
+    from ..strategies import baseline, p3
+    model = get_model(model_name)
+    n_workers = kwargs.pop("n_workers", 4)
+    iterations = kwargs.pop("iterations", 5)
+    warmup = kwargs.pop("warmup", 2)
+    ratios = []
+    for seed in seeds:
+        cfg = ClusterConfig(n_workers=n_workers, bandwidth_gbps=bandwidth_gbps,
+                            seed=int(seed))
+        base = simulate(model, baseline(), cfg, iterations=iterations, warmup=warmup)
+        fast = simulate(model, p3(), cfg, iterations=iterations, warmup=warmup)
+        ratios.append(fast.throughput / base.throughput)
+    return summarize(ratios)

@@ -1,0 +1,58 @@
+"""JSON persistence for figure data.
+
+CSV (``FigureData.to_csv``) is the interchange format for plotting;
+JSON round-trips the *complete* object including notes, so sweeps can be
+cached and reports regenerated without re-simulating.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .series import FigureData, Series
+
+_FORMAT_VERSION = 1
+
+
+def save_figure(fig: FigureData, path: Union[str, Path]) -> Path:
+    """Serialize a FigureData to JSON; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    doc = {
+        "format_version": _FORMAT_VERSION,
+        "figure_id": fig.figure_id,
+        "title": fig.title,
+        "x_label": fig.x_label,
+        "y_label": fig.y_label,
+        "notes": fig.notes,
+        "series": [
+            {"label": s.label, "x": s.x.tolist(), "y": s.y.tolist()}
+            for s in fig.series
+        ],
+    }
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=1)
+    return path
+
+
+def load_figure(path: Union[str, Path]) -> FigureData:
+    """Load a FigureData previously written by :func:`save_figure`."""
+    with open(path) as f:
+        doc = json.load(f)
+    version = doc.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported figure format version {version!r}")
+    fig = FigureData(
+        figure_id=doc["figure_id"],
+        title=doc["title"],
+        x_label=doc["x_label"],
+        y_label=doc["y_label"],
+        notes=dict(doc.get("notes", {})),
+    )
+    for s in doc["series"]:
+        fig.series.append(Series(s["label"], np.array(s["x"]), np.array(s["y"])))
+    return fig

@@ -1,0 +1,262 @@
+"""Command-line interface: regenerate any paper figure's data.
+
+Examples::
+
+    p3-repro fig7 --model vgg19
+    p3-repro fig9 --model sockeye
+    p3-repro fig11 --epochs 12
+    p3-repro summary
+    python -m repro.cli fig12 --model resnet50 --csv out/fig12a.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import analysis
+from .analysis import FigureData, ascii_plot
+from .models import available_models, get_model
+
+
+def _emit(fig: FigureData, args: argparse.Namespace, logx: bool = False) -> None:
+    print(fig.summary())
+    if getattr(args, "plot", False):
+        print()
+        print(ascii_plot(fig, logx=logx))
+    if getattr(args, "csv", None):
+        path = fig.to_csv(args.csv)
+        print(f"\nwrote {path}")
+
+
+def cmd_models(args: argparse.Namespace) -> None:
+    for name in available_models():
+        print(get_model(name).describe())
+        print()
+
+
+def cmd_fig4(args: argparse.Namespace) -> None:
+    out = analysis.fig4_schedule_comparison()
+    for name, o in out.items():
+        print(f"{name:10s} iteration={o.iteration_time:6.3f}s "
+              f"compute={o.compute_time:5.2f}s stall={o.stall_time:6.3f}s")
+    ratio = out["baseline"].stall_time / max(1e-9, out["p3"].stall_time)
+    print(f"priority scheduling cuts the inter-iteration delay {ratio:.1f}x")
+
+
+def cmd_fig5(args: argparse.Namespace) -> None:
+    fig = analysis.fig5_param_distribution()
+    for label in fig.labels:
+        s = fig.get(label)
+        stats = analysis.skew_statistics(label)
+        print(f"{label}: {int(stats['n_layers'])} arrays, "
+              f"{stats['total_mparams']:.1f}M params, "
+              f"largest array holds {stats['max_share'] * 100:.1f}%")
+    if args.csv:
+        print(f"wrote {fig.to_csv(args.csv)}")
+
+
+def cmd_fig6(args: argparse.Namespace) -> None:
+    out = analysis.fig6_granularity_comparison()
+    for name, o in out.items():
+        print(f"{name:18s} iteration={o.iteration_time:6.3f}s stall={o.stall_time:6.3f}s")
+    saved = 1 - out["sliced"].stall_time / out["layer_granularity"].stall_time
+    print(f"slicing reduces synchronization stall by {saved * 100:.0f}%")
+
+
+def cmd_fig7(args: argparse.Namespace) -> None:
+    fig = analysis.fig7_bandwidth_sweep(args.model, n_workers=args.workers,
+                                        iterations=args.iterations)
+    _emit(fig, args)
+
+
+def cmd_fig8(args: argparse.Namespace) -> None:
+    fig = analysis.fig8_baseline_utilization(args.model)
+    _emit(fig, args)
+
+
+def cmd_fig9(args: argparse.Namespace) -> None:
+    fig = analysis.fig9_p3_utilization(args.model)
+    _emit(fig, args)
+
+
+def cmd_fig10(args: argparse.Namespace) -> None:
+    fig = analysis.fig10_scalability(args.model, iterations=args.iterations)
+    _emit(fig, args)
+
+
+def cmd_fig11(args: argparse.Namespace) -> None:
+    fig = analysis.fig11_p3_vs_dgc(epochs=args.epochs)
+    _emit(fig, args)
+
+
+def cmd_fig12(args: argparse.Namespace) -> None:
+    fig = analysis.fig12_slice_size_sweep(args.model, iterations=args.iterations)
+    _emit(fig, args, logx=True)
+
+
+def cmd_fig13(args: argparse.Namespace) -> None:
+    _emit(analysis.fig13_tensorflow_utilization(), args)
+
+
+def cmd_fig14(args: argparse.Namespace) -> None:
+    _emit(analysis.fig14_poseidon_utilization(), args)
+
+
+def cmd_fig15(args: argparse.Namespace) -> None:
+    fig = analysis.fig15_asgd_vs_p3(epochs=args.epochs)
+    _emit(fig, args)
+
+
+def cmd_bounds(args: argparse.Namespace) -> None:
+    """Fluid-limit bounds and crossover bandwidths per model."""
+    from .analysis.bounds import (
+        baseline_crossover_gbps,
+        iteration_bounds,
+        p3_crossover_gbps,
+    )
+    model = get_model(args.model)
+    print(f"{model.name}: fluid-limit analysis ({args.workers} workers)")
+    print(f"  baseline overlap breaks below "
+          f"{baseline_crossover_gbps(model, args.workers):.2f} Gbps")
+    print(f"  even full overlap (P3) breaks below "
+          f"{p3_crossover_gbps(model, args.workers):.2f} Gbps")
+    for bw in (2.0, 4.0, 8.0, 16.0):
+        b = iteration_bounds(model, bw, args.workers)
+        print(f"  @{bw:4.1f} Gbps: compute {b.compute * 1000:7.1f} ms, "
+              f"wire {b.wire * 1000:7.1f} ms -> P3 >= {b.p3_bound * 1000:7.1f} ms, "
+              f"baseline >= {b.baseline_bound * 1000:7.1f} ms")
+
+
+def cmd_allreduce(args: argparse.Namespace) -> None:
+    """Extension: P3's principles on ring allreduce."""
+    from .allreduce import (
+        AllreduceConfig,
+        framework_bucketing,
+        priority_allreduce,
+        simulate_allreduce,
+        unsliced_priority_allreduce,
+    )
+    model = get_model(args.model)
+    cfg = AllreduceConfig(n_workers=args.workers)
+    base = None
+    for strat in (framework_bucketing(), unsliced_priority_allreduce(),
+                  priority_allreduce()):
+        r = simulate_allreduce(model, strat, cfg, iterations=args.iterations,
+                               warmup=1)
+        base = base or r
+        print(f"{strat.name:25s} {r.throughput / args.workers:8.1f} "
+              f"{model.sample_unit}/s/worker ({r.speedup_over(base):.2f}x)")
+
+
+def cmd_shared(args: argparse.Namespace) -> None:
+    """Extension: shared-cluster contention sweep."""
+    fig = analysis.shared_cluster_sweep(args.model, iterations=args.iterations)
+    _emit(fig, args)
+
+
+def cmd_trace(args: argparse.Namespace) -> None:
+    """Export a simulated run as a chrome://tracing JSON timeline."""
+    from .sim import ClusterConfig, export_chrome_trace, simulate
+    from .strategies import get_strategy
+    model = get_model(args.model)
+    cfg = ClusterConfig(n_workers=args.workers,
+                        bandwidth_gbps=args.bandwidth)
+    result = simulate(model, get_strategy(args.strategy), cfg,
+                      iterations=args.iterations, warmup=1,
+                      trace_utilization=True)
+    path = export_chrome_trace(result, args.out)
+    print(f"wrote {path} — open in chrome://tracing or ui.perfetto.dev")
+
+
+def cmd_sensitivity(args: argparse.Namespace) -> None:
+    """Robustness scan of the headline speedup across cost constants."""
+    fig = analysis.sensitivity_scan(args.model, iterations=args.iterations)
+    _emit(fig, args)
+    print(f"P3 speedup stays within "
+          f"[{fig.notes['min_speedup']:.2f}x, {fig.notes['max_speedup']:.2f}x] "
+          f"across all knob sweeps")
+
+
+def cmd_report(args: argparse.Namespace) -> None:
+    """Run the full evaluation and write a markdown report."""
+    from .analysis.report import generate_report
+    text = generate_report(quick=args.quick, progress=print)
+    with open(args.out, "w") as f:
+        f.write(text)
+    print(f"wrote {args.out}")
+
+
+def cmd_summary(args: argparse.Namespace) -> None:
+    """Headline numbers: peak P3 speedups (the abstract's 25/38/66%)."""
+    speedups = analysis.peak_speedups(iterations=args.iterations)
+    paper = {"resnet50": 1.25, "inceptionv3": 1.18, "vgg19": 1.66, "sockeye": 1.38}
+    print(f"{'model':>12}  {'P3 peak speedup':>16}  {'paper':>8}")
+    for model, s in speedups.items():
+        print(f"{model:>12}  {s:>15.2f}x  {paper.get(model, float('nan')):>7.2f}x")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="p3-repro",
+        description="Regenerate figures from the P3 paper (MLSys 2019).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add(name: str, fn, help_text: str, model_default: Optional[str] = None,
+            epochs: bool = False) -> argparse.ArgumentParser:
+        p = sub.add_parser(name, help=help_text)
+        p.set_defaults(fn=fn)
+        if model_default is not None:
+            p.add_argument("--model", default=model_default,
+                           choices=available_models())
+        p.add_argument("--workers", type=int, default=4)
+        p.add_argument("--iterations", type=int, default=5)
+        if epochs:
+            p.add_argument("--epochs", type=int, default=16)
+        p.add_argument("--csv", help="write the series to this CSV path")
+        p.add_argument("--plot", action="store_true", help="ASCII plot")
+        return p
+
+    add("models", cmd_models, "describe the model zoo")
+    add("fig4", cmd_fig4, "toy schedule: aggressive vs priority sync")
+    add("fig5", cmd_fig5, "parameter distributions")
+    add("fig6", cmd_fig6, "toy granularity comparison")
+    add("fig7", cmd_fig7, "bandwidth vs throughput", model_default="resnet50")
+    add("fig8", cmd_fig8, "baseline network utilization", model_default="resnet50")
+    add("fig9", cmd_fig9, "P3 network utilization", model_default="resnet50")
+    add("fig10", cmd_fig10, "scalability", model_default="resnet50")
+    add("fig11", cmd_fig11, "P3 vs DGC accuracy", epochs=True)
+    add("fig12", cmd_fig12, "slice-size sweep", model_default="resnet50")
+    add("fig13", cmd_fig13, "TensorFlow-style utilization")
+    add("fig14", cmd_fig14, "Poseidon WFBP utilization")
+    add("fig15", cmd_fig15, "ASGD vs P3 accuracy over time", epochs=True)
+    add("summary", cmd_summary, "peak P3 speedups across models")
+    add("bounds", cmd_bounds, "fluid-limit bounds and crossovers",
+        model_default="resnet50")
+    add("allreduce", cmd_allreduce, "P3 principles on ring allreduce",
+        model_default="vgg19")
+    add("shared", cmd_shared, "shared-cluster contention sweep",
+        model_default="resnet50")
+    add("sensitivity", cmd_sensitivity, "cost-constant robustness scan",
+        model_default="resnet50")
+    trace_p = add("trace", cmd_trace, "export a chrome://tracing timeline",
+                  model_default="resnet50")
+    trace_p.add_argument("--strategy", default="p3")
+    trace_p.add_argument("--bandwidth", type=float, default=4.0)
+    trace_p.add_argument("--out", dest="out", default="trace.json")
+    report_p = add("report", cmd_report, "full evaluation -> markdown report")
+    report_p.add_argument("--quick", action="store_true")
+    report_p.add_argument("--out", dest="out", default="report.md")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    args.fn(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

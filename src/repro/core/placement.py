@@ -1,0 +1,91 @@
+"""Key-to-server placement.
+
+Two schemes from the paper:
+
+* **KVStore sharding** (Section 4.1, the baseline): layers larger than a
+  threshold (10^6 parameters by default) are split equally among *all*
+  servers; smaller layers go whole to a pseudo-randomly chosen server.
+
+* **Round-robin slices** (Section 4.2, P3): after parameter slicing,
+  slices are dealt to servers in round-robin order, which balances load
+  at slice granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..models.base import BYTES_PER_PARAM, ModelSpec
+from .slicing import Slice
+
+KVSTORE_BIG_LAYER_THRESHOLD = 1_000_000
+
+
+@dataclass(frozen=True)
+class PlacedKey:
+    """A synchronization key bound to its parameter-server shard."""
+
+    key: int
+    layer_index: int
+    params: int
+    priority: int
+    server: int
+
+    @property
+    def bytes(self) -> int:
+        return self.params * BYTES_PER_PARAM
+
+
+def kvstore_sharding(
+    model: ModelSpec,
+    n_servers: int,
+    rng: np.random.Generator,
+    threshold: int = KVSTORE_BIG_LAYER_THRESHOLD,
+    priorities: Sequence[int] | None = None,
+) -> List[PlacedKey]:
+    """Baseline placement: one key per (layer, server-shard).
+
+    A layer above ``threshold`` parameters becomes ``n_servers`` keys of
+    equal size, one per server; a smaller layer becomes a single key on a
+    randomly chosen server.  Priorities default to forward order so the
+    same placement can be reused by priority-scheduling ablations; the
+    baseline's FIFO queues simply ignore them.
+    """
+    if n_servers <= 0:
+        raise ValueError("n_servers must be positive")
+    placed: List[PlacedKey] = []
+    key = 0
+    for idx, layer in enumerate(model.layers):
+        prio = priorities[idx] if priorities is not None else idx
+        if layer.params > threshold and n_servers > 1:
+            base, extra = divmod(layer.params, n_servers)
+            for s in range(n_servers):
+                size = base + (1 if s < extra else 0)
+                placed.append(PlacedKey(key, idx, size, prio, s))
+                key += 1
+        else:
+            server = int(rng.integers(n_servers))
+            placed.append(PlacedKey(key, idx, layer.params, prio, server))
+            key += 1
+    return placed
+
+
+def round_robin_placement(slices: Sequence[Slice], n_servers: int) -> List[PlacedKey]:
+    """P3 placement: deal slices to servers in round-robin order."""
+    if n_servers <= 0:
+        raise ValueError("n_servers must be positive")
+    return [
+        PlacedKey(s.key, s.layer_index, s.params, s.priority, i % n_servers)
+        for i, s in enumerate(slices)
+    ]
+
+
+def server_load(placed: Sequence[PlacedKey], n_servers: int) -> np.ndarray:
+    """Bytes assigned to each server — used to check load balance."""
+    load = np.zeros(n_servers, dtype=np.int64)
+    for p in placed:
+        load[p.server] += p.bytes
+    return load

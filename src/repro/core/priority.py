@@ -1,0 +1,69 @@
+"""Priority policies — the second of P3's two core mechanisms.
+
+The paper assigns each layer a priority equal to its forward-pass index
+(the first layer is needed first in the next iteration, so it is most
+urgent; lower value = higher priority).  The alternative policies here
+exist for the ablation benchmarks in DESIGN.md Section 6: they quantify
+how much of P3's benefit specifically comes from the consumption-order
+heuristic rather than from prioritization per se.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..models.base import ModelSpec
+
+
+def forward_order(model: ModelSpec) -> List[int]:
+    """The paper's policy: priority == forward index."""
+    return list(range(model.n_layers))
+
+
+def reverse_order(model: ModelSpec) -> List[int]:
+    """Anti-policy: final layers most urgent (mimics generation order)."""
+    n = model.n_layers
+    return [n - 1 - i for i in range(n)]
+
+
+def random_order(model: ModelSpec, rng: np.random.Generator) -> List[int]:
+    """Random priorities — the 'does any ordering help?' control."""
+    perm = rng.permutation(model.n_layers)
+    return [int(p) for p in perm]
+
+
+def uniform(model: ModelSpec) -> List[int]:
+    """All layers equal priority: priority queues degrade to FIFO."""
+    return [0] * model.n_layers
+
+
+def size_ascending(model: ModelSpec) -> List[int]:
+    """Smallest-layer-first (shortest-job-first analogue)."""
+    order = np.argsort(model.param_counts(), kind="stable")
+    prio = np.empty(model.n_layers, dtype=int)
+    prio[order] = np.arange(model.n_layers)
+    return [int(p) for p in prio]
+
+
+POLICIES = {
+    "forward": forward_order,
+    "reverse": reverse_order,
+    "uniform": uniform,
+    "size_ascending": size_ascending,
+}
+
+
+def make_priorities(model: ModelSpec, policy: str = "forward",
+                    rng: np.random.Generator | None = None) -> List[int]:
+    """Build per-layer priorities under the named policy."""
+    if policy == "random":
+        if rng is None:
+            raise ValueError("random policy requires an rng")
+        return random_order(model, rng)
+    try:
+        return POLICIES[policy](model)
+    except KeyError:
+        raise KeyError(f"unknown priority policy {policy!r}; "
+                       f"available: {sorted(POLICIES) + ['random']}") from None

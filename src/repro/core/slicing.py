@@ -1,0 +1,96 @@
+"""Parameter slicing — the first of P3's two core mechanisms (Section 4.2).
+
+P3Worker splits each layer's gradient array into slices of at most
+``max_slice_params`` parameters; each slice synchronizes independently
+and inherits its parent layer's priority.  The paper finds 50,000
+parameters per slice empirically optimal (Section 5.7), which is the
+default here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..models.base import BYTES_PER_PARAM, LayerSpec, ModelSpec
+
+DEFAULT_SLICE_PARAMS = 50_000
+
+
+@dataclass(frozen=True)
+class Slice:
+    """An independently synchronized chunk of one layer's parameters."""
+
+    key: int           # globally unique synchronization key
+    layer_index: int   # forward-pass index of the parent layer
+    part: int          # slice ordinal within the layer
+    n_parts: int       # total slices of the layer
+    params: int        # parameters in this slice
+    priority: int      # lower = more urgent (assigned by the priority policy)
+
+    def __post_init__(self) -> None:
+        if self.params <= 0:
+            raise ValueError("slice must contain at least one parameter")
+        if not (0 <= self.part < self.n_parts):
+            raise ValueError(f"part {self.part} out of range for {self.n_parts} parts")
+
+    @property
+    def bytes(self) -> int:
+        return self.params * BYTES_PER_PARAM
+
+
+def slice_layer(
+    layer: LayerSpec,
+    layer_index: int,
+    max_slice_params: int,
+    key_offset: int = 0,
+    priority: int | None = None,
+) -> List[Slice]:
+    """Split one layer into balanced slices of at most ``max_slice_params``.
+
+    Slices are balanced (sizes differ by at most one parameter) rather
+    than "full slices plus a remainder", matching how ps-lite range
+    partitioning carves arrays.
+    """
+    if max_slice_params <= 0:
+        raise ValueError("max_slice_params must be positive")
+    prio = layer_index if priority is None else priority
+    n_parts = max(1, -(-layer.params // max_slice_params))  # ceil division
+    base, extra = divmod(layer.params, n_parts)
+    slices = []
+    for part in range(n_parts):
+        size = base + (1 if part < extra else 0)
+        slices.append(
+            Slice(
+                key=key_offset + part,
+                layer_index=layer_index,
+                part=part,
+                n_parts=n_parts,
+                params=size,
+                priority=prio,
+            )
+        )
+    return slices
+
+
+def slice_model(
+    model: ModelSpec,
+    max_slice_params: int = DEFAULT_SLICE_PARAMS,
+    priorities: Sequence[int] | None = None,
+) -> List[Slice]:
+    """Slice every layer of ``model``; keys are dense and unique.
+
+    ``priorities`` optionally overrides the per-layer priority (used by
+    the ablation policies in :mod:`repro.core.priority`); by default the
+    forward index is the priority, per the paper.
+    """
+    if priorities is not None and len(priorities) != model.n_layers:
+        raise ValueError("priorities must have one entry per layer")
+    out: List[Slice] = []
+    key = 0
+    for idx, layer in enumerate(model.layers):
+        prio = priorities[idx] if priorities is not None else idx
+        layer_slices = slice_layer(layer, idx, max_slice_params, key_offset=key, priority=prio)
+        out.extend(layer_slices)
+        key += len(layer_slices)
+    return out

@@ -1,0 +1,131 @@
+"""Co-simulation: real training trajectories on simulated wall-clock.
+
+Couples the two substrates: the numpy harness supplies the *accuracy*
+trajectory of a sync method (exact / DGC / ASGD / local SGD), and the
+event simulator supplies per-iteration *wall-clock* for the matching
+transmission strategy on a chosen workload and network.  The result is
+an accuracy-over-time curve for each (method, strategy) system — the
+generalization of the paper's Figure 15 to every system it discusses.
+
+Pairings (value semantics ↔ timing semantics):
+
+| system | training method | timing strategy |
+|---|---|---|
+| baseline (MXNet) | exact | `strategies.baseline()` |
+| P3 | exact | `strategies.p3()` — same values, faster clock |
+| DGC | dgc | `strategies.dgc_timing(density)` |
+| ASGD | asgd | `strategies.asgd()` |
+
+Because iteration time is steady-state stationary, per-iteration
+durations are sampled from the simulator's measured distribution rather
+than a single mean, preserving jitter effects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..models.base import ModelSpec
+from ..sim import ClusterConfig, simulate
+from ..strategies import StrategyConfig
+from ..strategies import asgd as asgd_strategy
+from ..strategies import baseline as baseline_strategy
+from ..strategies import dgc_timing
+from ..strategies import p3 as p3_strategy
+from ..training import DGCConfig, Dataset, Network, TrainConfig, train_data_parallel
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """One end-to-end system: value semantics + transmission timing."""
+
+    name: str
+    method: str                  # repro.training sync rule
+    strategy: StrategyConfig     # repro.sim transmission strategy
+    dgc_config: Optional[DGCConfig] = None
+
+
+def paper_systems(dgc_density: float = 0.01) -> List[SystemSpec]:
+    """The four systems the paper compares, ready to co-simulate."""
+    return [
+        SystemSpec("baseline", "exact", baseline_strategy()),
+        SystemSpec("p3", "exact", p3_strategy()),
+        SystemSpec("dgc", "dgc", dgc_timing(min(0.5, dgc_density)),
+                   DGCConfig(density=dgc_density)),
+        SystemSpec("asgd", "asgd", asgd_strategy()),
+    ]
+
+
+@dataclass
+class CosimResult:
+    """Accuracy trajectory of one system on simulated wall-clock."""
+
+    system: str
+    val_accuracy: np.ndarray     # per epoch
+    epoch_end_times: np.ndarray  # seconds, cumulative simulated wall-clock
+    iteration_time_mean: float
+    steps_per_epoch: int
+
+    @property
+    def final_accuracy(self) -> float:
+        return float(self.val_accuracy[-1])
+
+    @property
+    def total_time(self) -> float:
+        return float(self.epoch_end_times[-1])
+
+    def time_to_accuracy(self, target: float) -> Optional[float]:
+        """First simulated time at which validation accuracy ≥ target."""
+        hits = np.nonzero(self.val_accuracy >= target)[0]
+        return float(self.epoch_end_times[hits[0]]) if len(hits) else None
+
+
+def cosimulate(
+    system: SystemSpec,
+    network: Network,
+    dataset: Dataset,
+    sim_model: ModelSpec,
+    cluster: ClusterConfig,
+    train_config: TrainConfig,
+    timing_iterations: int = 6,
+    timing_warmup: int = 2,
+) -> CosimResult:
+    """Run one system end to end: train for accuracy, simulate for time."""
+    timing = simulate(sim_model, system.strategy, cluster,
+                      iterations=timing_iterations, warmup=timing_warmup)
+    iter_times = np.asarray(timing.iteration_times, dtype=float)
+
+    result = train_data_parallel(network, dataset, train_config,
+                                 method=system.method,
+                                 dgc_config=system.dgc_config)
+    total_steps = result.steps_per_epoch * train_config.epochs
+    rng = np.random.default_rng(cluster.seed + 1)
+    sampled = rng.choice(iter_times, size=total_steps, replace=True)
+    cumulative = np.cumsum(sampled)
+    epoch_ends = cumulative[result.steps_per_epoch - 1::result.steps_per_epoch]
+    return CosimResult(
+        system=system.name,
+        val_accuracy=result.val_accuracy,
+        epoch_end_times=epoch_ends,
+        iteration_time_mean=float(iter_times.mean()),
+        steps_per_epoch=result.steps_per_epoch,
+    )
+
+
+def compare_systems(
+    systems: Sequence[SystemSpec],
+    network_factory: Callable[[], Network],
+    dataset: Dataset,
+    sim_model: ModelSpec,
+    cluster: ClusterConfig,
+    train_config: TrainConfig,
+) -> Dict[str, CosimResult]:
+    """Co-simulate several systems from identical initialization."""
+    out: Dict[str, CosimResult] = {}
+    for system in systems:
+        out[system.name] = cosimulate(system, network_factory(), dataset,
+                                      sim_model, cluster, train_config)
+    return out

@@ -1,0 +1,16 @@
+"""Functional KVStore data plane: real gradients through slicing,
+placement, aggregation and reassembly (the value-level counterpart of
+the timing simulator)."""
+
+from .server import ServerShard
+from .store import BaselineKVStore, DistributedStore, KeyMeta, P3Store
+from .trainer import train_with_store
+
+__all__ = [
+    "BaselineKVStore",
+    "DistributedStore",
+    "KeyMeta",
+    "P3Store",
+    "ServerShard",
+    "train_with_store",
+]

@@ -1,0 +1,116 @@
+"""Functional parameter-server shard operating on real numpy arrays.
+
+The timing simulator (:mod:`repro.sim`) models *when* bytes move; this
+package models *what* they contain.  A :class:`ServerShard` owns the
+authoritative values of its keys, buffers gradient pushes from each
+worker, and runs the optimizer once all workers contributed — exactly
+KVServer's contract (paper Section 4.1).
+
+Keys are opaque integers; the worker-side stores (:mod:`.baseline`,
+:mod:`.p3`) decide what a key means (a whole layer shard or a P3 slice).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+import numpy as np
+
+from ..training.optim import SGD
+
+
+class ServerShard:
+    """One PS shard: aggregation buffers + optimizer state for its keys."""
+
+    def __init__(self, server_id: int, n_workers: int, optimizer: SGD) -> None:
+        if n_workers <= 0:
+            raise ValueError("n_workers must be positive")
+        self.sid = server_id
+        self.n_workers = n_workers
+        self.optimizer = optimizer
+        self.values: Dict[int, np.ndarray] = {}
+        self._accum: Dict[int, np.ndarray] = {}
+        self._contributed: Dict[int, Set[int]] = {}
+        self.updates_applied = 0
+
+    # ------------------------------------------------------------------
+    def init_key(self, key: int, value: np.ndarray) -> None:
+        """Install the initial value of a key (flat fp64 array)."""
+        if key in self.values:
+            raise KeyError(f"key {key} already initialized on shard {self.sid}")
+        self.values[key] = np.array(value, dtype=np.float64).ravel()
+        self._accum[key] = np.zeros_like(self.values[key])
+        self._contributed[key] = set()
+
+    def push(self, worker: int, key: int, grad: np.ndarray) -> bool:
+        """Accumulate one worker's gradient for ``key``.
+
+        Returns True when this push completed the round (all workers
+        contributed) and the update was applied — the moment KVServer
+        would notify/broadcast.
+        """
+        if key not in self.values:
+            raise KeyError(f"key {key} not on shard {self.sid}")
+        if worker in self._contributed[key]:
+            raise RuntimeError(
+                f"worker {worker} pushed key {key} twice in one round")
+        grad = np.asarray(grad, dtype=np.float64).ravel()
+        if grad.shape != self.values[key].shape:
+            raise ValueError(
+                f"key {key}: gradient shape {grad.shape} != value shape "
+                f"{self.values[key].shape}")
+        self._accum[key] += grad
+        self._contributed[key].add(worker)
+        if len(self._contributed[key]) == self.n_workers:
+            self._apply_update(key)
+            return True
+        return False
+
+    def push_sparse(self, worker: int, key: int, indices: np.ndarray,
+                    values: np.ndarray) -> bool:
+        """Accumulate a sparse gradient contribution (DGC-style).
+
+        ``indices`` are key-local flat positions.  Returns True when the
+        round completed, as :meth:`push` does.
+        """
+        if key not in self.values:
+            raise KeyError(f"key {key} not on shard {self.sid}")
+        if worker in self._contributed[key]:
+            raise RuntimeError(
+                f"worker {worker} pushed key {key} twice in one round")
+        indices = np.asarray(indices, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        if indices.shape != values.shape:
+            raise ValueError("indices and values must have the same shape")
+        if indices.size and (indices.min() < 0
+                             or indices.max() >= self.values[key].size):
+            raise IndexError(f"sparse indices out of range for key {key}")
+        np.add.at(self._accum[key], indices, values)
+        self._contributed[key].add(worker)
+        if len(self._contributed[key]) == self.n_workers:
+            self._apply_update(key)
+            return True
+        return False
+
+    def _apply_update(self, key: int) -> None:
+        mean_grad = self._accum[key] / self.n_workers
+        # The optimizer works on named dicts; use the key as the name so
+        # per-key momentum buffers stay independent (as ps-lite's do).
+        self.optimizer.step({key: self.values[key]}, {key: mean_grad})
+        self._accum[key][...] = 0.0
+        self._contributed[key].clear()
+        self.updates_applied += 1
+
+    def pull(self, key: int) -> np.ndarray:
+        """Read the current value of a key (a copy, like a network reply)."""
+        if key not in self.values:
+            raise KeyError(f"key {key} not on shard {self.sid}")
+        return self.values[key].copy()
+
+    @property
+    def keys(self) -> List[int]:
+        return sorted(self.values)
+
+    @property
+    def total_params(self) -> int:
+        return sum(v.size for v in self.values.values())

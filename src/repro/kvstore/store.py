@@ -1,0 +1,233 @@
+"""Worker-facing distributed key-value stores (functional data plane).
+
+Two implementations of the same synchronous API:
+
+* :class:`BaselineKVStore` — MXNet KVStore semantics (Section 4.1):
+  one key per parameter array; arrays above 10^6 parameters are split
+  equally across all shards, smaller ones land on a random shard.
+* :class:`P3Store` — P3 semantics (Section 4.2): arrays are sliced into
+  at most ``slice_params`` parameters, slices are dealt round-robin to
+  shards and carry their layer's forward index as priority.
+
+Both move *real* numpy gradients: ``round()`` performs one synchronous
+iteration — every worker pushes every key, shards aggregate and update,
+workers pull and reassemble.  Because slicing, placement and priority
+only change *transmission order*, both stores must produce bit-identical
+parameters — the functional form of the paper's "P3 does not affect
+model convergence" (Section 5.6), which the test suite asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.placement import KVSTORE_BIG_LAYER_THRESHOLD
+from ..core.slicing import DEFAULT_SLICE_PARAMS
+from ..training.optim import SGD
+from .server import ServerShard
+
+
+@dataclass(frozen=True)
+class KeyMeta:
+    """Where one key's data lives: which array span, which shard."""
+
+    key: int
+    name: str        # parameter array name
+    start: int       # flat-index span within the array
+    stop: int
+    server: int
+    priority: int    # forward index of the owning array (lower = urgent)
+
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+
+class DistributedStore:
+    """Shared machinery: key planning, push/aggregate/pull, reassembly."""
+
+    def __init__(self, n_workers: int, n_servers: int,
+                 lr: float = 0.1, momentum: float = 0.9,
+                 weight_decay: float = 0.0, seed: int = 0) -> None:
+        if n_workers <= 0 or n_servers <= 0:
+            raise ValueError("n_workers and n_servers must be positive")
+        self.n_workers = n_workers
+        self.n_servers = n_servers
+        self._rng = np.random.default_rng(seed)
+        self.shards = [
+            ServerShard(s, n_workers, SGD(lr, momentum, weight_decay))
+            for s in range(n_servers)
+        ]
+        self.keys: List[KeyMeta] = []
+        self._shapes: Dict[str, Tuple[int, ...]] = {}
+        self._by_name: Dict[str, List[KeyMeta]] = {}
+        self._initialized = False
+
+    # ------------------------------------------------------------------
+    # Planning (overridden by subclasses)
+    # ------------------------------------------------------------------
+    def _plan_array(self, name: str, size: int, forward_index: int,
+                    next_key: int) -> List[KeyMeta]:
+        raise NotImplementedError
+
+    def init(self, params: Dict[str, np.ndarray]) -> None:
+        """Install initial parameters; dict order defines forward order."""
+        if self._initialized:
+            raise RuntimeError("store already initialized")
+        key = 0
+        for forward_index, (name, value) in enumerate(params.items()):
+            self._shapes[name] = value.shape
+            metas = self._plan_array(name, value.size, forward_index, key)
+            if sum(m.size for m in metas) != value.size:
+                raise AssertionError(f"plan for {name} does not cover the array")
+            flat = np.asarray(value, dtype=np.float64).ravel()
+            for m in metas:
+                self.shards[m.server].init_key(m.key, flat[m.start:m.stop])
+            self.keys.extend(metas)
+            self._by_name[name] = metas
+            key += len(metas)
+        self._initialized = True
+
+    # ------------------------------------------------------------------
+    # Synchronous round
+    # ------------------------------------------------------------------
+    def round(self, worker_grads: Sequence[Dict[str, np.ndarray]]) -> Dict[str, np.ndarray]:
+        """One iteration: all workers push all keys; returns new params.
+
+        ``worker_grads`` holds one ``{name: gradient}`` dict per worker.
+        """
+        self._check_ready()
+        if len(worker_grads) != self.n_workers:
+            raise ValueError(f"expected {self.n_workers} gradient dicts")
+        for grads in worker_grads:
+            if set(grads) != set(self._shapes):
+                raise KeyError("gradient names do not match initialized params")
+        for worker, grads in enumerate(worker_grads):
+            flats = {name: np.asarray(g, dtype=np.float64).ravel()
+                     for name, g in grads.items()}
+            for meta in self.transmission_order():
+                self.shards[meta.server].push(
+                    worker, meta.key, flats[meta.name][meta.start:meta.stop])
+        return self.pull_all()
+
+    def round_sparse(
+        self,
+        worker_sparse: Sequence[Dict[str, Tuple[np.ndarray, np.ndarray]]],
+    ) -> Dict[str, np.ndarray]:
+        """One iteration with DGC-style sparse pushes.
+
+        ``worker_sparse`` holds, per worker, ``{name: (indices, values)}``
+        with array-local flat indices (the output of
+        :meth:`repro.training.dgc.DGCCompressor.compress`).  Each
+        contribution is partitioned across the name's key spans, so
+        compression composes with slicing and sharding.
+        """
+        self._check_ready()
+        if len(worker_sparse) != self.n_workers:
+            raise ValueError(f"expected {self.n_workers} sparse dicts")
+        for worker, sparse in enumerate(worker_sparse):
+            if set(sparse) != set(self._shapes):
+                raise KeyError("sparse names do not match initialized params")
+            for meta in self.transmission_order():
+                idx, values = sparse[meta.name]
+                idx = np.asarray(idx, dtype=np.int64)
+                values = np.asarray(values, dtype=np.float64)
+                in_span = (idx >= meta.start) & (idx < meta.stop)
+                self.shards[meta.server].push_sparse(
+                    worker, meta.key, idx[in_span] - meta.start,
+                    values[in_span])
+        return self.pull_all()
+
+    def pull_all(self) -> Dict[str, np.ndarray]:
+        """Reassemble every parameter array from its shards."""
+        self._check_ready()
+        out: Dict[str, np.ndarray] = {}
+        for name, shape in self._shapes.items():
+            flat = np.empty(int(np.prod(shape)), dtype=np.float64)
+            for m in self._by_name[name]:
+                flat[m.start:m.stop] = self.shards[m.server].pull(m.key)
+            out[name] = flat.reshape(shape)
+        return out
+
+    def transmission_order(self) -> List[KeyMeta]:
+        """The order a worker would emit keys; FIFO generation order for
+        the baseline, priority order for P3.  Pure introspection for the
+        functional store — aggregation results cannot depend on it,
+        which is exactly why P3 is convergence-neutral."""
+        return self.keys
+
+    def set_lr(self, lr: float) -> None:
+        for shard in self.shards:
+            shard.optimizer.lr = lr
+
+    def _check_ready(self) -> None:
+        if not self._initialized:
+            raise RuntimeError("store not initialized; call init() first")
+
+    # ------------------------------------------------------------------
+    @property
+    def n_keys(self) -> int:
+        return len(self.keys)
+
+    def server_load(self) -> np.ndarray:
+        """Parameters per shard (load-balance introspection)."""
+        load = np.zeros(self.n_servers, dtype=np.int64)
+        for m in self.keys:
+            load[m.server] += m.size
+        return load
+
+
+class BaselineKVStore(DistributedStore):
+    """MXNet KVStore placement: whole arrays, threshold-split big ones."""
+
+    def __init__(self, *args, threshold: int = KVSTORE_BIG_LAYER_THRESHOLD,
+                 **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.threshold = threshold
+
+    def _plan_array(self, name: str, size: int, forward_index: int,
+                    next_key: int) -> List[KeyMeta]:
+        if size > self.threshold and self.n_servers > 1:
+            base, extra = divmod(size, self.n_servers)
+            metas, start = [], 0
+            for s in range(self.n_servers):
+                span = base + (1 if s < extra else 0)
+                metas.append(KeyMeta(next_key + s, name, start, start + span,
+                                     s, forward_index))
+                start += span
+            return metas
+        server = int(self._rng.integers(self.n_servers))
+        return [KeyMeta(next_key, name, 0, size, server, forward_index)]
+
+
+class P3Store(DistributedStore):
+    """P3 placement: balanced slices, round-robin shards, priorities."""
+
+    def __init__(self, *args, slice_params: int = DEFAULT_SLICE_PARAMS,
+                 **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if slice_params <= 0:
+            raise ValueError("slice_params must be positive")
+        self.slice_params = slice_params
+        self._rr = 0  # round-robin cursor across arrays, like P3Worker's
+
+    def _plan_array(self, name: str, size: int, forward_index: int,
+                    next_key: int) -> List[KeyMeta]:
+        n_parts = max(1, -(-size // self.slice_params))
+        base, extra = divmod(size, n_parts)
+        metas, start = [], 0
+        for part in range(n_parts):
+            span = base + (1 if part < extra else 0)
+            metas.append(KeyMeta(next_key + part, name, start, start + span,
+                                 self._rr % self.n_servers, forward_index))
+            self._rr += 1
+            start += span
+        return metas
+
+    def transmission_order(self) -> List[KeyMeta]:
+        """Priority order (stable): what the P3Worker consumer thread
+        would drain if every key were enqueued at once."""
+        return sorted(self.keys, key=lambda m: (m.priority, m.key))

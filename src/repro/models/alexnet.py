@@ -1,0 +1,42 @@
+"""AlexNet descriptor (Krizhevsky et al., 2012) — extension model.
+
+Not in the paper's evaluation, but the classic extreme of its Figure-5
+skew argument: two fully-connected arrays (fc6: 37.7 M, fc7: 16.8 M)
+hold ~89% of the 61 M parameters, with eight tiny convolutions in
+front.  Useful for stressing the slicing path beyond VGG-19's profile.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .base import LayerSpec, ModelSpec, conv_flops, conv_params, dense_flops
+
+# (kernel, cin, cout, out_hw) for the five convolutions.
+_CONVS = (
+    (11, 3, 64, 55),
+    (5, 64, 192, 27),
+    (3, 192, 384, 13),
+    (3, 384, 256, 13),
+    (3, 256, 256, 13),
+)
+
+
+def alexnet(batch_size: int = 64, samples_per_sec: float = 220.0) -> ModelSpec:
+    """Build the AlexNet descriptor (~61 M params, 89% in fc6+fc7)."""
+    layers: List[LayerSpec] = []
+    for i, (k, cin, cout, hw) in enumerate(_CONVS, start=1):
+        layers.append(LayerSpec(f"conv{i}_weight", conv_params(k, cin, cout),
+                                conv_flops(k, cin, cout, hw, hw)))
+        layers.append(LayerSpec(f"conv{i}_bias", cout, 0.0))
+    dims = ((256 * 6 * 6, 4096), (4096, 4096), (4096, 1000))
+    for i, (fin, fout) in enumerate(dims, start=6):
+        layers.append(LayerSpec(f"fc{i}_weight", fin * fout, dense_flops(fin, fout)))
+        layers.append(LayerSpec(f"fc{i}_bias", fout, 0.0))
+    return ModelSpec(
+        name="alexnet",
+        layers=tuple(layers),
+        batch_size=batch_size,
+        samples_per_sec=samples_per_sec,
+        sample_unit="images",
+    )

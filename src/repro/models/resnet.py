@@ -1,0 +1,77 @@
+"""ResNet descriptors (He et al., 2015).
+
+``resnet50`` reproduces Figure 5(a): ~161 parameter arrays, none larger
+than ~2.4 M parameters — the "uniformly small layers" case where P3's
+gains come from priority scheduling rather than slicing.
+
+``resnet110_cifar`` is the convergence-study model of Figures 11/15.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .base import LayerSpec, ModelSpec, conv_flops, conv_params, dense_flops
+
+
+def _conv_bn(layers: List[LayerSpec], name: str, k: int, cin: int, cout: int, hw: int) -> None:
+    layers.append(LayerSpec(f"{name}_weight", conv_params(k, cin, cout),
+                            conv_flops(k, cin, cout, hw, hw)))
+    layers.append(LayerSpec(f"{name}_bn_gamma", cout, 0.0))
+    layers.append(LayerSpec(f"{name}_bn_beta", cout, 0.0))
+
+
+def resnet50(batch_size: int = 32, samples_per_sec: float = 104.0) -> ModelSpec:
+    """ResNet-50 with bottleneck blocks [3, 4, 6, 3].
+
+    Each convolution contributes one weight array plus two batch-norm
+    arrays (gamma, beta) — KVStore keys every parameter array separately,
+    which is why Figure 5(a)'s layer-index axis runs to ~160.
+    """
+    layers: List[LayerSpec] = []
+    _conv_bn(layers, "conv1", 7, 3, 64, 112)
+
+    stage_blocks = (3, 4, 6, 3)
+    widths = (64, 128, 256, 512)
+    spatial = (56, 28, 14, 7)
+    cin = 64
+    for s, (blocks, w, hw) in enumerate(zip(stage_blocks, widths, spatial), start=1):
+        for b in range(blocks):
+            prefix = f"stage{s}_block{b}"
+            _conv_bn(layers, f"{prefix}_conv1x1a", 1, cin, w, hw)
+            _conv_bn(layers, f"{prefix}_conv3x3", 3, w, w, hw)
+            _conv_bn(layers, f"{prefix}_conv1x1b", 1, w, 4 * w, hw)
+            if b == 0:
+                _conv_bn(layers, f"{prefix}_downsample", 1, cin, 4 * w, hw)
+            cin = 4 * w
+    layers.append(LayerSpec("fc_weight", 2048 * 1000, dense_flops(2048, 1000)))
+    layers.append(LayerSpec("fc_bias", 1000, 0.0))
+    return ModelSpec(
+        name="resnet50",
+        layers=tuple(layers),
+        batch_size=batch_size,
+        samples_per_sec=samples_per_sec,
+        sample_unit="images",
+    )
+
+
+def resnet110_cifar(batch_size: int = 128, samples_per_sec: float = 900.0) -> ModelSpec:
+    """ResNet-110 for CIFAR-10: 3 stages x 18 basic blocks, widths 16/32/64."""
+    layers: List[LayerSpec] = []
+    _conv_bn(layers, "conv1", 3, 3, 16, 32)
+    cin = 16
+    for s, (w, hw) in enumerate(zip((16, 32, 64), (32, 16, 8)), start=1):
+        for b in range(18):
+            prefix = f"stage{s}_block{b}"
+            _conv_bn(layers, f"{prefix}_conv1", 3, cin, w, hw)
+            _conv_bn(layers, f"{prefix}_conv2", 3, w, w, hw)
+            cin = w
+    layers.append(LayerSpec("fc_weight", 64 * 10, dense_flops(64, 10)))
+    layers.append(LayerSpec("fc_bias", 10, 0.0))
+    return ModelSpec(
+        name="resnet110_cifar",
+        layers=tuple(layers),
+        batch_size=batch_size,
+        samples_per_sec=samples_per_sec,
+        sample_unit="images",
+    )

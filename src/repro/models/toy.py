@@ -1,0 +1,49 @@
+"""Toy models reproducing the paper's worked examples (Figures 4 and 6).
+
+These pair with :func:`repro.analysis.schedules` drivers that choose a
+bandwidth making "one sync = two compute units" (Fig 4) or "layer 2 is
+3x heavier" (Fig 6) hold exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .base import LayerSpec, ModelSpec
+
+
+def toy_model(
+    layer_params: Sequence[int] = (25_000, 25_000, 25_000),
+    batch_size: int = 6,
+    samples_per_sec: float = 1.0,
+    name: str = "toy3",
+) -> ModelSpec:
+    """A small N-layer model with equal per-layer compute.
+
+    With the defaults (and equal flops per layer), one iteration
+    computes for 6 s — i.e. forward = backward = 1 s per layer, the
+    paper's "one time unit" — so that a bandwidth of one layer per
+    second makes a full sync round trip cost two units, exactly the
+    Figure 4 setup.
+    """
+    layers = tuple(
+        LayerSpec(f"L{i + 1}", int(p), 1.0) for i, p in enumerate(layer_params)
+    )
+    return ModelSpec(
+        name=name,
+        layers=layers,
+        batch_size=batch_size,
+        samples_per_sec=samples_per_sec,
+        sample_unit="samples",
+        forward_fraction=0.5,  # paper's figures use fwd == bwd per layer
+    )
+
+
+def fig4_model() -> ModelSpec:
+    """Three equal layers (Figure 4): sync of each takes 2 compute units."""
+    return toy_model((25_000, 25_000, 25_000), name="toy_fig4")
+
+
+def fig6_model() -> ModelSpec:
+    """Figure 6: middle layer three times heavier than its neighbours."""
+    return toy_model((25_000, 75_000, 25_000), name="toy_fig6")

@@ -1,0 +1,67 @@
+"""Decoder-only transformer language model descriptor (extension).
+
+The paper predates transformer-dominated training, but its analysis
+applies directly: the token embedding is both huge and consumed first
+in the forward pass — the Sockeye situation (Figure 5c) at 10x scale —
+while the tied/untied LM head is huge and consumed last.  This builder
+lets the benchmarks ask how P3-style scheduling fares on a modern
+workload.
+
+Sizes follow GPT-2 small (117M params) by default.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .base import LayerSpec, ModelSpec, dense_flops
+
+
+def transformer_lm(
+    n_layers: int = 12,
+    d_model: int = 768,
+    vocab: int = 50_257,
+    seq: int = 1024,
+    batch_size: int = 8,
+    samples_per_sec: float = 12.0,
+    tied_head: bool = False,
+) -> ModelSpec:
+    """Build a GPT-2-style decoder-only transformer descriptor.
+
+    ``tied_head=True`` reuses the token embedding as the LM head (no
+    separate parameter array), the common memory optimization; untied is
+    the worst case for synchronization (two ~38M-param arrays at the two
+    ends of the forward pass).
+    """
+    if n_layers <= 0 or d_model <= 0:
+        raise ValueError("n_layers and d_model must be positive")
+    layers: List[LayerSpec] = [
+        LayerSpec("tok_embed", vocab * d_model, 2.0 * d_model * seq),
+        LayerSpec("pos_embed", seq * d_model, 0.0),
+    ]
+    for i in range(n_layers):
+        blk = f"block{i}"
+        entries = (
+            (f"{blk}_ln1", 2 * d_model, 0.0),
+            (f"{blk}_attn_qkv", d_model * 3 * d_model + 3 * d_model,
+             2.0 * 3 * d_model * d_model * seq),
+            (f"{blk}_attn_proj", d_model * d_model + d_model,
+             2.0 * d_model * d_model * seq),
+            (f"{blk}_ln2", 2 * d_model, 0.0),
+            (f"{blk}_mlp_fc", d_model * 4 * d_model + 4 * d_model,
+             2.0 * 4 * d_model * d_model * seq),
+            (f"{blk}_mlp_proj", 4 * d_model * d_model + d_model,
+             2.0 * 4 * d_model * d_model * seq),
+        )
+        layers.extend(LayerSpec(n, p, f) for n, p, f in entries)
+    layers.append(LayerSpec("ln_f", 2 * d_model, 0.0))
+    if not tied_head:
+        layers.append(LayerSpec("lm_head", d_model * vocab,
+                                dense_flops(d_model, vocab) * seq))
+    return ModelSpec(
+        name="transformer_lm" + ("_tied" if tied_head else ""),
+        layers=tuple(layers),
+        batch_size=batch_size,
+        samples_per_sec=samples_per_sec,
+        sample_unit="sequences",
+    )

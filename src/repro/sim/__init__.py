@@ -1,0 +1,44 @@
+"""Discrete-event cluster simulator: the paper's testbed substitute."""
+
+from .background import BackgroundTraffic
+from .chrome_trace import build_trace_events, export_chrome_trace
+from .cluster import ClusterConfig, ClusterSim, RunResult, simulate
+from .engine import EventHandle, SimulationError, Simulator
+from .network import (
+    Channel,
+    FifoQueue,
+    Message,
+    MsgKind,
+    PriorityQueue,
+    Role,
+    Transport,
+    gbps_to_bytes_per_s,
+    make_queue,
+)
+from .trace import IterationRecord, IterationTrace, UtilizationTrace, utilization_summary
+
+__all__ = [
+    "BackgroundTraffic",
+    "Channel",
+    "build_trace_events",
+    "export_chrome_trace",
+    "ClusterConfig",
+    "ClusterSim",
+    "EventHandle",
+    "FifoQueue",
+    "IterationRecord",
+    "IterationTrace",
+    "Message",
+    "MsgKind",
+    "PriorityQueue",
+    "Role",
+    "RunResult",
+    "SimulationError",
+    "Simulator",
+    "Transport",
+    "UtilizationTrace",
+    "gbps_to_bytes_per_s",
+    "make_queue",
+    "simulate",
+    "utilization_summary",
+]

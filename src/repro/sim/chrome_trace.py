@@ -1,0 +1,84 @@
+"""Chrome-tracing export of simulated timelines.
+
+Writes the ``chrome://tracing`` / Perfetto JSON event format so a run's
+compute segments and network transfers can be inspected visually — the
+closest equivalent to the timeline figures (4 and 6) the paper draws by
+hand.
+
+Usage::
+
+    result = simulate(model, p3(), cfg, trace_utilization=True)
+    export_chrome_trace(result, "trace.json")
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Union
+
+from .cluster import RunResult
+
+
+def _complete_event(name: str, cat: str, start: float, end: float,
+                    pid: int, tid: int, args=None) -> dict:
+    ev = {
+        "name": name,
+        "cat": cat,
+        "ph": "X",
+        "ts": start * 1e6,            # microseconds
+        "dur": max(0.0, (end - start) * 1e6),
+        "pid": pid,
+        "tid": tid,
+    }
+    if args:
+        ev["args"] = args
+    return ev
+
+
+def build_trace_events(result: RunResult) -> List[dict]:
+    """Assemble trace events from a run's iteration and channel records.
+
+    pid = machine; tid 0 = compute, tid 1 = NIC tx, tid 2 = NIC rx.
+    """
+    events: List[dict] = []
+    for rec in result.iterations.records:
+        pid = rec.worker
+        events.append(_complete_event(
+            f"forward[{rec.iteration}]", "compute",
+            rec.forward_start, rec.backward_start, pid, 0,
+            {"iteration": rec.iteration}))
+        events.append(_complete_event(
+            f"backward[{rec.iteration}]", "compute",
+            rec.backward_start, rec.backward_end, pid, 0,
+            {"iteration": rec.iteration}))
+        if rec.end > rec.backward_end:
+            events.append(_complete_event(
+                f"stall[{rec.iteration}]", "stall",
+                rec.backward_end, rec.end, pid, 0))
+    if result.utilization is not None:
+        tids = {"tx": 1, "rx": 2}
+        for t in result.utilization.records:
+            events.append(_complete_event(
+                f"{t.direction} {t.wire_bytes}B", "network",
+                t.start, t.end, t.machine, tids[t.direction],
+                {"bytes": t.wire_bytes}))
+    return events
+
+
+def export_chrome_trace(result: RunResult, path: Union[str, Path]) -> Path:
+    """Write the run as a Chrome-tracing JSON file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    doc = {
+        "traceEvents": build_trace_events(result),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "model": result.model_name,
+            "strategy": result.strategy_name,
+            "bandwidth_gbps": result.config.bandwidth_gbps,
+        },
+    }
+    with open(path, "w") as f:
+        json.dump(doc, f)
+    return path

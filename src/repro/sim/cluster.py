@@ -1,0 +1,279 @@
+"""Cluster assembly and the `simulate()` entry point.
+
+Reproduces the paper's deployment (Section 4.1/5.1): W worker machines,
+each colocating a parameter-server shard with the training process,
+connected by a full-duplex network whose per-interface rate models the
+``tc qdisc`` throttling of Section 5.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.placement import PlacedKey
+from ..models.base import ModelSpec
+from ..strategies.base import PullPolicy, StrategyConfig
+from .background import BackgroundTraffic
+from .engine import SimulationError, Simulator
+from .network import (
+    Channel,
+    Message,
+    MsgKind,
+    Role,
+    Transport,
+    gbps_to_bytes_per_s,
+    make_queue,
+)
+from .server import SimServerShard
+from .trace import IterationTrace, UtilizationTrace
+from .worker import SimWorker
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Hardware/deployment parameters of the simulated cluster.
+
+    Defaults model the paper's four-machine P4000 testbed with its
+    network throttled to ``bandwidth_gbps``.  ``compute_scale``
+    multiplies every model's calibrated compute rate (≈2.0 approximates
+    the AWS g3.4xlarge machines of the Section 5.5 scalability study).
+    """
+
+    n_workers: int = 4
+    n_servers: Optional[int] = None  # defaults to n_workers (paper Section 5.1)
+    bandwidth_gbps: float = 10.0
+    latency_s: float = 50e-6
+    loopback_latency_s: float = 5e-6
+    overhead_bytes: int = 64
+    per_message_cpu_s: float = 5e-6
+    update_bytes_per_s: float = 3e9  # CPU-side aggregation+SGD (ps-lite servers)
+    per_update_s: float = 10e-6      # fixed cost per update job (key lookup etc.)
+    compute_scale: float = 1.0
+    colocate_servers: bool = True    # paper runs one PS shard per worker machine
+    straggler_factors: Optional[Tuple[float, ...]] = None  # per-worker slowdown
+    background_load: float = 0.0     # fraction of NIC capacity used by other tenants
+    background_burst_bytes: int = 1_000_000
+    oversubscription: float = 1.0    # core:edge ratio; >1 adds a shared fabric hop
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_workers <= 0:
+            raise ValueError("n_workers must be positive")
+        if self.n_servers is not None:
+            if self.n_servers <= 0:
+                raise ValueError("n_servers must be positive")
+            if self.colocate_servers and self.n_servers > self.n_workers:
+                raise ValueError("colocated deployment needs n_servers <= n_workers")
+        if self.bandwidth_gbps <= 0:
+            raise ValueError("bandwidth_gbps must be positive")
+        if self.compute_scale <= 0:
+            raise ValueError("compute_scale must be positive")
+        if self.straggler_factors is not None:
+            if len(self.straggler_factors) != self.n_workers:
+                raise ValueError("need one straggler factor per worker")
+            if any(f <= 0 for f in self.straggler_factors):
+                raise ValueError("straggler factors must be positive")
+        if not (0.0 <= self.background_load < 1.0):
+            raise ValueError("background_load must be in [0, 1)")
+        if self.oversubscription < 1.0:
+            raise ValueError("oversubscription must be >= 1")
+
+    def straggler_factor(self, worker_id: int) -> float:
+        if self.straggler_factors is None:
+            return 1.0
+        return self.straggler_factors[worker_id]
+
+    @property
+    def servers(self) -> int:
+        return self.n_servers if self.n_servers is not None else self.n_workers
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated training run."""
+
+    model_name: str
+    strategy_name: str
+    config: ClusterConfig
+    throughput: float           # samples/s across the cluster
+    mean_iteration_time: float  # seconds, steady-state, worker 0
+    iteration_times: np.ndarray
+    iterations: IterationTrace
+    utilization: Optional[UtilizationTrace]
+    steady_start: float         # sim time when the measured window begins
+    steady_end: float
+    events_processed: int
+    per_worker_throughput: Dict[int, float] = field(default_factory=dict)
+
+    def speedup_over(self, other: "RunResult") -> float:
+        """Throughput ratio of this run over ``other``."""
+        return self.throughput / other.throughput
+
+
+class ClusterSim:
+    """Wires machines, transport, workers and PS shards together."""
+
+    def __init__(self, model: ModelSpec, strategy: StrategyConfig,
+                 config: ClusterConfig, trace_utilization: bool = False) -> None:
+        self.model = model
+        self.strategy = strategy
+        self.config = config
+        self.sim = Simulator()
+        self.n_workers = config.n_workers
+        self.n_servers = config.servers
+        rng = np.random.default_rng(config.seed)
+
+        self.placed: List[PlacedKey] = strategy.plan(model, self.n_servers, rng)
+        self.keys: Dict[int, PlacedKey] = {pk.key: pk for pk in self.placed}
+        self.keys_by_layer: List[List[PlacedKey]] = [[] for _ in model.layers]
+        for pk in self.placed:
+            self.keys_by_layer[pk.layer_index].append(pk)
+        for idx, keys in enumerate(self.keys_by_layer):
+            if not keys:
+                raise SimulationError(f"layer {idx} has no synchronization keys")
+
+        self.deferred_pull = strategy.pull_policy is PullPolicy.DEFERRED_PULL
+        self.utilization = UtilizationTrace() if trace_utilization else None
+        self.iterations = IterationTrace()
+
+        rate = gbps_to_bytes_per_s(config.bandwidth_gbps)
+        discipline = strategy.queue_discipline
+        self.n_machines = self.n_workers + (0 if config.colocate_servers else self.n_servers)
+        fabric = None
+        if config.oversubscription > 1.0:
+            # Shared core switch: aggregate edge bandwidth divided by the
+            # oversubscription ratio, FIFO (switches do not honour P3's
+            # end-host priorities).
+            fabric = Channel(self.sim, -1, "fabric",
+                             rate * self.n_machines / config.oversubscription,
+                             make_queue("fifo"), on_complete=lambda _m: None,
+                             overhead_bytes=config.overhead_bytes,
+                             per_message_cpu_s=0.0)
+        self.transport = Transport(self.sim, latency_s=config.latency_s,
+                                   loopback_latency_s=config.loopback_latency_s,
+                                   fabric=fabric)
+        self.tx_channels: List[Channel] = []
+        self.rx_channels: List[Channel] = []
+        for m in range(self.n_machines):
+            tx = Channel(self.sim, m, "tx", rate, make_queue(discipline),
+                         on_complete=lambda _m: None,
+                         overhead_bytes=config.overhead_bytes,
+                         per_message_cpu_s=config.per_message_cpu_s,
+                         trace=self.utilization)
+            # Receive order is arrival order regardless of strategy; P3's
+            # receiver-side prioritization lives in the server work queue.
+            rx = Channel(self.sim, m, "rx", rate, make_queue("fifo"),
+                         on_complete=lambda _m: None,
+                         overhead_bytes=config.overhead_bytes,
+                         per_message_cpu_s=config.per_message_cpu_s,
+                         trace=self.utilization)
+            self.tx_channels.append(tx)
+            self.rx_channels.append(rx)
+            self.transport.register(m, tx, rx, self._make_deliver(m))
+
+        self.workers = [SimWorker(self, w) for w in range(self.n_workers)]
+        self.servers = [SimServerShard(self, s) for s in range(self.n_servers)]
+        self._done_count = 0
+        self.background: Optional[BackgroundTraffic] = None
+        if config.background_load > 0:
+            self.background = BackgroundTraffic(
+                self, config.background_load, config.background_burst_bytes)
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def worker_machine(self, worker_id: int) -> int:
+        return worker_id
+
+    def server_machine(self, server_id: int) -> int:
+        if self.config.colocate_servers:
+            return server_id
+        return self.n_workers + server_id
+
+    def _make_deliver(self, machine: int):
+        def deliver(msg: Message) -> None:
+            if msg.kind is MsgKind.NOISE:
+                return  # background tenant traffic terminates here
+            if msg.dst_role is Role.WORKER:
+                self.workers[machine].on_message(msg)
+            else:
+                sid = machine if self.config.colocate_servers else machine - self.n_workers
+                self.servers[sid].on_message(msg)
+        return deliver
+
+    def on_worker_done(self, worker_id: int) -> None:
+        self._done_count += 1
+
+    @property
+    def all_workers_done(self) -> bool:
+        return self._done_count >= self.n_workers
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, iterations: int, warmup: int = 2,
+            max_events: Optional[int] = None) -> RunResult:
+        """Simulate ``iterations`` full iterations per worker and measure
+        throughput over the last ``iterations - warmup`` of them."""
+        if iterations <= warmup:
+            raise ValueError("iterations must exceed warmup")
+        for w in self.workers:
+            w.start(iterations)
+        if self.background is not None:
+            self.background.start()
+        self.sim.run(max_events=max_events)
+        if self._done_count < self.n_workers:
+            stuck = [w.wid for w in self.workers if not w.done]
+            raise SimulationError(
+                f"simulation stalled: workers {stuck} incomplete "
+                f"(strategy={self.strategy.name}, model={self.model.name}); "
+                f"likely a protocol deadlock"
+            )
+        per_worker: Dict[int, float] = {}
+        for w in range(self.n_workers):
+            times = self.iterations.iteration_times(worker=w, skip=warmup)
+            per_worker[w] = self.model.batch_size / float(times.mean())
+        iter_times = self.iterations.iteration_times(worker=0, skip=warmup)
+        mean_t = float(iter_times.mean())
+        recs = self.iterations.worker_iterations(0)
+        steady_start = recs[warmup].forward_start
+        steady_end = recs[-1].end
+        return RunResult(
+            model_name=self.model.name,
+            strategy_name=self.strategy.name,
+            config=self.config,
+            throughput=float(sum(per_worker.values())),
+            mean_iteration_time=mean_t,
+            iteration_times=iter_times,
+            iterations=self.iterations,
+            utilization=self.utilization,
+            steady_start=steady_start,
+            steady_end=steady_end,
+            events_processed=self.sim.events_processed,
+            per_worker_throughput=per_worker,
+        )
+
+
+def simulate(
+    model: ModelSpec,
+    strategy: StrategyConfig,
+    config: Optional[ClusterConfig] = None,
+    iterations: int = 6,
+    warmup: int = 2,
+    trace_utilization: bool = False,
+) -> RunResult:
+    """Run one distributed-training simulation end to end.
+
+    This is the primary entry point of the simulation substrate::
+
+        from repro import models, strategies, simulate
+        result = simulate(models.vgg19(), strategies.p3(),
+                          ClusterConfig(bandwidth_gbps=15))
+        print(result.throughput)
+    """
+    cfg = config or ClusterConfig()
+    sim = ClusterSim(model, strategy, cfg, trace_utilization=trace_utilization)
+    return sim.run(iterations=iterations, warmup=warmup)

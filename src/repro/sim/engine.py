@@ -1,0 +1,136 @@
+"""Discrete-event simulation engine.
+
+A minimal, deterministic event loop: entities schedule callbacks at
+absolute or relative simulated times, and :meth:`Simulator.run` executes
+them in time order.  Ties are broken by insertion sequence so that runs
+are exactly reproducible regardless of heap internals.
+
+The engine is deliberately free of any networking or ML concepts; the
+cluster model in :mod:`repro.sim.cluster` builds on top of it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation reaches an inconsistent state."""
+
+
+class EventHandle:
+    """Cancellable reference to a scheduled callback.
+
+    Cancellation is lazy: the heap entry stays in place and is skipped
+    when popped, which keeps :meth:`Simulator.cancel` O(1).
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., None], args: Tuple[Any, ...]):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time:.6f}, seq={self.seq}, {state})"
+
+
+class Simulator:
+    """Binary-heap event loop with a floating-point clock in seconds."""
+
+    def __init__(self) -> None:
+        self._heap: List[EventHandle] = []
+        self._seq = itertools.count()
+        self.now: float = 0.0
+        self._events_processed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self.now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` at the absolute simulated ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before current time t={self.now}"
+            )
+        handle = EventHandle(time, next(self._seq), fn, args)
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Cancel a previously scheduled event."""
+        handle.cancel()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still in the queue."""
+        return sum(1 for h in self._heap if not h.cancelled)
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event, or ``None`` if the queue is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Execute the single next event.  Returns False when none remain."""
+        while self._heap:
+            handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self.now = handle.time
+            self._events_processed += 1
+            handle.fn(*handle.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` have been processed.  Returns the final clock value.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run is not reentrant")
+        self._running = True
+        try:
+            processed = 0
+            while True:
+                if max_events is not None and processed >= max_events:
+                    break
+                nxt = self.peek_time()
+                if nxt is None:
+                    break
+                if until is not None and nxt > until:
+                    self.now = until
+                    break
+                self.step()
+                processed += 1
+        finally:
+            self._running = False
+        return self.now

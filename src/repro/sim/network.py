@@ -1,0 +1,291 @@
+"""Network substrate: messages, transmit queues, NIC channels, transport.
+
+The model follows the paper's deployment: every machine has one
+full-duplex NIC.  Each direction (TX / RX) is a rate-limited serializer
+("channel") that transmits one message at a time; the queue discipline of
+the channel is pluggable — FIFO for the MXNet baseline, a priority queue
+for P3 (the paper's producer/consumer thread pulling the highest-priority
+slice, Section 4.2).
+
+A remote transfer therefore experiences: sender TX serialization, link
+latency, then receiver RX serialization.  Because P3 slices are small
+(~200 KB) this store-and-forward model closely approximates a pipelined
+link, while still capturing the head-of-line blocking that whole-layer
+messages cause for the baseline — the effect P3 exists to remove.
+
+Per-message fixed costs (an envelope of ``overhead_bytes`` plus
+``per_message_cpu_s`` of serialization work at each endpoint) make very
+small slices expensive, which is what produces the interior optimum of
+the paper's Figure 12 slice-size sweep.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Deque, List, Optional, Tuple
+
+from .engine import SimulationError, Simulator
+
+
+class MsgKind(Enum):
+    """Protocol message types of the parameter-server protocol."""
+
+    PUSH = "push"          # worker -> server: gradient slice
+    PARAM = "param"        # server -> worker: updated parameters
+    NOTIFY = "notify"      # server -> worker: "key updated" (baseline KVStore)
+    PULL_REQ = "pull_req"  # worker -> server: request parameters
+    ACK = "ack"            # server -> worker: push received (credit flow control)
+    NOISE = "noise"        # background tenant traffic (shared clusters)
+
+
+class Role(Enum):
+    WORKER = "worker"
+    SERVER = "server"
+
+
+@dataclass
+class Message:
+    """One transfer unit on the simulated network.
+
+    ``priority`` follows the paper's convention: the forward-pass index of
+    the owning layer, so *lower is more urgent* (layer 0 is consumed first
+    in the next iteration).
+    """
+
+    kind: MsgKind
+    key: int
+    payload_bytes: int
+    priority: int
+    src: int                 # machine id
+    dst: int                 # machine id
+    dst_role: Role
+    sender_worker: int = -1  # worker id for PUSH / PULL_REQ bookkeeping
+    enqueue_time: float = field(default=-1.0)
+    deliver_time: float = field(default=-1.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Message({self.kind.value}, key={self.key}, prio={self.priority}, "
+            f"{self.src}->{self.dst}/{self.dst_role.value}, {self.payload_bytes}B)"
+        )
+
+
+# ----------------------------------------------------------------------
+# Queue disciplines
+# ----------------------------------------------------------------------
+class TxQueue:
+    """Interface for a channel's pending-message queue."""
+
+    def push(self, msg: Message) -> None:
+        raise NotImplementedError
+
+    def pop(self) -> Message:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class FifoQueue(TxQueue):
+    """First-come-first-served: the baseline's send order."""
+
+    def __init__(self) -> None:
+        self._q: Deque[Message] = deque()
+
+    def push(self, msg: Message) -> None:
+        self._q.append(msg)
+
+    def pop(self) -> Message:
+        return self._q.popleft()
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+
+class PriorityQueue(TxQueue):
+    """Priority order (lower value first); FIFO among equal priorities.
+
+    This is the P3Worker/P3Server producer-consumer queue of Section 4.2.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, Message]] = []
+        self._seq = itertools.count()
+
+    def push(self, msg: Message) -> None:
+        heapq.heappush(self._heap, (msg.priority, next(self._seq), msg))
+
+    def pop(self) -> Message:
+        return heapq.heappop(self._heap)[2]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+def make_queue(discipline: str) -> TxQueue:
+    """Factory for queue disciplines: ``"fifo"`` or ``"priority"``."""
+    if discipline == "fifo":
+        return FifoQueue()
+    if discipline == "priority":
+        return PriorityQueue()
+    raise ValueError(f"unknown queue discipline: {discipline!r}")
+
+
+# ----------------------------------------------------------------------
+# NIC channel
+# ----------------------------------------------------------------------
+TraceCallback = Callable[[int, str, float, float, int], None]
+"""(machine, direction, start, end, wire_bytes) -> None"""
+
+
+class Channel:
+    """A rate-limited serializer for one NIC direction of one machine.
+
+    Transmits one message at a time; occupancy per message is
+
+        (payload + overhead_bytes) * 8 / rate + per_message_cpu_s
+
+    Messages that arrive while the channel is busy wait in the queue; the
+    in-flight message is never preempted (P3's consumer thread uses
+    blocking sends — preemption happens between slices, not within one).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        machine: int,
+        direction: str,
+        rate_bytes_per_s: Optional[float],
+        queue: TxQueue,
+        on_complete: Callable[[Message], None],
+        overhead_bytes: int = 64,
+        per_message_cpu_s: float = 0.0,
+        trace: Optional[TraceCallback] = None,
+    ) -> None:
+        if rate_bytes_per_s is not None and rate_bytes_per_s <= 0:
+            raise ValueError("rate_bytes_per_s must be positive (or None for infinite)")
+        self.sim = sim
+        self.machine = machine
+        self.direction = direction
+        self.rate = rate_bytes_per_s
+        self.queue = queue
+        self.on_complete = on_complete
+        self.overhead_bytes = overhead_bytes
+        self.per_message_cpu_s = per_message_cpu_s
+        self.trace = trace
+        self.busy = False
+        self.bytes_transferred = 0
+        self.messages_transferred = 0
+        self.busy_time = 0.0
+
+    def occupancy(self, msg: Message) -> float:
+        """Seconds this channel is occupied transmitting ``msg``."""
+        wire_bytes = msg.payload_bytes + self.overhead_bytes
+        if self.rate is None:
+            return self.per_message_cpu_s
+        return wire_bytes / self.rate + self.per_message_cpu_s
+
+    def enqueue(self, msg: Message) -> None:
+        self.queue.push(msg)
+        if not self.busy:
+            self._start_next()
+
+    def _start_next(self) -> None:
+        if self.busy:
+            raise SimulationError("channel started while busy")
+        if len(self.queue) == 0:
+            return
+        msg = self.queue.pop()
+        self.busy = True
+        dur = self.occupancy(msg)
+        wire_bytes = msg.payload_bytes + self.overhead_bytes
+        if self.trace is not None:
+            self.trace(self.machine, self.direction, self.sim.now, self.sim.now + dur, wire_bytes)
+        self.bytes_transferred += wire_bytes
+        self.messages_transferred += 1
+        self.busy_time += dur
+        self.sim.schedule(dur, self._finish, msg)
+
+    def _finish(self, msg: Message) -> None:
+        self.busy = False
+        self.on_complete(msg)
+        if len(self.queue) > 0:
+            self._start_next()
+
+
+# ----------------------------------------------------------------------
+# Transport: wires machine channels together
+# ----------------------------------------------------------------------
+class Transport:
+    """Moves messages between machines via their TX/RX channels.
+
+    Local traffic (worker and its colocated PS shard on the same machine)
+    bypasses the NIC — ps-lite sends to self over loopback, which is not
+    bandwidth-constrained — and is delivered after ``loopback_latency_s``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency_s: float = 50e-6,
+        loopback_latency_s: float = 5e-6,
+        fabric: Optional[Channel] = None,
+    ) -> None:
+        self.sim = sim
+        self.latency_s = latency_s
+        self.loopback_latency_s = loopback_latency_s
+        self._tx: dict = {}
+        self._rx: dict = {}
+        self._deliver: dict = {}
+        # Optional shared core fabric: when set, all inter-machine
+        # traffic serializes through it (oversubscribed switch model).
+        self.fabric = fabric
+        if fabric is not None:
+            fabric.on_complete = self._on_fabric_done
+
+    def register(
+        self,
+        machine: int,
+        tx: Channel,
+        rx: Channel,
+        deliver: Callable[[Message], None],
+    ) -> None:
+        self._tx[machine] = tx
+        self._rx[machine] = rx
+        self._deliver[machine] = deliver
+        tx.on_complete = self._on_tx_done
+        rx.on_complete = self._on_rx_done
+
+    def send(self, msg: Message) -> None:
+        msg.enqueue_time = self.sim.now
+        if msg.src == msg.dst:
+            self.sim.schedule(self.loopback_latency_s, self._local_deliver, msg)
+        else:
+            self._tx[msg.src].enqueue(msg)
+
+    def _on_tx_done(self, msg: Message) -> None:
+        if msg.kind is MsgKind.NOISE:
+            return  # background traffic terminates at the wire
+        if self.fabric is not None:
+            self.fabric.enqueue(msg)
+        else:
+            self.sim.schedule(self.latency_s, self._rx[msg.dst].enqueue, msg)
+
+    def _on_fabric_done(self, msg: Message) -> None:
+        self.sim.schedule(self.latency_s, self._rx[msg.dst].enqueue, msg)
+
+    def _on_rx_done(self, msg: Message) -> None:
+        self._local_deliver(msg)
+
+    def _local_deliver(self, msg: Message) -> None:
+        msg.deliver_time = self.sim.now
+        self._deliver[msg.dst](msg)
+
+
+def gbps_to_bytes_per_s(gbps: float) -> float:
+    """Convert link rate in Gbit/s to bytes/s."""
+    return gbps * 1e9 / 8.0

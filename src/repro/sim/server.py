@@ -1,0 +1,190 @@
+"""Simulated parameter-server shard (KVServer / P3Server).
+
+One shard per hosting machine.  A shard:
+
+1. collects gradient pushes for each of its keys (all W workers under
+   synchronous SGD; every individual push under ASGD);
+2. runs aggregation + SGD update jobs through a single consumer —
+   FIFO for KVServer, priority-ordered for P3Server (Section 4.2's
+   receiver-side producer/consumer queue);
+3. returns parameters per the strategy's pull policy: immediate
+   broadcast (P3 — the paper removed notify/pull round trips), notify
+   then explicit pull (MXNet KVStore), or deferred pull (TensorFlow).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Dict, List, Set, Tuple
+
+from ..strategies.base import PullPolicy
+from .network import Message, MsgKind, Role
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.placement import PlacedKey
+    from .cluster import ClusterSim
+
+
+class SimServerShard:
+    """State machine for one PS shard's aggregation/update pipeline."""
+
+    def __init__(self, ctx: "ClusterSim", server_id: int) -> None:
+        self.ctx = ctx
+        self.sid = server_id
+        self.machine = ctx.server_machine(server_id)
+        self.keys: Dict[int, "PlacedKey"] = {
+            pk.key: pk for pk in ctx.placed if pk.server == server_id
+        }
+        self.push_count: Dict[int, int] = {k: 0 for k in self.keys}
+        # DEFERRED_PULL bookkeeping: which workers' pulls are parked, and
+        # whether the current round's update has completed.
+        self.pulls_waiting: Dict[int, Set[int]] = {k: set() for k in self.keys}
+        self.params_available: Dict[int, bool] = {k: False for k in self.keys}
+        self.replies_sent: Dict[int, int] = {k: 0 for k in self.keys}
+
+        self.prioritized = ctx.strategy.prioritized
+        self._fifo: Deque[Tuple[int, List[int]]] = deque()
+        self._heap: List[Tuple[int, int, int, List[int]]] = []
+        self._seq = itertools.count()
+        self.busy = False
+        self.updates_done = 0
+        self.update_busy_time = 0.0
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def on_message(self, msg: Message) -> None:
+        if msg.kind is MsgKind.PUSH:
+            self._on_push(msg)
+        elif msg.kind is MsgKind.PULL_REQ:
+            self._on_pull(msg)
+        else:  # pragma: no cover - protocol violation
+            raise RuntimeError(f"server received unexpected {msg}")
+
+    def _on_push(self, msg: Message) -> None:
+        key = msg.key
+        if key not in self.keys:  # pragma: no cover - placement bug guard
+            raise RuntimeError(f"key {key} pushed to wrong shard {self.sid}")
+        if self.ctx.strategy.credit_slices is not None:
+            # Credit flow control acknowledges *receipt* (transport
+            # level), never aggregation: an update-level ack would
+            # deadlock — a worker's credit window can fill with keys its
+            # peers have reprioritized behind their own windows.
+            self._send_control(MsgKind.ACK, key, msg.sender_worker)
+        if self.ctx.strategy.async_updates:
+            # ASGD: apply this worker's gradient immediately; only the
+            # pushing worker gets fresh parameters back.
+            self._enqueue_job(key, [msg.sender_worker], n_contribs=1)
+            return
+        self.push_count[key] += 1
+        if self.push_count[key] == 1:
+            # First push of a new round invalidates last round's values.
+            self.params_available[key] = False
+            self.replies_sent[key] = 0
+        if self.push_count[key] == self.ctx.n_workers:
+            self.push_count[key] = 0
+            self._enqueue_job(key, list(range(self.ctx.n_workers)),
+                              n_contribs=self.ctx.n_workers)
+
+    def _on_pull(self, msg: Message) -> None:
+        policy = self.ctx.strategy.pull_policy
+        if policy is PullPolicy.NOTIFY_PULL or self.ctx.strategy.async_updates:
+            # The worker only pulls after our notify, so the update is
+            # guaranteed complete: reply immediately.
+            self._send_param(msg.key, msg.sender_worker)
+        elif policy is PullPolicy.DEFERRED_PULL:
+            if self.params_available[msg.key]:
+                self._reply_deferred(msg.key, msg.sender_worker)
+            else:
+                self.pulls_waiting[msg.key].add(msg.sender_worker)
+        else:  # pragma: no cover - broadcast strategies never pull
+            raise RuntimeError(f"unexpected pull under {policy}")
+
+    # ------------------------------------------------------------------
+    # Update pipeline (the single consumer thread of Section 4.2)
+    # ------------------------------------------------------------------
+    def _enqueue_job(self, key: int, recipients: List[int], n_contribs: int) -> None:
+        self._queue_push(key, recipients, n_contribs)
+        if not self.busy:
+            self._next_job()
+
+    def _queue_push(self, key: int, recipients: List[int], n_contribs: int) -> None:
+        if self.prioritized:
+            heapq.heappush(self._heap, (self.keys[key].priority, next(self._seq),
+                                        key, recipients, n_contribs))
+        else:
+            self._fifo.append((key, recipients, n_contribs))
+
+    def _queue_pop(self) -> Tuple[int, List[int], int]:
+        if self.prioritized:
+            _, _, key, recipients, n_contribs = heapq.heappop(self._heap)
+            return key, recipients, n_contribs
+        return self._fifo.popleft()
+
+    def _queue_len(self) -> int:
+        return len(self._heap) if self.prioritized else len(self._fifo)
+
+    def _next_job(self) -> None:
+        key, recipients, n_contribs = self._queue_pop()
+        self.busy = True
+        pk = self.keys[key]
+        dur = (pk.bytes * n_contribs / self.ctx.config.update_bytes_per_s
+               + self.ctx.config.per_update_s)
+        self.update_busy_time += dur
+        self.ctx.sim.schedule(dur, self._job_done, key, recipients)
+
+    def _job_done(self, key: int, recipients: List[int]) -> None:
+        self.busy = False
+        self.updates_done += 1
+        self._dispatch(key, recipients)
+        if self._queue_len() > 0:
+            self._next_job()
+
+    # ------------------------------------------------------------------
+    # Returning parameters
+    # ------------------------------------------------------------------
+    def _dispatch(self, key: int, recipients: List[int]) -> None:
+        policy = self.ctx.strategy.pull_policy
+        if self.ctx.strategy.async_updates:
+            # ASGD replies directly to the pushing worker.
+            for w in recipients:
+                self._send_param(key, w)
+        elif policy is PullPolicy.BROADCAST:
+            for w in recipients:
+                self._send_param(key, w)
+        elif policy is PullPolicy.NOTIFY_PULL:
+            for w in recipients:
+                self._send_control(MsgKind.NOTIFY, key, w)
+        elif policy is PullPolicy.DEFERRED_PULL:
+            self.params_available[key] = True
+            waiting = sorted(self.pulls_waiting[key])
+            self.pulls_waiting[key].clear()
+            for w in waiting:
+                self._reply_deferred(key, w)
+
+    def _reply_deferred(self, key: int, worker: int) -> None:
+        self._send_param(key, worker)
+        self.replies_sent[key] += 1
+        if self.replies_sent[key] >= self.ctx.n_workers:
+            # Every worker consumed this round; next round starts clean.
+            self.params_available[key] = False
+            self.replies_sent[key] = 0
+
+    def _send_param(self, key: int, worker: int) -> None:
+        pk = self.keys[key]
+        payload = max(1, int(pk.bytes * self.ctx.strategy.param_scale))
+        self.ctx.transport.send(Message(
+            kind=MsgKind.PARAM, key=key, payload_bytes=payload,
+            priority=pk.priority, src=self.machine,
+            dst=self.ctx.worker_machine(worker), dst_role=Role.WORKER,
+        ))
+
+    def _send_control(self, kind: MsgKind, key: int, worker: int) -> None:
+        pk = self.keys[key]
+        self.ctx.transport.send(Message(
+            kind=kind, key=key, payload_bytes=0,
+            priority=pk.priority, src=self.machine,
+            dst=self.ctx.worker_machine(worker), dst_role=Role.WORKER,
+        ))

@@ -1,0 +1,155 @@
+"""Traffic and iteration tracing.
+
+:class:`UtilizationTrace` reproduces the paper's measurement methodology
+(Section 5.4): interface-level byte counters sampled in 10 ms bins, as
+produced by ``bwm-ng``, converted to Gbit/s.  :class:`IterationTrace`
+records per-worker iteration boundaries from which throughput is derived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+
+@dataclass
+class TransmissionRecord:
+    machine: int
+    direction: str  # "tx" | "rx"
+    start: float
+    end: float
+    wire_bytes: int
+
+
+class UtilizationTrace:
+    """Collects channel transmissions and bins them bwm-ng style."""
+
+    def __init__(self) -> None:
+        self.records: List[TransmissionRecord] = []
+        self.enabled = True
+
+    def __call__(self, machine: int, direction: str, start: float, end: float, wire_bytes: int) -> None:
+        if self.enabled:
+            self.records.append(TransmissionRecord(machine, direction, start, end, wire_bytes))
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def total_bytes(self, machine: int, direction: str) -> int:
+        return sum(r.wire_bytes for r in self.records
+                   if r.machine == machine and r.direction == direction)
+
+    def series(
+        self,
+        machine: int,
+        direction: str,
+        bin_s: float = 0.01,
+        t_start: float = 0.0,
+        t_end: float | None = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(bin_times_s, usage_gbps)`` for one machine/direction.
+
+        Each transmission's bytes are spread uniformly over its active
+        interval, then accumulated into ``bin_s``-wide bins — the same
+        semantics as an interface byte counter polled every ``bin_s``.
+        """
+        recs = [r for r in self.records if r.machine == machine and r.direction == direction]
+        if t_end is None:
+            t_end = max((r.end for r in recs), default=t_start + bin_s)
+        n_bins = max(1, int(np.ceil((t_end - t_start) / bin_s)))
+        usage = np.zeros(n_bins)
+        for r in recs:
+            if r.end <= t_start or r.start >= t_end:
+                continue
+            duration = r.end - r.start
+            rate = r.wire_bytes / duration if duration > 0 else 0.0
+            lo = max(r.start, t_start)
+            hi = min(r.end, t_end)
+            first = int((lo - t_start) / bin_s)
+            last = int(np.ceil((hi - t_start) / bin_s))
+            for b in range(first, min(last, n_bins)):
+                blo = t_start + b * bin_s
+                bhi = blo + bin_s
+                overlap = max(0.0, min(hi, bhi) - max(lo, blo))
+                if duration > 0:
+                    usage[b] += rate * overlap
+                elif blo <= r.start < bhi:
+                    usage[b] += r.wire_bytes
+        times = t_start + (np.arange(n_bins) + 0.5) * bin_s
+        gbps = usage * 8.0 / bin_s / 1e9
+        return times, gbps
+
+    def idle_fraction(
+        self, machine: int, direction: str, t_start: float, t_end: float, bin_s: float = 0.01,
+        idle_threshold_gbps: float = 0.01,
+    ) -> float:
+        """Fraction of bins in [t_start, t_end) with usage below threshold."""
+        _, gbps = self.series(machine, direction, bin_s=bin_s, t_start=t_start, t_end=t_end)
+        if len(gbps) == 0:
+            return 1.0
+        return float(np.mean(gbps < idle_threshold_gbps))
+
+    def peak_gbps(self, machine: int, direction: str, bin_s: float = 0.01) -> float:
+        _, gbps = self.series(machine, direction, bin_s=bin_s)
+        return float(gbps.max()) if len(gbps) else 0.0
+
+
+@dataclass
+class IterationRecord:
+    worker: int
+    iteration: int
+    forward_start: float
+    backward_start: float
+    backward_end: float
+    end: float  # == next iteration's forward_start
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.forward_start
+
+    @property
+    def compute_time(self) -> float:
+        return self.backward_end - self.forward_start
+
+    @property
+    def stall_time(self) -> float:
+        """Time between finishing backprop and starting the next forward —
+        the "Delay" annotated in the paper's Figure 4 plus any in-forward
+        stalls are reflected in ``duration - compute_time``."""
+        return self.duration - self.compute_time
+
+
+@dataclass
+class IterationTrace:
+    records: List[IterationRecord] = field(default_factory=list)
+
+    def add(self, rec: IterationRecord) -> None:
+        self.records.append(rec)
+
+    def worker_iterations(self, worker: int) -> List[IterationRecord]:
+        return sorted((r for r in self.records if r.worker == worker),
+                      key=lambda r: r.iteration)
+
+    def iteration_times(self, worker: int = 0, skip: int = 0) -> np.ndarray:
+        recs = self.worker_iterations(worker)[skip:]
+        return np.array([r.duration for r in recs])
+
+    def mean_iteration_time(self, worker: int = 0, skip: int = 0) -> float:
+        times = self.iteration_times(worker, skip)
+        if len(times) == 0:
+            raise ValueError("no iterations recorded after skip")
+        return float(times.mean())
+
+
+def utilization_summary(trace: UtilizationTrace, machine: int,
+                        t_start: float, t_end: float, bin_s: float = 0.01) -> Dict[str, float]:
+    """Convenience: peak/mean/idle for both directions of one machine."""
+    out: Dict[str, float] = {}
+    for direction in ("tx", "rx"):
+        _, gbps = trace.series(machine, direction, bin_s=bin_s, t_start=t_start, t_end=t_end)
+        out[f"{direction}_peak_gbps"] = float(gbps.max()) if len(gbps) else 0.0
+        out[f"{direction}_mean_gbps"] = float(gbps.mean()) if len(gbps) else 0.0
+        out[f"{direction}_idle_frac"] = float(np.mean(gbps < 0.01)) if len(gbps) else 1.0
+    return out

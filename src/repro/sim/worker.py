@@ -1,0 +1,219 @@
+"""Simulated training worker.
+
+Models one machine's training process: a strictly sequential compute
+timeline (forward layer by layer, then backward in reverse) interleaved
+with the synchronization protocol chosen by the strategy:
+
+* when a layer's backward segment completes, that layer's gradient keys
+  are handed to the NIC TX queue (aggressive sync — all strategies);
+* a forward layer of the *next* iteration cannot start until every one
+  of that layer's keys has come back from the servers — this is the
+  consumption-side dependency P3 exploits (paper Figure 1).
+
+The worker is intentionally oblivious to queue disciplines: priority
+vs. FIFO lives entirely in the NIC channels and the server work queue.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from .network import Message, MsgKind, Role
+from .trace import IterationRecord
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .cluster import ClusterSim
+
+
+class SimWorker:
+    """State machine for one worker's compute/communication timeline."""
+
+    def __init__(self, ctx: "ClusterSim", worker_id: int) -> None:
+        self.ctx = ctx
+        self.wid = worker_id
+        self.machine = worker_id
+        model = ctx.model
+        scale = ctx.config.compute_scale
+        self.fwd_times = model.forward_times(scale)
+        self.bwd_times = model.backward_times(scale)
+        self.n_layers = model.n_layers
+        self.keys_by_layer = ctx.keys_by_layer
+        self.keys_per_layer = np.array([len(k) for k in self.keys_by_layer])
+
+        self.iteration = 0
+        self.target_iterations = 0
+        self.done = False
+        # Keys received for the in-flight sync round of each layer.  The
+        # first forward pass consumes the initial parameter broadcast,
+        # which we treat as already complete.
+        self.params_arrived = self.keys_per_layer.copy()
+        # MXNet only issues a layer's pull requests once notifications
+        # for ALL of its keys arrived (Section 4.2 — the behaviour P3
+        # removed); track notify counts per layer.
+        self.notifies_arrived = np.zeros(self.n_layers, dtype=int)
+        # ByteScheduler-style credit flow control: at most
+        # ``credit_slices`` pushed-but-unacknowledged keys in flight.
+        self.credit = ctx.strategy.credit_slices
+        self._outstanding = 0
+        self._push_backlog: list = []  # heap of (priority, seq, PlacedKey)
+        self._push_seq = 0
+        self.fwd_layer = 0
+        self.bwd_layer = -1
+        self.waiting_forward = False
+        self._jitter_mult = 1.0
+        self._rng = np.random.default_rng(ctx.config.seed * 7919 + worker_id + 1)
+        self._record: IterationRecord | None = None
+
+    # ------------------------------------------------------------------
+    # Iteration lifecycle
+    # ------------------------------------------------------------------
+    def start(self, target_iterations: int) -> None:
+        self.target_iterations = target_iterations
+        self._begin_iteration()
+
+    def _begin_iteration(self) -> None:
+        now = self.ctx.sim.now
+        if self._record is not None:
+            self._record.end = now
+            self.ctx.iterations.add(self._record)
+        if self.iteration >= self.target_iterations:
+            self.done = True
+            self.ctx.on_worker_done(self.wid)
+            return
+        sigma = self.ctx.model.jitter_sigma
+        jitter = float(np.exp(self._rng.normal(0.0, sigma))) if sigma > 0 else 1.0
+        self._jitter_mult = jitter * self.ctx.config.straggler_factor(self.wid)
+        self._record = IterationRecord(
+            worker=self.wid, iteration=self.iteration,
+            forward_start=now, backward_start=-1.0, backward_end=-1.0, end=-1.0,
+        )
+        self.fwd_layer = 0
+        self._try_forward_layer()
+
+    # ------------------------------------------------------------------
+    # Forward pass: consumes parameters in layer order
+    # ------------------------------------------------------------------
+    def _try_forward_layer(self) -> None:
+        i = self.fwd_layer
+        if self.params_arrived[i] < self.keys_per_layer[i]:
+            self.waiting_forward = True
+            return
+        self.waiting_forward = False
+        dur = self.fwd_times[i] * self._jitter_mult
+        self.ctx.sim.schedule(dur, self._forward_layer_done)
+
+    def _forward_layer_done(self) -> None:
+        self.fwd_layer += 1
+        if self.fwd_layer >= self.n_layers:
+            self._begin_backward()
+        else:
+            self._try_forward_layer()
+
+    # ------------------------------------------------------------------
+    # Backward pass: produces gradients in reverse layer order
+    # ------------------------------------------------------------------
+    def _begin_backward(self) -> None:
+        assert self._record is not None
+        self._record.backward_start = self.ctx.sim.now
+        self.bwd_layer = self.n_layers - 1
+        dur = self.bwd_times[self.bwd_layer] * self._jitter_mult
+        self.ctx.sim.schedule(dur, self._backward_layer_done)
+
+    def _backward_layer_done(self) -> None:
+        i = self.bwd_layer
+        # This layer's sync round begins now: reset its arrival counter
+        # and push all of its gradient keys.
+        self.params_arrived[i] = 0
+        self._push_layer(i)
+        self.bwd_layer -= 1
+        if self.bwd_layer >= 0:
+            dur = self.bwd_times[self.bwd_layer] * self._jitter_mult
+            self.ctx.sim.schedule(dur, self._backward_layer_done)
+        else:
+            self._finish_backward()
+
+    def _finish_backward(self) -> None:
+        assert self._record is not None
+        self._record.backward_end = self.ctx.sim.now
+        if self.ctx.deferred_pull:
+            # TensorFlow-style: pull requests are part of the *next*
+            # graph execution, issued together once this one finishes.
+            for layer_keys in self.keys_by_layer:
+                for pk in layer_keys:
+                    self._send_pull(pk)
+        self.iteration += 1
+        self._begin_iteration()
+
+    # ------------------------------------------------------------------
+    # Protocol messages
+    # ------------------------------------------------------------------
+    def _push_layer(self, layer: int) -> None:
+        if self.credit is None:
+            for pk in self.keys_by_layer[layer]:
+                self._send_push(pk)
+            return
+        for pk in self.keys_by_layer[layer]:
+            heapq.heappush(self._push_backlog,
+                           (pk.priority, self._push_seq, pk))
+            self._push_seq += 1
+        self._drain_credit()
+
+    def _drain_credit(self) -> None:
+        while self._push_backlog and self._outstanding < self.credit:
+            _, _, pk = heapq.heappop(self._push_backlog)
+            self._outstanding += 1
+            self._send_push(pk)
+
+    def _send_push(self, pk) -> None:
+        cfg = self.ctx.strategy
+        payload = max(1, int(pk.bytes * cfg.gradient_scale))
+        self.ctx.transport.send(Message(
+            kind=MsgKind.PUSH, key=pk.key, payload_bytes=payload,
+            priority=pk.priority, src=self.machine,
+            dst=self.ctx.server_machine(pk.server), dst_role=Role.SERVER,
+            sender_worker=self.wid,
+        ))
+
+    def _send_pull(self, pk) -> None:
+        self.ctx.transport.send(Message(
+            kind=MsgKind.PULL_REQ, key=pk.key, payload_bytes=0,
+            priority=pk.priority, src=self.machine,
+            dst=self.ctx.server_machine(pk.server), dst_role=Role.SERVER,
+            sender_worker=self.wid,
+        ))
+
+    def on_message(self, msg: Message) -> None:
+        if msg.kind is MsgKind.PARAM:
+            self._on_param(msg)
+        elif msg.kind is MsgKind.NOTIFY:
+            self._on_notify(msg)
+        elif msg.kind is MsgKind.ACK:
+            # Credit flow control: the server received our push.
+            self._outstanding -= 1
+            self._drain_credit()
+        else:  # pragma: no cover - protocol violation
+            raise RuntimeError(f"worker received unexpected {msg}")
+
+    def _on_notify(self, msg: Message) -> None:
+        """Baseline KVStore: pull a layer only once every one of its
+        keys has been notified (the coupling P3's broadcast removes)."""
+        layer = self.ctx.keys[msg.key].layer_index
+        self.notifies_arrived[layer] += 1
+        if self.notifies_arrived[layer] >= self.keys_per_layer[layer]:
+            self.notifies_arrived[layer] = 0
+            for pk in self.keys_by_layer[layer]:
+                self._send_pull(pk)
+
+    def _on_param(self, msg: Message) -> None:
+        layer = self.ctx.keys[msg.key].layer_index
+        self.params_arrived[layer] += 1
+        if (
+            self.waiting_forward
+            and not self.done
+            and self.fwd_layer == layer
+            and self.params_arrived[layer] >= self.keys_per_layer[layer]
+        ):
+            self._try_forward_layer()

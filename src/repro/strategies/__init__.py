@@ -1,0 +1,37 @@
+"""Parameter-synchronization strategies from the paper and ablations."""
+
+from .base import (
+    STRATEGY_FACTORIES,
+    PullPolicy,
+    StrategyConfig,
+    asgd,
+    baseline,
+    credit_p3,
+    dgc_timing,
+    get_strategy,
+    p3,
+    p3_with_compression,
+    p3_with_policy,
+    poseidon_wfbp,
+    priority_only,
+    slicing_only,
+    tensorflow_style,
+)
+
+__all__ = [
+    "STRATEGY_FACTORIES",
+    "PullPolicy",
+    "StrategyConfig",
+    "asgd",
+    "baseline",
+    "credit_p3",
+    "dgc_timing",
+    "get_strategy",
+    "p3",
+    "p3_with_compression",
+    "p3_with_policy",
+    "poseidon_wfbp",
+    "priority_only",
+    "slicing_only",
+    "tensorflow_style",
+]

@@ -1,0 +1,55 @@
+"""Pure-numpy data-parallel training substrate (convergence experiments)."""
+
+from .data import Dataset, SyntheticSpec, make_dataset
+from .dgc import DGCCompressor, DGCConfig, aggregate_sparse, compression_ratio
+from .im2col import col2im, conv_out_size, im2col
+from .layers import (
+    BatchNorm,
+    Conv2D,
+    Dense,
+    Flatten,
+    GlobalAvgPool,
+    Layer,
+    MaxPool2D,
+    ReLU,
+    ResidualBlock,
+    Sequential,
+)
+from .model import Network, SoftmaxCrossEntropy
+from .optim import SGD, StepSchedule
+from .parallel import SYNC_METHODS, TrainConfig, TrainResult, train_data_parallel
+from .zoo import mini_resnet, mlp, small_cnn
+
+__all__ = [
+    "SGD",
+    "SYNC_METHODS",
+    "BatchNorm",
+    "Conv2D",
+    "DGCCompressor",
+    "DGCConfig",
+    "Dataset",
+    "Dense",
+    "Flatten",
+    "GlobalAvgPool",
+    "Layer",
+    "MaxPool2D",
+    "Network",
+    "ReLU",
+    "ResidualBlock",
+    "Sequential",
+    "SoftmaxCrossEntropy",
+    "StepSchedule",
+    "SyntheticSpec",
+    "TrainConfig",
+    "TrainResult",
+    "aggregate_sparse",
+    "col2im",
+    "compression_ratio",
+    "conv_out_size",
+    "im2col",
+    "make_dataset",
+    "mini_resnet",
+    "mlp",
+    "small_cnn",
+    "train_data_parallel",
+]

@@ -1,0 +1,55 @@
+"""im2col / col2im utilities for vectorized convolutions.
+
+Pure-numpy convolutions are only tractable when expressed as matrix
+multiplication; these helpers lower (N, C, H, W) tensors to column
+matrices and back, the standard formulation used by Caffe-era
+frameworks.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def conv_out_size(h: int, w: int, k: int, stride: int, pad: int) -> Tuple[int, int]:
+    """Output spatial dims of a k x k convolution."""
+    oh = (h + 2 * pad - k) // stride + 1
+    ow = (w + 2 * pad - k) // stride + 1
+    if oh <= 0 or ow <= 0:
+        raise ValueError(f"non-positive conv output for h={h}, w={w}, k={k}, "
+                         f"stride={stride}, pad={pad}")
+    return oh, ow
+
+
+def im2col(x: np.ndarray, k: int, stride: int, pad: int) -> np.ndarray:
+    """Lower (N, C, H, W) to columns of shape (N * OH * OW, C * k * k)."""
+    n, c, h, w = x.shape
+    oh, ow = conv_out_size(h, w, k, stride, pad)
+    if pad > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant")
+    cols = np.empty((n, c, k, k, oh, ow), dtype=x.dtype)
+    for i in range(k):
+        i_max = i + stride * oh
+        for j in range(k):
+            j_max = j + stride * ow
+            cols[:, :, i, j, :, :] = x[:, :, i:i_max:stride, j:j_max:stride]
+    return cols.transpose(0, 4, 5, 1, 2, 3).reshape(n * oh * ow, -1)
+
+
+def col2im(cols: np.ndarray, x_shape: Tuple[int, int, int, int],
+           k: int, stride: int, pad: int) -> np.ndarray:
+    """Inverse of :func:`im2col`: scatter-add columns back to (N, C, H, W)."""
+    n, c, h, w = x_shape
+    oh, ow = conv_out_size(h, w, k, stride, pad)
+    cols = cols.reshape(n, oh, ow, c, k, k).transpose(0, 3, 4, 5, 1, 2)
+    x = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    for i in range(k):
+        i_max = i + stride * oh
+        for j in range(k):
+            j_max = j + stride * ow
+            x[:, :, i:i_max:stride, j:j_max:stride] += cols[:, :, i, j, :, :]
+    if pad > 0:
+        return x[:, :, pad:-pad, pad:-pad]
+    return x

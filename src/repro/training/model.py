@@ -1,0 +1,112 @@
+"""Model container: a Sequential network with a flat parameter namespace.
+
+The data-parallel harness needs to treat "the model" as an ordered dict
+of named parameter arrays (exactly how KVStore sees it), so this wraps
+:class:`~repro.training.layers.Sequential` with flattened access,
+get/set of the full parameter vector, and a loss head.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .layers import Layer, Sequential
+
+
+class SoftmaxCrossEntropy:
+    """Combined softmax + cross-entropy with the usual fused gradient."""
+
+    def __init__(self) -> None:
+        self._probs: np.ndarray | None = None
+        self._labels: np.ndarray | None = None
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        probs = exp / exp.sum(axis=1, keepdims=True)
+        self._probs, self._labels = probs, labels
+        n = logits.shape[0]
+        return float(-np.log(probs[np.arange(n), labels] + 1e-12).mean())
+
+    def backward(self) -> np.ndarray:
+        assert self._probs is not None and self._labels is not None
+        n = self._probs.shape[0]
+        grad = self._probs.copy()
+        grad[np.arange(n), self._labels] -= 1.0
+        return grad / n
+
+
+class Network:
+    """A trainable network: Sequential body + softmax-CE head."""
+
+    def __init__(self, body: Sequential) -> None:
+        self.body = body
+        self.loss_fn = SoftmaxCrossEntropy()
+        self._named: List[Tuple[str, Layer]] = body.named_layers()
+
+    # ------------------------------------------------------------------
+    # Parameter namespace
+    # ------------------------------------------------------------------
+    def parameters(self) -> Dict[str, np.ndarray]:
+        """Flat ``{layer.param: array}`` view (live references)."""
+        out: Dict[str, np.ndarray] = {}
+        for name, layer in self._named:
+            for pname, arr in layer.params.items():
+                out[f"{name}.{pname}"] = arr
+        return out
+
+    def gradients(self) -> Dict[str, np.ndarray]:
+        out: Dict[str, np.ndarray] = {}
+        for name, layer in self._named:
+            for pname in layer.params:
+                out[f"{name}.{pname}"] = layer.grads[pname]
+        return out
+
+    def set_parameters(self, values: Dict[str, np.ndarray]) -> None:
+        params = self.parameters()
+        if set(values) != set(params):
+            raise KeyError("parameter name mismatch")
+        for name, layer in self._named:
+            for pname in layer.params:
+                layer.params[pname] = values[f"{name}.{pname}"].copy()
+
+    @property
+    def n_params(self) -> int:
+        return sum(p.size for p in self.parameters().values())
+
+    def get_vector(self) -> np.ndarray:
+        """Concatenate all parameters into one flat vector (stable order)."""
+        params = self.parameters()
+        return np.concatenate([params[k].ravel() for k in sorted(params)])
+
+    def set_vector(self, vec: np.ndarray) -> None:
+        params = self.parameters()
+        offset = 0
+        for k in sorted(params):
+            size = params[k].size
+            params[k][...] = vec[offset:offset + size].reshape(params[k].shape)
+            offset += size
+        if offset != vec.size:
+            raise ValueError(f"vector size {vec.size} != model size {offset}")
+
+    # ------------------------------------------------------------------
+    # Training steps
+    # ------------------------------------------------------------------
+    def loss_and_grad(self, x: np.ndarray, y: np.ndarray) -> float:
+        """One forward/backward pass; gradients land in ``gradients()``."""
+        logits = self.body.forward(x, train=True)
+        loss = self.loss_fn.forward(logits, y)
+        self.body.backward(self.loss_fn.backward())
+        return loss
+
+    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        preds = []
+        for i in range(0, x.shape[0], batch_size):
+            logits = self.body.forward(x[i:i + batch_size], train=False)
+            preds.append(logits.argmax(axis=1))
+        return np.concatenate(preds)
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray, batch_size: int = 256) -> float:
+        return float((self.predict(x, batch_size) == y).mean())

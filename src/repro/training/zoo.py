@@ -1,0 +1,81 @@
+"""Trainable model builders for the convergence experiments.
+
+``mini_resnet`` is the substitute for the paper's ResNet-110/CIFAR-10
+convergence study (DESIGN.md substitution table): a genuinely residual
+CNN small enough to train in seconds on synthetic images while showing
+the same optimizer dynamics (DGC sparsification error, ASGD staleness).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import (
+    BatchNorm,
+    Conv2D,
+    Dense,
+    Flatten,
+    GlobalAvgPool,
+    MaxPool2D,
+    ReLU,
+    ResidualBlock,
+    Sequential,
+)
+from .model import Network
+
+
+def mini_resnet(rng: np.random.Generator, n_classes: int = 10,
+                in_channels: int = 3, widths=(8, 16, 32),
+                blocks_per_stage: int = 1) -> Network:
+    """A small CIFAR-style residual network for 16x16 inputs."""
+    layers = [
+        Conv2D(in_channels, widths[0], 3, rng),
+        BatchNorm(widths[0]),
+        ReLU(),
+    ]
+    cin = widths[0]
+    for stage, w in enumerate(widths):
+        for b in range(blocks_per_stage):
+            stride = 2 if (stage > 0 and b == 0) else 1
+            layers.append(ResidualBlock(cin, w, rng, stride=stride))
+            cin = w
+    layers += [GlobalAvgPool(), Dense(cin, n_classes, rng)]
+    return Network(Sequential(layers))
+
+
+def small_cnn(rng: np.random.Generator, n_classes: int = 10,
+              in_channels: int = 3, width: int = 8) -> Network:
+    """A fast conv-pool-conv-pool-dense network for quick experiments."""
+    layers = [
+        Conv2D(in_channels, width, 3, rng),
+        BatchNorm(width),
+        ReLU(),
+        MaxPool2D(2),
+        Conv2D(width, 2 * width, 3, rng),
+        BatchNorm(2 * width),
+        ReLU(),
+        MaxPool2D(2),
+        Flatten(),
+        Dense(2 * width * 4 * 4, n_classes, rng),
+    ]
+    return Network(Sequential(layers))
+
+
+def mlp(rng: np.random.Generator, in_dim: int, hidden: int = 64,
+        n_classes: int = 10, depth: int = 2, batchnorm: bool = True) -> Network:
+    """A plain MLP on flat features (fastest substrate for unit tests).
+
+    Set ``batchnorm=False`` for experiments needing exact data-parallel /
+    single-machine equivalence: batch-norm statistics are computed per
+    worker shard (as on real clusters), which breaks bit-equality.
+    """
+    layers = [Flatten()]
+    fan_in = in_dim
+    for _ in range(depth):
+        layers.append(Dense(fan_in, hidden, rng))
+        if batchnorm:
+            layers.append(BatchNorm(hidden))
+        layers.append(ReLU())
+        fan_in = hidden
+    layers.append(Dense(fan_in, n_classes, rng))
+    return Network(Sequential(layers))

@@ -1,0 +1,98 @@
+"""Unit and property tests for gradient bucketing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.allreduce.buckets import Bucket, fused_buckets, sliced_buckets, total_bytes
+from repro.models import vgg19
+from repro.models.base import LayerSpec, ModelSpec
+
+
+def _model(params=(1000, 2000, 3000)):
+    layers = tuple(LayerSpec(f"l{i}", p, 1.0) for i, p in enumerate(params))
+    return ModelSpec("m", layers, 8, 10.0)
+
+
+def test_bucket_validation():
+    with pytest.raises(ValueError):
+        Bucket(0, (0,), 0, 0, 0)
+    with pytest.raises(ValueError):
+        Bucket(0, (), 10, 0, 0)
+
+
+def test_fused_buckets_cover_model():
+    model = _model()
+    buckets = fused_buckets(model, bucket_bytes=10_000)
+    assert total_bytes(buckets) == model.total_bytes
+    covered = sorted(i for b in buckets for i in b.layer_indices)
+    assert covered == [0, 1, 2]
+
+
+def test_fused_buckets_respect_cap_when_possible():
+    model = _model((1000, 1000, 1000))
+    buckets = fused_buckets(model, bucket_bytes=8000)
+    # 3 layers x 4000 B; cap 8000 -> two buckets (8000 + 4000)
+    assert len(buckets) == 2
+    assert buckets[0].payload_bytes == 8000
+
+
+def test_fused_buckets_backward_order_and_priorities():
+    model = _model((100, 100, 100))
+    buckets = fused_buckets(model, bucket_bytes=400)  # one per layer
+    assert [b.layer_indices[0] for b in buckets] == [2, 1, 0]
+    assert [b.priority for b in buckets] == [2, 1, 0]
+    for b in buckets:
+        assert b.ready_layer == min(b.layer_indices)
+
+
+def test_fused_never_splits_a_tensor():
+    model = _model((10_000_000,))
+    buckets = fused_buckets(model, bucket_bytes=1000)
+    assert len(buckets) == 1
+    assert buckets[0].payload_bytes == model.total_bytes
+
+
+def test_sliced_buckets_split_large_layers():
+    model = _model((1_000_000, 100))
+    buckets = sliced_buckets(model, bucket_bytes=1_000_000)
+    big = [b for b in buckets if b.layer_indices == (0,)]
+    assert len(big) == 4  # 4 MB layer -> 4 x 1 MB
+    assert total_bytes(buckets) == model.total_bytes
+
+
+def test_sliced_buckets_single_layer_priority():
+    model = vgg19()
+    buckets = sliced_buckets(model, bucket_bytes=4_000_000)
+    for b in buckets:
+        assert len(b.layer_indices) == 1
+        assert b.priority == b.layer_indices[0]
+
+
+def test_invalid_cap():
+    with pytest.raises(ValueError):
+        fused_buckets(_model(), 0)
+    with pytest.raises(ValueError):
+        sliced_buckets(_model(), -5)
+
+
+@given(st.lists(st.integers(min_value=1, max_value=10**6), min_size=1, max_size=15),
+       st.integers(min_value=100, max_value=10**7))
+@settings(max_examples=50, deadline=None)
+def test_property_both_bucketings_conserve_bytes(params, cap):
+    model = _model(tuple(params))
+    for builder in (fused_buckets, sliced_buckets):
+        buckets = builder(model, cap)
+        assert total_bytes(buckets) == model.total_bytes
+        assert [b.bucket_id for b in buckets] == list(range(len(buckets)))
+
+
+@given(st.lists(st.integers(min_value=1, max_value=10**5), min_size=1, max_size=10),
+       st.integers(min_value=1000, max_value=10**6))
+@settings(max_examples=50, deadline=None)
+def test_property_sliced_respects_cap(params, cap):
+    model = _model(tuple(params))
+    for b in sliced_buckets(model, cap):
+        assert b.payload_bytes <= max(cap, 4)  # at least one param per slice

@@ -1,0 +1,57 @@
+"""Unit tests for the ring-allreduce cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.allreduce.rings import RingCostModel
+
+
+def _model(w=4, rate=1e9, overhead=0.0, reduce_rate=1e15):
+    return RingCostModel(n_workers=w, rate_bytes_per_s=rate,
+                         step_overhead_s=overhead, reduce_bytes_per_s=reduce_rate)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        RingCostModel(0, 1e9)
+    with pytest.raises(ValueError):
+        RingCostModel(4, 0.0)
+    with pytest.raises(ValueError):
+        _model().op_time(-1)
+
+
+def test_bandwidth_optimal_wire_time():
+    # 4 workers, 1 GB/s, 4 MB payload: 2*(3)/4 * 4e6 / 1e9 = 6 ms
+    m = _model()
+    assert m.op_time(4_000_000) == pytest.approx(6e-3)
+
+
+def test_single_worker_costs_only_overhead():
+    m = _model(w=1, overhead=1e-4)
+    assert m.op_time(10**9) == pytest.approx(1e-4)
+
+
+def test_overhead_scales_with_steps():
+    m = _model(w=4, overhead=1e-3)
+    assert m.op_time(0) == pytest.approx(6e-3)  # 2*(4-1) steps
+
+
+def test_reduce_cost_included():
+    m = _model(w=4, reduce_rate=1e9)
+    # reduce adds (w-1)/w * B / reduce_rate
+    assert m.op_time(4_000_000) == pytest.approx(6e-3 + 3e-3)
+
+
+def test_more_workers_approach_2x_bytes():
+    """Ring allreduce wire time tends to 2B/rate as W grows."""
+    small = _model(w=2).op_time(10**6)
+    large = _model(w=64).op_time(10**6)
+    assert small == pytest.approx(1e-3)      # 2*(1)/2 = 1x
+    assert large == pytest.approx(2e-3, rel=0.05)
+
+
+def test_bandwidth_optimality_improves_with_size():
+    m = _model(overhead=1e-4)
+    assert m.bandwidth_optimality(10**7) > m.bandwidth_optimality(10**4)
+    assert 0.0 <= m.bandwidth_optimality(10**3) <= 1.0

@@ -1,0 +1,107 @@
+"""Integration tests for the allreduce training simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.allreduce import (
+    AllreduceConfig,
+    framework_bucketing,
+    priority_allreduce,
+    simulate_allreduce,
+    unsliced_priority_allreduce,
+)
+from repro.models import vgg19
+from repro.models.base import LayerSpec, ModelSpec
+
+
+@pytest.fixture
+def small_model():
+    return ModelSpec(
+        name="ar_tiny",
+        layers=(
+            LayerSpec("l0", 50_000, 1.0),
+            LayerSpec("l1", 500_000, 2.0),
+            LayerSpec("l2", 50_000, 1.0),
+        ),
+        batch_size=16,
+        samples_per_sec=200.0,
+    )
+
+
+def test_all_strategies_complete(small_model):
+    cfg = AllreduceConfig(n_workers=4, bandwidth_gbps=1.0)
+    for strat in (framework_bucketing(), priority_allreduce(),
+                  unsliced_priority_allreduce()):
+        r = simulate_allreduce(small_model, strat, cfg, iterations=4, warmup=1)
+        assert r.throughput > 0
+        assert r.n_buckets >= 1
+
+
+def test_compute_bound_at_high_bandwidth(small_model):
+    cfg = AllreduceConfig(n_workers=4, bandwidth_gbps=1000.0)
+    r = simulate_allreduce(small_model, priority_allreduce(), cfg,
+                           iterations=4, warmup=1)
+    assert r.throughput == pytest.approx(4 * 200.0, rel=0.05)
+
+
+def test_deterministic(small_model):
+    cfg = AllreduceConfig(n_workers=4, bandwidth_gbps=1.0, seed=3)
+    a = simulate_allreduce(small_model, priority_allreduce(), cfg, iterations=4, warmup=1)
+    b = simulate_allreduce(small_model, priority_allreduce(), cfg, iterations=4, warmup=1)
+    np.testing.assert_array_equal(a.iteration_times, b.iteration_times)
+
+
+def test_lower_bandwidth_slower(small_model):
+    t = []
+    for bw in (0.2, 1.0, 10.0):
+        cfg = AllreduceConfig(n_workers=4, bandwidth_gbps=bw)
+        t.append(simulate_allreduce(small_model, framework_bucketing(), cfg,
+                                    iterations=4, warmup=1).mean_iteration_time)
+    assert t[0] >= t[1] >= t[2]
+
+
+def test_priority_sliced_beats_fifo_on_vgg():
+    """The extension's headline: P3's principles transfer to allreduce."""
+    cfg = AllreduceConfig(n_workers=4, bandwidth_gbps=10.0)
+    fifo = simulate_allreduce(vgg19(), framework_bucketing(), cfg,
+                              iterations=5, warmup=2)
+    p3ar = simulate_allreduce(vgg19(), priority_allreduce(), cfg,
+                              iterations=5, warmup=2)
+    assert p3ar.throughput > 1.1 * fifo.throughput
+    assert p3ar.speedup_over(fifo) == pytest.approx(
+        p3ar.throughput / fifo.throughput)
+
+
+def test_iteration_exceeds_warmup_check(small_model):
+    cfg = AllreduceConfig()
+    with pytest.raises(ValueError):
+        simulate_allreduce(small_model, framework_bucketing(), cfg,
+                           iterations=2, warmup=2)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        AllreduceConfig(n_workers=0)
+    with pytest.raises(ValueError):
+        AllreduceConfig(bandwidth_gbps=0.0)
+
+
+def test_collective_busy_time_positive(small_model):
+    cfg = AllreduceConfig(n_workers=4, bandwidth_gbps=1.0)
+    r = simulate_allreduce(small_model, framework_bucketing(), cfg,
+                           iterations=4, warmup=1)
+    assert 0 < r.collective_busy_time
+
+
+def test_jitter_slows_collective_training():
+    base_layers = (LayerSpec("a", 100_000, 1.0), LayerSpec("b", 100_000, 1.0))
+    smooth = ModelSpec("s", base_layers, 16, 200.0, jitter_sigma=0.0)
+    jittery = ModelSpec("j", base_layers, 16, 200.0, jitter_sigma=0.4)
+    cfg = AllreduceConfig(n_workers=8, bandwidth_gbps=10.0, seed=5)
+    t_smooth = simulate_allreduce(smooth, framework_bucketing(), cfg,
+                                  iterations=6, warmup=2).mean_iteration_time
+    t_jitter = simulate_allreduce(jittery, framework_bucketing(), cfg,
+                                  iterations=6, warmup=2).mean_iteration_time
+    assert t_jitter > t_smooth

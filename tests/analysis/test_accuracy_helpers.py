@@ -1,0 +1,49 @@
+"""Unit tests for the accuracy-driver helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.accuracy import (
+    DEFAULT_SETTINGS,
+    HyperSetting,
+    _time_to,
+    _train_one,
+)
+from repro.training import make_dataset
+
+
+def test_hyper_setting_label():
+    s = HyperSetting(0.05, 0.9, 3)
+    assert s.label == "lr=0.05,m=0.9,seed=3"
+
+
+def test_default_settings_are_five_distinct():
+    assert len(DEFAULT_SETTINGS) == 5
+    assert len({s.label for s in DEFAULT_SETTINGS}) == 5
+
+
+def test_time_to():
+    acc = np.array([0.2, 0.5, 0.9])
+    t = np.array([1.0, 2.0, 3.0])
+    assert _time_to(acc, t, 0.5) == 2.0
+    assert _time_to(acc, t, 0.95) is None
+    assert _time_to(acc, t, 0.0) == 1.0
+
+
+def test_train_one_produces_trajectory():
+    # _train_one builds the standard small_cnn, so use the default
+    # (16x16x3) dataset spec at reduced size.
+    ds = make_dataset(n_train=128, n_val=64, seed=0)
+    res = _train_one(ds, HyperSetting(0.05, 0.9, 1), "exact",
+                     epochs=2, n_workers=2, batch_size=32, dgc_density=0.01)
+    assert len(res.val_accuracy) == 2
+    assert 0.0 <= res.final_accuracy <= 1.0
+
+
+def test_train_one_dgc_uses_density():
+    ds = make_dataset(n_train=128, n_val=64, seed=0)
+    res = _train_one(ds, HyperSetting(0.05, 0.9, 1), "dgc",
+                     epochs=2, n_workers=2, batch_size=32, dgc_density=0.05)
+    assert res.method == "dgc"

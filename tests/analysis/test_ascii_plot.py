@@ -1,0 +1,50 @@
+"""Smoke tests for the terminal plotter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.ascii_plot import ascii_plot
+from repro.analysis.series import FigureData
+
+
+def _fig():
+    fig = FigureData("figY", "demo", "x", "y")
+    x = np.linspace(1, 10, 12)
+    fig.add("a", x, np.sin(x) + 2)
+    fig.add("b", x, np.cos(x) + 2)
+    return fig
+
+
+def test_plot_renders_and_includes_legend():
+    out = ascii_plot(_fig())
+    assert "demo" in out
+    assert "o a" in out and "x b" in out
+    assert len(out.splitlines()) > 10
+
+
+def test_plot_log_x():
+    fig = FigureData("f", "log", "size", "tput")
+    fig.add("s", [1e3, 1e4, 1e5], [1.0, 2.0, 1.5])
+    out = ascii_plot(fig, logx=True)
+    assert "log" in out
+
+
+def test_plot_log_x_rejects_nonpositive():
+    fig = FigureData("f", "log", "x", "y")
+    fig.add("s", [0.0, 1.0], [1.0, 2.0])
+    with pytest.raises(ValueError):
+        ascii_plot(fig, logx=True)
+
+
+def test_plot_empty_figure():
+    fig = FigureData("f", "empty", "x", "y")
+    assert "no series" in ascii_plot(fig)
+
+
+def test_plot_constant_series():
+    fig = FigureData("f", "const", "x", "y")
+    fig.add("s", [1.0, 2.0], [5.0, 5.0])
+    out = ascii_plot(fig)
+    assert "const" in out

@@ -1,0 +1,93 @@
+"""Tests for the fluid-limit bounds, including simulator validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.bounds import (
+    baseline_crossover_gbps,
+    iteration_bounds,
+    p3_crossover_gbps,
+    wire_bytes_per_direction,
+)
+from repro.models import resnet50, vgg19
+from repro.sim import ClusterConfig, simulate
+from repro.strategies import baseline, p3
+
+
+def test_wire_bytes_formula():
+    model = resnet50()
+    got = wire_bytes_per_direction(model, 4)
+    expected = 2 * model.total_bytes * 3 / 4
+    assert got == pytest.approx(expected)
+
+
+def test_wire_bytes_single_worker_is_zero():
+    assert wire_bytes_per_direction(resnet50(), 1) == 0.0
+
+
+def test_wire_bytes_compression_scales():
+    model = resnet50()
+    full = wire_bytes_per_direction(model, 4)
+    half = wire_bytes_per_direction(model, 4, gradient_scale=0.5, param_scale=0.5)
+    assert half == pytest.approx(full / 2)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        wire_bytes_per_direction(resnet50(), 0)
+    with pytest.raises(ValueError):
+        iteration_bounds(resnet50(), 0.0)
+
+
+def test_bounds_structure():
+    b = iteration_bounds(resnet50(), 4.0)
+    assert b.p3_bound == pytest.approx(max(b.compute, b.wire))
+    assert b.baseline_bound >= b.p3_bound
+    assert b.p3_throughput_bound == pytest.approx(1.0 / b.p3_bound)
+
+
+def test_crossovers_match_paper_for_resnet50():
+    """The paper's Figure 7(a) breakpoints, from first principles."""
+    model = resnet50()
+    assert baseline_crossover_gbps(model) == pytest.approx(6.0, abs=0.3)
+    assert p3_crossover_gbps(model) == pytest.approx(4.0, abs=0.3)
+
+
+def test_crossover_ordering():
+    """Baseline always degrades at higher bandwidth than P3 (its overlap
+    window — backward only — is smaller)."""
+    for model in (resnet50(), vgg19()):
+        assert baseline_crossover_gbps(model) > p3_crossover_gbps(model)
+
+
+@pytest.mark.parametrize("bw", [2.0, 4.0, 8.0])
+def test_simulator_respects_p3_lower_bound(bw):
+    """The event simulator can never beat the fluid bound (it adds
+    overheads and discreteness on top)."""
+    model = resnet50()
+    b = iteration_bounds(model, bw)
+    cfg = ClusterConfig(n_workers=4, bandwidth_gbps=bw)
+    result = simulate(model, p3(), cfg, iterations=4, warmup=1)
+    assert result.mean_iteration_time >= b.p3_bound * 0.999
+
+
+@pytest.mark.parametrize("bw", [2.0, 4.0])
+def test_simulator_close_to_p3_bound(bw):
+    """...and P3 should get close to the bound (within ~25%): the whole
+    point of the design is approaching full overlap."""
+    model = resnet50()
+    b = iteration_bounds(model, bw)
+    cfg = ClusterConfig(n_workers=4, bandwidth_gbps=bw)
+    result = simulate(model, p3(), cfg, iterations=4, warmup=1)
+    assert result.mean_iteration_time <= 1.25 * b.p3_bound
+
+
+def test_baseline_bound_explains_simulated_baseline():
+    """Baseline's simulated time lands at or above the backward-only
+    overlap bound."""
+    model = resnet50()
+    b = iteration_bounds(model, 4.0)
+    cfg = ClusterConfig(n_workers=4, bandwidth_gbps=4.0)
+    result = simulate(model, baseline(), cfg, iterations=4, warmup=1)
+    assert result.mean_iteration_time >= 0.95 * b.baseline_bound

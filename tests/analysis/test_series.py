@@ -1,0 +1,70 @@
+"""Unit tests for figure-data containers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.series import FigureData, Series, speedup
+
+
+def _fig():
+    fig = FigureData("figX", "title", "bw", "tput")
+    fig.add("baseline", [1, 2, 4], [10, 20, 30])
+    fig.add("p3", [1, 2, 4], [15, 25, 33])
+    return fig
+
+
+def test_series_validation():
+    with pytest.raises(ValueError):
+        Series("s", np.array([1, 2]), np.array([1]))
+
+
+def test_series_y_at_nearest():
+    s = Series("s", np.array([1.0, 2.0, 4.0]), np.array([10.0, 20.0, 40.0]))
+    assert s.y_at(1.9) == 20.0
+    assert s.y_at(100) == 40.0
+
+
+def test_figure_add_get_labels():
+    fig = _fig()
+    assert fig.labels == ["baseline", "p3"]
+    assert fig.get("p3").y[0] == 15
+    with pytest.raises(KeyError):
+        fig.get("missing")
+
+
+def test_csv_round_trip(tmp_path):
+    fig = _fig()
+    path = fig.to_csv(tmp_path / "out" / "fig.csv")
+    lines = path.read_text().strip().splitlines()
+    assert lines[0] == "figure,series,bw,tput"
+    assert len(lines) == 1 + 6  # header + 2 series x 3 points
+
+
+def test_table_contains_all_points():
+    table = _fig().table()
+    assert "baseline" in table and "p3" in table
+    assert "30.000" in table
+
+
+def test_summary_includes_notes():
+    fig = _fig()
+    fig.notes["speedup"] = 1.5
+    text = fig.summary()
+    assert "speedup" in text and "figX" in text
+
+
+def test_speedup_series():
+    s = speedup(_fig(), over="baseline", of="p3")
+    np.testing.assert_allclose(s.y, [1.5, 1.25, 1.1])
+    assert s.label == "p3/baseline"
+
+
+def test_speedup_skips_unmatched_x():
+    fig = FigureData("f", "t", "x", "y")
+    fig.add("baseline", [1, 2], [10, 20])
+    fig.add("p3", [2, 3], [30, 30])
+    s = speedup(fig, "baseline", "p3")
+    np.testing.assert_allclose(s.x, [2.0])
+    np.testing.assert_allclose(s.y, [1.5])

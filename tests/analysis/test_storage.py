@@ -1,0 +1,53 @@
+"""Tests for FigureData JSON persistence."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis import FigureData, load_figure, save_figure
+
+
+def _fig():
+    fig = FigureData("figZ", "a title", "bw", "tput")
+    fig.add("baseline", [1.0, 2.0], [10.0, 20.0])
+    fig.add("p3", [1.0, 2.0], [15.0, 25.0])
+    fig.notes["max_p3_speedup"] = 1.5
+    fig.notes["comment"] = "hello"
+    return fig
+
+
+def test_round_trip(tmp_path):
+    path = save_figure(_fig(), tmp_path / "sub" / "fig.json")
+    loaded = load_figure(path)
+    orig = _fig()
+    assert loaded.figure_id == orig.figure_id
+    assert loaded.title == orig.title
+    assert loaded.x_label == orig.x_label
+    assert loaded.notes == orig.notes
+    assert loaded.labels == orig.labels
+    for a, b in zip(loaded.series, orig.series):
+        np.testing.assert_array_equal(a.x, b.x)
+        np.testing.assert_array_equal(a.y, b.y)
+
+
+def test_loaded_figure_is_functional(tmp_path):
+    path = save_figure(_fig(), tmp_path / "fig.json")
+    loaded = load_figure(path)
+    assert loaded.get("p3").y_at(2.0) == 25.0
+    assert "baseline" in loaded.table()
+
+
+def test_version_check(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"format_version": 99}))
+    with pytest.raises(ValueError):
+        load_figure(path)
+
+
+def test_json_is_human_readable(tmp_path):
+    path = save_figure(_fig(), tmp_path / "fig.json")
+    doc = json.loads(path.read_text())
+    assert doc["series"][0]["label"] == "baseline"

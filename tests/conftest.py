@@ -1,0 +1,58 @@
+"""Shared fixtures: fast models and cluster configs for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import toy_model
+from repro.models.base import LayerSpec, ModelSpec
+from repro.sim import ClusterConfig
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_model() -> ModelSpec:
+    """Four small layers, fast to simulate (sub-millisecond iterations)."""
+    return ModelSpec(
+        name="tiny4",
+        layers=(
+            LayerSpec("l0", 10_000, 1.0),
+            LayerSpec("l1", 40_000, 2.0),
+            LayerSpec("l2", 120_000, 3.0),
+            LayerSpec("l3", 20_000, 1.0),
+        ),
+        batch_size=16,
+        samples_per_sec=400.0,
+    )
+
+
+@pytest.fixture
+def skewed_model() -> ModelSpec:
+    """VGG-like skew: one array dominating the byte count."""
+    return ModelSpec(
+        name="skewed",
+        layers=(
+            LayerSpec("conv1", 5_000, 4.0),
+            LayerSpec("conv2", 20_000, 4.0),
+            LayerSpec("fc_big", 2_000_000, 2.0),
+            LayerSpec("fc_out", 10_000, 1.0),
+        ),
+        batch_size=16,
+        samples_per_sec=200.0,
+    )
+
+
+@pytest.fixture
+def toy3():
+    return toy_model()
+
+
+@pytest.fixture
+def fast_cluster() -> ClusterConfig:
+    """Four machines on a bandwidth low enough that scheduling matters."""
+    return ClusterConfig(n_workers=4, bandwidth_gbps=1.0, seed=0)

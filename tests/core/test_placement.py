@@ -1,0 +1,127 @@
+"""Unit and property tests for key placement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.placement import (
+    KVSTORE_BIG_LAYER_THRESHOLD,
+    kvstore_sharding,
+    round_robin_placement,
+    server_load,
+)
+from repro.core.slicing import slice_model
+from repro.models import toy_model, vgg19
+from repro.models.base import LayerSpec, ModelSpec
+
+
+def _model(layer_params):
+    layers = tuple(LayerSpec(f"l{i}", p, 1.0) for i, p in enumerate(layer_params))
+    return ModelSpec("m", layers, 8, 10.0)
+
+
+def test_kvstore_small_layers_one_key_each(rng):
+    model = _model([100, 200, 300])
+    placed = kvstore_sharding(model, 4, rng)
+    assert len(placed) == 3
+    assert {p.layer_index for p in placed} == {0, 1, 2}
+    assert all(0 <= p.server < 4 for p in placed)
+
+
+def test_kvstore_big_layer_split_across_all_servers(rng):
+    model = _model([100, 4_000_001])
+    placed = kvstore_sharding(model, 4, rng)
+    big = [p for p in placed if p.layer_index == 1]
+    assert len(big) == 4
+    assert {p.server for p in big} == {0, 1, 2, 3}
+    assert sum(p.params for p in big) == 4_000_001
+    sizes = [p.params for p in big]
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_kvstore_threshold_boundary(rng):
+    model = _model([KVSTORE_BIG_LAYER_THRESHOLD, KVSTORE_BIG_LAYER_THRESHOLD + 1])
+    placed = kvstore_sharding(model, 2, rng)
+    at = [p for p in placed if p.layer_index == 0]
+    above = [p for p in placed if p.layer_index == 1]
+    assert len(at) == 1       # exactly at threshold: not split
+    assert len(above) == 2    # above: split
+
+
+def test_kvstore_single_server_never_splits(rng):
+    model = _model([5_000_000])
+    placed = kvstore_sharding(model, 1, rng)
+    assert len(placed) == 1
+    assert placed[0].server == 0
+
+
+def test_kvstore_custom_priorities(rng):
+    model = _model([100, 200])
+    placed = kvstore_sharding(model, 2, rng, priorities=[7, 3])
+    by_layer = {p.layer_index: p.priority for p in placed}
+    assert by_layer == {0: 7, 1: 3}
+
+
+def test_kvstore_invalid_servers(rng):
+    with pytest.raises(ValueError):
+        kvstore_sharding(_model([100]), 0, rng)
+
+
+def test_kvstore_keys_unique(rng):
+    model = vgg19()
+    placed = kvstore_sharding(model, 4, rng)
+    keys = [p.key for p in placed]
+    assert len(keys) == len(set(keys))
+    assert sum(p.params for p in placed) == model.total_params
+
+
+def test_round_robin_cycles_servers():
+    slices = slice_model(toy_model(), 10_000)
+    placed = round_robin_placement(slices, 3)
+    assert [p.server for p in placed[:6]] == [0, 1, 2, 0, 1, 2]
+
+
+def test_round_robin_preserves_metadata():
+    slices = slice_model(toy_model(), 10_000)
+    placed = round_robin_placement(slices, 2)
+    for s, p in zip(slices, placed):
+        assert (p.key, p.layer_index, p.params, p.priority) == \
+               (s.key, s.layer_index, s.params, s.priority)
+
+
+def test_round_robin_invalid_servers():
+    with pytest.raises(ValueError):
+        round_robin_placement([], 0)
+
+
+def test_round_robin_balances_vgg_load():
+    """Round-robin at 50k params/slice balances even VGG's skewed bytes
+    (the point of P3's placement vs whole-layer random assignment)."""
+    model = vgg19()
+    placed = round_robin_placement(slice_model(model, 50_000), 4)
+    load = server_load(placed, 4)
+    assert load.max() / load.min() < 1.1
+
+
+def test_server_load_sums_to_model_bytes(rng):
+    model = vgg19()
+    placed = kvstore_sharding(model, 4, rng)
+    assert server_load(placed, 4).sum() == model.total_bytes
+
+
+@given(st.lists(st.integers(min_value=1, max_value=3 * 10**6),
+                min_size=1, max_size=20),
+       st.integers(min_value=1, max_value=8),
+       st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=50, deadline=None)
+def test_property_kvstore_conserves_params(layer_params, n_servers, seed):
+    model = _model(layer_params)
+    rng = np.random.default_rng(seed)
+    placed = kvstore_sharding(model, n_servers, rng)
+    assert sum(p.params for p in placed) == model.total_params
+    keys = [p.key for p in placed]
+    assert keys == list(range(len(keys)))
+    assert all(0 <= p.server < n_servers for p in placed)

@@ -1,0 +1,70 @@
+"""Unit tests for priority policies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.priority import (
+    POLICIES,
+    forward_order,
+    make_priorities,
+    random_order,
+    reverse_order,
+    size_ascending,
+    uniform,
+)
+from repro.models import toy_model, vgg19
+from repro.models.base import LayerSpec, ModelSpec
+
+
+def _model(sizes=(100, 300, 200)):
+    layers = tuple(LayerSpec(f"l{i}", s, 1.0) for i, s in enumerate(sizes))
+    return ModelSpec("m", layers, 8, 10.0)
+
+
+def test_forward_order_is_identity():
+    assert forward_order(_model()) == [0, 1, 2]
+
+
+def test_reverse_order():
+    assert reverse_order(_model()) == [2, 1, 0]
+
+
+def test_uniform_all_equal():
+    assert uniform(_model()) == [0, 0, 0]
+
+
+def test_size_ascending_smallest_first():
+    prios = size_ascending(_model((100, 300, 200)))
+    # smallest layer (index 0) gets highest priority (lowest value)
+    assert prios[0] == 0
+    assert prios[1] == 2
+    assert prios[2] == 1
+
+
+def test_random_is_permutation_and_seeded():
+    model = vgg19()
+    a = random_order(model, np.random.default_rng(5))
+    b = random_order(model, np.random.default_rng(5))
+    assert a == b
+    assert sorted(a) == list(range(model.n_layers))
+
+
+def test_make_priorities_dispatch():
+    model = _model()
+    for name in POLICIES:
+        prios = make_priorities(model, name)
+        assert len(prios) == model.n_layers
+    prios = make_priorities(model, "random", rng=np.random.default_rng(0))
+    assert sorted(prios) == [0, 1, 2]
+
+
+def test_make_priorities_random_requires_rng():
+    with pytest.raises(ValueError):
+        make_priorities(_model(), "random")
+
+
+def test_make_priorities_unknown_policy():
+    with pytest.raises(KeyError):
+        make_priorities(_model(), "alphabetical")

@@ -1,0 +1,112 @@
+"""Unit and property tests for parameter slicing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.slicing import DEFAULT_SLICE_PARAMS, Slice, slice_layer, slice_model
+from repro.models import toy_model, vgg19
+from repro.models.base import BYTES_PER_PARAM, LayerSpec
+
+
+def test_slice_validation():
+    with pytest.raises(ValueError):
+        Slice(key=0, layer_index=0, part=0, n_parts=1, params=0, priority=0)
+    with pytest.raises(ValueError):
+        Slice(key=0, layer_index=0, part=2, n_parts=2, params=5, priority=0)
+
+
+def test_slice_bytes():
+    s = Slice(key=0, layer_index=0, part=0, n_parts=1, params=7, priority=0)
+    assert s.bytes == 7 * BYTES_PER_PARAM
+
+
+def test_small_layer_single_slice():
+    layer = LayerSpec("small", 100, 1.0)
+    slices = slice_layer(layer, 3, max_slice_params=1000)
+    assert len(slices) == 1
+    assert slices[0].params == 100
+    assert slices[0].layer_index == 3
+    assert slices[0].priority == 3
+
+
+def test_large_layer_balanced_slices():
+    layer = LayerSpec("big", 10_001, 1.0)
+    slices = slice_layer(layer, 0, max_slice_params=1000)
+    assert len(slices) == 11
+    sizes = [s.params for s in slices]
+    assert sum(sizes) == 10_001
+    assert max(sizes) - min(sizes) <= 1
+    assert max(sizes) <= 1000
+
+
+def test_priority_override():
+    layer = LayerSpec("l", 100, 1.0)
+    slices = slice_layer(layer, 5, 1000, priority=42)
+    assert slices[0].priority == 42
+
+
+def test_invalid_slice_size():
+    with pytest.raises(ValueError):
+        slice_layer(LayerSpec("l", 10, 1.0), 0, 0)
+
+
+def test_slice_model_keys_dense_and_unique():
+    model = vgg19()
+    slices = slice_model(model, DEFAULT_SLICE_PARAMS)
+    keys = [s.key for s in slices]
+    assert keys == list(range(len(slices)))
+
+
+def test_slice_model_preserves_total_params():
+    model = vgg19()
+    slices = slice_model(model, DEFAULT_SLICE_PARAMS)
+    assert sum(s.params for s in slices) == model.total_params
+
+
+def test_slice_model_priorities_default_forward_order():
+    model = toy_model()
+    slices = slice_model(model, 10_000)
+    for s in slices:
+        assert s.priority == s.layer_index
+
+
+def test_slice_model_custom_priorities():
+    model = toy_model()
+    slices = slice_model(model, 10_000, priorities=[2, 0, 1])
+    by_layer = {s.layer_index: s.priority for s in slices}
+    assert by_layer == {0: 2, 1: 0, 2: 1}
+
+
+def test_slice_model_priorities_length_checked():
+    with pytest.raises(ValueError):
+        slice_model(toy_model(), 10_000, priorities=[0, 1])
+
+
+def test_vgg_fc_layer_dominates_slice_count():
+    """71.5% of VGG-19's slices come from the fc6 weight at 50k/slice."""
+    model = vgg19()
+    slices = slice_model(model, DEFAULT_SLICE_PARAMS)
+    heavy = model.heaviest_layer
+    n_heavy = sum(1 for s in slices if s.layer_index == heavy)
+    assert n_heavy / len(slices) > 0.6
+
+
+@given(st.integers(min_value=1, max_value=10**7),
+       st.integers(min_value=1, max_value=10**6))
+@settings(max_examples=100, deadline=None)
+def test_property_slicing_invariants(params, max_slice):
+    layer = LayerSpec("l", params, 1.0)
+    slices = slice_layer(layer, 0, max_slice)
+    assert sum(s.params for s in slices) == params
+    assert all(s.params <= max_slice for s in slices)
+    assert all(s.params >= 1 for s in slices)
+    sizes = [s.params for s in slices]
+    assert max(sizes) - min(sizes) <= 1
+    assert [s.part for s in slices] == list(range(len(slices)))
+    assert all(s.n_parts == len(slices) for s in slices)
+    # Minimal cover: one fewer slice would exceed max_slice.
+    if len(slices) > 1:
+        assert (len(slices) - 1) * max_slice < params

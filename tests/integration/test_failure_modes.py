@@ -1,0 +1,67 @@
+"""Negative-path tests: the simulator must fail loudly, not hang or
+silently produce wrong numbers, when the protocol breaks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import ClusterConfig, ClusterSim
+from repro.sim.engine import SimulationError
+from repro.sim.network import Message, MsgKind
+from repro.strategies import baseline, p3
+
+
+def test_dropped_push_detected_as_stall(tiny_model):
+    """If a server silently loses one push, workers can never finish;
+    the deadlock guard must raise instead of returning garbage."""
+    cfg = ClusterConfig(n_workers=2, bandwidth_gbps=10.0)
+    sim = ClusterSim(tiny_model, baseline(), cfg)
+    dropped = {"done": False}
+    orig = sim.servers[0].on_message
+
+    def lossy(msg: Message):
+        if msg.kind is MsgKind.PUSH and not dropped["done"]:
+            dropped["done"] = True
+            return  # drop exactly one gradient push
+        orig(msg)
+
+    sim.servers[0].on_message = lossy
+    with pytest.raises(SimulationError, match="stalled"):
+        sim.run(iterations=3, warmup=1)
+
+
+def test_dropped_param_detected_as_stall(tiny_model):
+    """Losing a parameter broadcast blocks the next forward pass."""
+    cfg = ClusterConfig(n_workers=2, bandwidth_gbps=10.0)
+    sim = ClusterSim(tiny_model, p3(), cfg)
+    dropped = {"done": False}
+    orig = sim.workers[1].on_message
+
+    def lossy(msg: Message):
+        if msg.kind is MsgKind.PARAM and not dropped["done"]:
+            dropped["done"] = True
+            return
+        orig(msg)
+
+    sim.workers[1].on_message = lossy
+    with pytest.raises(SimulationError, match="stalled"):
+        sim.run(iterations=3, warmup=1)
+
+
+def test_stall_error_names_strategy_and_model(tiny_model):
+    cfg = ClusterConfig(n_workers=2, bandwidth_gbps=10.0)
+    sim = ClusterSim(tiny_model, baseline(), cfg)
+    sim.servers[0].on_message = lambda msg: None  # black-hole server
+    with pytest.raises(SimulationError) as exc:
+        sim.run(iterations=3, warmup=1)
+    assert "baseline" in str(exc.value)
+    assert tiny_model.name in str(exc.value)
+
+
+def test_max_events_guard_limits_runaway(tiny_model):
+    """max_events bounds a run; with too few events workers are
+    incomplete and the guard fires."""
+    cfg = ClusterConfig(n_workers=4, bandwidth_gbps=0.1)
+    sim = ClusterSim(tiny_model, baseline(), cfg)
+    with pytest.raises(SimulationError, match="stalled"):
+        sim.run(iterations=50, warmup=1, max_events=100)

@@ -1,0 +1,81 @@
+"""Property-based integration tests: simulator invariants must hold for
+*arbitrary* models and strategies, not just the zoo."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.base import LayerSpec, ModelSpec
+from repro.sim import ClusterConfig, ClusterSim
+from repro.strategies import STRATEGY_FACTORIES, get_strategy
+
+model_st = st.builds(
+    lambda sizes, batch, sps: ModelSpec(
+        name="rand",
+        layers=tuple(LayerSpec(f"l{i}", s, float(s)) for i, s in enumerate(sizes)),
+        batch_size=batch,
+        samples_per_sec=float(sps),
+    ),
+    sizes=st.lists(st.integers(min_value=100, max_value=400_000),
+                   min_size=1, max_size=8),
+    batch=st.integers(min_value=1, max_value=64),
+    sps=st.integers(min_value=10, max_value=2000),
+)
+
+
+@given(model=model_st,
+       strategy_name=st.sampled_from(sorted(STRATEGY_FACTORIES)),
+       n_workers=st.integers(min_value=1, max_value=5),
+       bandwidth=st.sampled_from([0.3, 1.0, 8.0]),
+       seed=st.integers(min_value=0, max_value=3))
+@settings(max_examples=60, deadline=None)
+def test_property_simulation_invariants(model, strategy_name, n_workers,
+                                        bandwidth, seed):
+    """For any model x strategy x cluster:
+    1. the simulation terminates (no protocol deadlock);
+    2. iteration time >= pure compute time;
+    3. throughput <= compute bound;
+    4. every key updates exactly once per worker-iteration round."""
+    strategy = get_strategy(strategy_name)
+    cfg = ClusterConfig(n_workers=n_workers, bandwidth_gbps=bandwidth, seed=seed)
+    sim = ClusterSim(model, strategy, cfg)
+    iterations = 3
+    result = sim.run(iterations=iterations, warmup=1)
+
+    assert result.throughput > 0
+    compute = model.iteration_compute_time()
+    assert result.mean_iteration_time >= compute * 0.999
+    bound = n_workers * model.batch_size / compute
+    assert result.throughput <= bound * 1.001
+
+    updates = sum(s.updates_done for s in sim.servers)
+    if strategy.async_updates:
+        # one update per push: keys x workers x iterations
+        assert updates == len(sim.placed) * n_workers * iterations
+    else:
+        assert updates == len(sim.placed) * iterations
+
+
+@given(model=model_st,
+       n_workers=st.integers(min_value=2, max_value=4),
+       seed=st.integers(min_value=0, max_value=3))
+@settings(max_examples=25, deadline=None)
+def test_property_p3_not_slower_than_baseline(model, n_workers, seed):
+    """P3 may tie but should not lose materially to the baseline on any
+    model (allowing 3% numerical slack for tiny-key edge cases)."""
+    cfg = ClusterConfig(n_workers=n_workers, bandwidth_gbps=0.5, seed=seed)
+    base = ClusterSim(model, get_strategy("baseline"), cfg).run(3, warmup=1)
+    fast = ClusterSim(model, get_strategy("p3"), cfg).run(3, warmup=1)
+    assert fast.throughput >= 0.97 * base.throughput
+
+
+@given(model=model_st, seed=st.integers(min_value=0, max_value=5))
+@settings(max_examples=25, deadline=None)
+def test_property_determinism_for_random_models(model, seed):
+    cfg = ClusterConfig(n_workers=3, bandwidth_gbps=1.0, seed=seed)
+    a = ClusterSim(model, get_strategy("p3"), cfg).run(3, warmup=1)
+    b = ClusterSim(model, get_strategy("p3"), cfg).run(3, warmup=1)
+    assert np.array_equal(a.iteration_times, b.iteration_times)

@@ -1,0 +1,97 @@
+"""Unit tests for the functional PS shard."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kvstore.server import ServerShard
+from repro.training.optim import SGD
+
+
+def _shard(n_workers=2, lr=1.0, momentum=0.0):
+    return ServerShard(0, n_workers, SGD(lr=lr, momentum=momentum))
+
+
+def test_init_and_pull():
+    shard = _shard()
+    shard.init_key(0, np.array([1.0, 2.0]))
+    np.testing.assert_array_equal(shard.pull(0), [1.0, 2.0])
+    assert shard.keys == [0]
+    assert shard.total_params == 2
+
+
+def test_double_init_rejected():
+    shard = _shard()
+    shard.init_key(0, np.zeros(2))
+    with pytest.raises(KeyError):
+        shard.init_key(0, np.zeros(2))
+
+
+def test_unknown_key_rejected():
+    shard = _shard()
+    with pytest.raises(KeyError):
+        shard.push(0, 5, np.zeros(2))
+    with pytest.raises(KeyError):
+        shard.pull(5)
+
+
+def test_update_waits_for_all_workers():
+    shard = _shard(n_workers=3, lr=1.0)
+    shard.init_key(0, np.array([0.0]))
+    assert shard.push(0, 0, np.array([3.0])) is False
+    assert shard.push(1, 0, np.array([3.0])) is False
+    np.testing.assert_array_equal(shard.pull(0), [0.0])  # not yet updated
+    assert shard.push(2, 0, np.array([3.0])) is True
+    # mean gradient 3.0, lr 1.0 -> value -3.0
+    np.testing.assert_allclose(shard.pull(0), [-3.0])
+    assert shard.updates_applied == 1
+
+
+def test_aggregation_is_mean():
+    shard = _shard(n_workers=2, lr=1.0)
+    shard.init_key(0, np.array([0.0, 0.0]))
+    shard.push(0, 0, np.array([2.0, 4.0]))
+    shard.push(1, 0, np.array([4.0, 0.0]))
+    np.testing.assert_allclose(shard.pull(0), [-3.0, -2.0])
+
+
+def test_duplicate_push_in_round_rejected():
+    shard = _shard(n_workers=2)
+    shard.init_key(0, np.zeros(1))
+    shard.push(0, 0, np.ones(1))
+    with pytest.raises(RuntimeError):
+        shard.push(0, 0, np.ones(1))
+
+
+def test_shape_mismatch_rejected():
+    shard = _shard()
+    shard.init_key(0, np.zeros(3))
+    with pytest.raises(ValueError):
+        shard.push(0, 0, np.zeros(2))
+
+
+def test_rounds_reset():
+    shard = _shard(n_workers=2, lr=1.0)
+    shard.init_key(0, np.array([0.0]))
+    for _ in range(3):
+        shard.push(0, 0, np.array([1.0]))
+        shard.push(1, 0, np.array([1.0]))
+    np.testing.assert_allclose(shard.pull(0), [-3.0])
+    assert shard.updates_applied == 3
+
+
+def test_momentum_carries_across_rounds():
+    shard = _shard(n_workers=1, lr=1.0, momentum=0.5)
+    shard.init_key(0, np.array([0.0]))
+    shard.push(0, 0, np.array([1.0]))   # v=1, p=-1
+    shard.push(0, 0, np.array([1.0]))   # v=1.5, p=-2.5
+    np.testing.assert_allclose(shard.pull(0), [-2.5])
+
+
+def test_pull_returns_copy():
+    shard = _shard()
+    shard.init_key(0, np.array([1.0]))
+    out = shard.pull(0)
+    out[0] = 99.0
+    np.testing.assert_array_equal(shard.pull(0), [1.0])

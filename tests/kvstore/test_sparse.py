@@ -1,0 +1,98 @@
+"""Sparse (DGC-style) pushes through the functional store."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kvstore import BaselineKVStore, P3Store
+from repro.kvstore.server import ServerShard
+from repro.training.dgc import DGCCompressor, DGCConfig
+from repro.training.optim import SGD
+
+
+def test_shard_push_sparse_accumulates():
+    shard = ServerShard(0, 2, SGD(lr=1.0, momentum=0.0))
+    shard.init_key(0, np.zeros(4))
+    shard.push_sparse(0, 0, np.array([1, 3]), np.array([2.0, 4.0]))
+    done = shard.push_sparse(1, 0, np.array([1]), np.array([2.0]))
+    assert done
+    # mean over 2 workers: [0, 2, 0, 2]; lr 1 -> negated
+    np.testing.assert_allclose(shard.pull(0), [0.0, -2.0, 0.0, -2.0])
+
+
+def test_shard_push_sparse_validation():
+    shard = ServerShard(0, 1, SGD(lr=1.0))
+    shard.init_key(0, np.zeros(3))
+    with pytest.raises(IndexError):
+        shard.push_sparse(0, 0, np.array([3]), np.array([1.0]))
+    with pytest.raises(ValueError):
+        shard.push_sparse(0, 0, np.array([0, 1]), np.array([1.0]))
+    with pytest.raises(KeyError):
+        shard.push_sparse(0, 9, np.array([0]), np.array([1.0]))
+
+
+def test_shard_sparse_duplicate_worker_rejected():
+    shard = ServerShard(0, 2, SGD(lr=1.0))
+    shard.init_key(0, np.zeros(2))
+    shard.push_sparse(0, 0, np.array([0]), np.array([1.0]))
+    with pytest.raises(RuntimeError):
+        shard.push_sparse(0, 0, np.array([1]), np.array([1.0]))
+
+
+def _full_density_sparse(grads):
+    return {name: (np.arange(g.size), g.ravel().copy())
+            for name, g in grads.items()}
+
+
+@pytest.mark.parametrize("store_cls,kw", [
+    (P3Store, {"slice_params": 37}),
+    (BaselineKVStore, {"threshold": 100}),
+])
+def test_sparse_round_full_density_matches_dense(store_cls, kw):
+    """density=1 sparse pushes must equal dense pushes exactly, across
+    both placements — compression composes with slicing/sharding."""
+    rng = np.random.default_rng(0)
+    params = {"a": rng.normal(size=300), "b": rng.normal(size=(5, 9))}
+    grads = [{k: rng.normal(size=v.shape) for k, v in params.items()}
+             for _ in range(2)]
+    dense_store = store_cls(n_workers=2, n_servers=2, lr=0.1, momentum=0.9,
+                            seed=3, **kw)
+    sparse_store = store_cls(n_workers=2, n_servers=2, lr=0.1, momentum=0.9,
+                             seed=3, **kw)
+    dense_store.init(params)
+    sparse_store.init(params)
+    out_d = dense_store.round(grads)
+    out_s = sparse_store.round_sparse([_full_density_sparse(g) for g in grads])
+    for name in params:
+        np.testing.assert_allclose(out_s[name], out_d[name], atol=1e-12)
+
+
+def test_sparse_round_with_real_dgc_compressor():
+    """End-to-end: DGCCompressor output flows through the sliced store."""
+    rng = np.random.default_rng(1)
+    params = {"w": rng.normal(size=500)}
+    store = P3Store(n_workers=2, n_servers=2, lr=0.1, momentum=0.0,
+                    slice_params=100)
+    store.init(params)
+    comps = [DGCCompressor(DGCConfig(density=0.1, momentum=0.0, clip_norm=0.0,
+                                     warmup_epochs=0, warmup_densities=()))
+             for _ in range(2)]
+    sparse = []
+    for comp in comps:
+        grads = {"w": rng.normal(size=500)}
+        sparse.append(comp.compress(grads, density=0.1))
+    new = store.round_sparse(sparse)
+    # Only ~10% of coordinates moved; most must be untouched this round.
+    moved = np.sum(~np.isclose(new["w"], params["w"]))
+    assert 0 < moved <= 2 * 50 + 5
+
+
+def test_sparse_round_validates_inputs():
+    store = P3Store(n_workers=2, n_servers=1)
+    store.init({"w": np.zeros(10)})
+    with pytest.raises(ValueError):
+        store.round_sparse([{"w": (np.array([0]), np.array([1.0]))}])
+    with pytest.raises(KeyError):
+        store.round_sparse([{"x": (np.array([0]), np.array([1.0]))},
+                            {"x": (np.array([0]), np.array([1.0]))}])

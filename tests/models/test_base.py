@@ -1,0 +1,124 @@
+"""Unit tests for LayerSpec / ModelSpec."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.base import (
+    BYTES_PER_PARAM,
+    LayerSpec,
+    ModelSpec,
+    conv_flops,
+    conv_params,
+    dense_flops,
+    dense_params,
+    make_layers,
+)
+
+
+def _model(layer_params=(100, 200, 300), batch=8, sps=10.0, **kw):
+    layers = tuple(LayerSpec(f"l{i}", p, float(p)) for i, p in enumerate(layer_params))
+    return ModelSpec("m", layers, batch, sps, **kw)
+
+
+def test_layer_validation():
+    with pytest.raises(ValueError):
+        LayerSpec("bad", 0, 1.0)
+    with pytest.raises(ValueError):
+        LayerSpec("bad", 10, -1.0)
+
+
+def test_layer_bytes():
+    assert LayerSpec("l", 25, 1.0).bytes == 25 * BYTES_PER_PARAM
+
+
+def test_model_validation():
+    with pytest.raises(ValueError):
+        ModelSpec("m", (), 8, 10.0)
+    with pytest.raises(ValueError):
+        _model(batch=0)
+    with pytest.raises(ValueError):
+        _model(sps=0.0)
+    with pytest.raises(ValueError):
+        _model(forward_fraction=1.5)
+
+
+def test_totals_and_counts():
+    m = _model((100, 200, 300))
+    assert m.total_params == 600
+    assert m.total_bytes == 2400
+    assert m.n_layers == 3
+    assert list(m.param_counts()) == [100, 200, 300]
+    assert m.heaviest_layer == 2
+    assert m.param_fraction(2) == pytest.approx(0.5)
+
+
+def test_iteration_compute_time_and_scale():
+    m = _model(batch=20, sps=10.0)
+    assert m.iteration_compute_time() == pytest.approx(2.0)
+    assert m.iteration_compute_time(compute_scale=2.0) == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        m.iteration_compute_time(0.0)
+
+
+def test_forward_backward_times_sum_to_iteration():
+    m = _model(batch=20, sps=10.0)
+    total = m.forward_times().sum() + m.backward_times().sum()
+    assert total == pytest.approx(m.iteration_compute_time())
+
+
+def test_forward_fraction_split():
+    m = _model(batch=30, sps=10.0, forward_fraction=0.25)
+    assert m.forward_times().sum() == pytest.approx(0.75)
+    assert m.backward_times().sum() == pytest.approx(2.25)
+
+
+def test_times_proportional_to_flops():
+    layers = (LayerSpec("a", 10, 1.0), LayerSpec("b", 10, 3.0))
+    m = ModelSpec("m", layers, 8, 10.0)
+    fwd = m.forward_times()
+    assert fwd[1] == pytest.approx(3 * fwd[0])
+
+
+def test_zero_flops_falls_back_to_params():
+    layers = (LayerSpec("a", 10, 0.0), LayerSpec("b", 30, 0.0))
+    m = ModelSpec("m", layers, 8, 10.0)
+    fwd = m.forward_times()
+    assert fwd[1] == pytest.approx(3 * fwd[0])
+
+
+def test_describe_contains_key_facts():
+    text = _model().describe()
+    assert "3 parameter arrays" in text
+    assert "heaviest array" in text
+
+
+def test_param_helpers():
+    assert conv_params(3, 4, 8) == 3 * 3 * 4 * 8
+    assert conv_params(3, 4, 8, bias=True) == 3 * 3 * 4 * 8 + 8
+    assert conv_flops(3, 4, 8, 10, 10) == 2 * 3 * 3 * 4 * 8 * 100
+    assert dense_params(10, 5) == 55
+    assert dense_params(10, 5, bias=False) == 50
+    assert dense_flops(10, 5) == 100
+
+
+def test_make_layers():
+    layers = make_layers([("a", 10, 1.0), ("b", 20, 2.0)])
+    assert [l.name for l in layers] == ["a", "b"]
+
+
+@given(st.lists(st.integers(min_value=1, max_value=10**6), min_size=1, max_size=30),
+       st.integers(min_value=1, max_value=256),
+       st.floats(min_value=0.1, max_value=1e4, allow_nan=False))
+@settings(max_examples=50, deadline=None)
+def test_property_time_split_always_consistent(params, batch, sps):
+    layers = tuple(LayerSpec(f"l{i}", p, float(p)) for i, p in enumerate(params))
+    m = ModelSpec("m", layers, batch, sps)
+    fwd, bwd = m.forward_times(), m.backward_times()
+    assert (fwd >= 0).all() and (bwd >= 0).all()
+    assert fwd.sum() + bwd.sum() == pytest.approx(m.iteration_compute_time())
+    # backward is twice forward with the default 1/3 fraction
+    assert bwd.sum() == pytest.approx(2 * fwd.sum())

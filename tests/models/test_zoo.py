@@ -1,0 +1,129 @@
+"""The model zoo must reproduce the paper's Figure 5 facts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    available_models,
+    fig4_model,
+    fig6_model,
+    get_model,
+    inceptionv3,
+    resnet50,
+    resnet110_cifar,
+    sockeye,
+    toy_model,
+    vgg19,
+)
+
+
+def test_registry_contains_all_builders():
+    names = available_models()
+    for expected in ("resnet50", "vgg19", "inceptionv3", "sockeye",
+                     "resnet110_cifar", "toy3"):
+        assert expected in names
+
+
+def test_unknown_model_raises():
+    with pytest.raises(KeyError):
+        get_model("lenet5")
+
+
+def test_resnet50_matches_published_size():
+    m = resnet50()
+    assert m.total_params == pytest.approx(25.5e6, rel=0.01)
+    # Figure 5(a): ~160 parameter arrays, none above ~2.4M params.
+    assert 155 <= m.n_layers <= 165
+    assert m.param_counts().max() < 2.5e6
+
+
+def test_vgg19_matches_published_size_and_skew():
+    m = vgg19()
+    assert m.total_params == pytest.approx(143.7e6, rel=0.01)
+    # Section 3: the fc6 weight holds 71.5% of all parameters.
+    share = m.param_fraction(m.heaviest_layer)
+    assert share == pytest.approx(0.715, abs=0.005)
+    # Figure 5(b): ~40 arrays.
+    assert 36 <= m.n_layers <= 42
+
+
+def test_inceptionv3_size():
+    m = inceptionv3()
+    assert m.total_params == pytest.approx(23.8e6, rel=0.05)
+    # Many small layers: the largest array is <10% of the model.
+    assert m.param_fraction(m.heaviest_layer) < 0.10
+
+
+def test_sockeye_heavy_initial_layer():
+    m = sockeye()
+    # Figure 5(c): the heaviest array is the *first* layer (src embedding).
+    assert m.heaviest_layer == 0
+    assert m.layers[0].params == pytest.approx(8.45e6, rel=0.01)
+    assert m.jitter_sigma > 0  # variable sequence lengths
+
+
+def test_resnet110_size():
+    m = resnet110_cifar()
+    assert m.total_params == pytest.approx(1.73e6, rel=0.05)
+
+
+def test_image_models_have_light_early_layers():
+    """The general trend of Figure 5: image classifiers' final FC layers
+    are heavier than initial convolutions."""
+    for model in (resnet50(), vgg19()):
+        counts = model.param_counts()
+        early = counts[: model.n_layers // 4].max()
+        late = counts[model.n_layers // 2:].max()
+        assert late > early
+
+
+def test_toy_models():
+    t = toy_model()
+    assert t.n_layers == 3
+    # fwd == bwd == 1 s per layer with the defaults
+    assert t.forward_times() == pytest.approx(np.ones(3))
+    assert t.backward_times() == pytest.approx(np.ones(3))
+    f6 = fig6_model()
+    assert f6.layers[1].params == 3 * f6.layers[0].params
+    assert fig4_model().n_layers == 3
+
+
+def test_all_models_have_positive_layer_sizes():
+    for name in available_models():
+        m = get_model(name)
+        assert (m.param_counts() > 0).all()
+        assert m.total_params > 0
+
+
+def test_alexnet_extreme_fc_skew():
+    from repro.models import alexnet
+    m = alexnet()
+    assert m.total_params == pytest.approx(61e6, rel=0.02)
+    counts = m.param_counts()
+    fc_share = sorted(counts)[-2:]  # fc6 + fc7 weights
+    assert sum(fc_share) / m.total_params > 0.85
+
+
+def test_transformer_lm_gpt2_small_size():
+    from repro.models import transformer_lm
+    m = transformer_lm()
+    # GPT-2 small is ~117M tied; untied adds the 38.6M-param LM head.
+    assert m.total_params == pytest.approx(163e6, rel=0.02)
+    tied = transformer_lm(tied_head=True)
+    assert tied.total_params == pytest.approx(124e6, rel=0.02)
+    # Sockeye-like: the heaviest array is the token embedding (index 0).
+    assert m.heaviest_layer in (0, m.n_layers - 1)
+    assert m.layers[0].name == "tok_embed"
+
+
+def test_transformer_lm_validation():
+    from repro.models import transformer_lm
+    with pytest.raises(ValueError):
+        transformer_lm(n_layers=0)
+
+
+def test_builders_are_deterministic():
+    a, b = resnet50(), resnet50()
+    assert a.param_counts().tolist() == b.param_counts().tolist()

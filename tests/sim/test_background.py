@@ -1,0 +1,86 @@
+"""Tests for background traffic and straggler injection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import ClusterConfig, ClusterSim, simulate
+from repro.sim.background import BackgroundTraffic
+from repro.strategies import asgd, baseline, p3
+
+
+def test_background_load_validation(tiny_model):
+    with pytest.raises(ValueError):
+        ClusterConfig(background_load=1.0)
+    with pytest.raises(ValueError):
+        ClusterConfig(background_load=-0.1)
+    cfg = ClusterConfig(n_workers=2, bandwidth_gbps=1.0, background_load=0.3)
+    sim = ClusterSim(tiny_model, baseline(), cfg)
+    with pytest.raises(ValueError):
+        BackgroundTraffic(sim, 0.3, 0)
+
+
+def test_background_traffic_slows_training(tiny_model):
+    quiet = ClusterConfig(n_workers=4, bandwidth_gbps=0.5)
+    noisy = ClusterConfig(n_workers=4, bandwidth_gbps=0.5, background_load=0.5)
+    fast = simulate(tiny_model, baseline(), quiet, iterations=4, warmup=1)
+    slow = simulate(tiny_model, baseline(), noisy, iterations=4, warmup=1)
+    assert slow.mean_iteration_time > fast.mean_iteration_time
+
+
+def test_background_traffic_terminates(tiny_model):
+    """Noise generation must stop once workers finish (no infinite run)."""
+    cfg = ClusterConfig(n_workers=2, bandwidth_gbps=1.0, background_load=0.4)
+    result = simulate(tiny_model, p3(), cfg, iterations=3, warmup=1)
+    assert result.throughput > 0
+
+
+def test_background_bursts_injected(tiny_model):
+    cfg = ClusterConfig(n_workers=2, bandwidth_gbps=1.0, background_load=0.4,
+                        background_burst_bytes=100_000)
+    sim = ClusterSim(tiny_model, baseline(), cfg)
+    sim.run(iterations=3, warmup=1)
+    assert sim.background is not None
+    assert sim.background.bursts_injected > 0
+
+
+def test_zero_load_means_no_generator(tiny_model, fast_cluster):
+    sim = ClusterSim(tiny_model, baseline(), fast_cluster)
+    assert sim.background is None
+
+
+def test_p3_advantage_grows_with_contention(tiny_model):
+    def speedup(load):
+        cfg = ClusterConfig(n_workers=4, bandwidth_gbps=1.0,
+                            background_load=load, seed=0)
+        base = simulate(tiny_model, baseline(), cfg, iterations=4, warmup=1)
+        fast = simulate(tiny_model, p3(), cfg, iterations=4, warmup=1)
+        return fast.throughput / base.throughput
+
+    # P3 should not become *worse* under contention.
+    assert speedup(0.5) >= speedup(0.0) * 0.95
+
+
+def test_straggler_validation():
+    with pytest.raises(ValueError):
+        ClusterConfig(n_workers=4, straggler_factors=(1.0, 1.0))  # wrong arity
+    with pytest.raises(ValueError):
+        ClusterConfig(n_workers=2, straggler_factors=(1.0, 0.0))
+
+
+def test_straggler_slows_synchronous_training(tiny_model):
+    even = ClusterConfig(n_workers=4, bandwidth_gbps=10.0)
+    skew = ClusterConfig(n_workers=4, bandwidth_gbps=10.0,
+                         straggler_factors=(1.0, 1.0, 1.0, 2.0))
+    fast = simulate(tiny_model, baseline(), even, iterations=4, warmup=1)
+    slow = simulate(tiny_model, baseline(), skew, iterations=4, warmup=1)
+    # Synchronous SGD runs at the slowest worker's pace.
+    assert slow.mean_iteration_time > 1.6 * fast.mean_iteration_time
+
+
+def test_asgd_tolerates_stragglers(tiny_model):
+    skew = ClusterConfig(n_workers=4, bandwidth_gbps=10.0,
+                         straggler_factors=(1.0, 1.0, 1.0, 2.0))
+    sync = simulate(tiny_model, baseline(), skew, iterations=5, warmup=1)
+    async_ = simulate(tiny_model, asgd(), skew, iterations=5, warmup=1)
+    assert async_.throughput > 1.2 * sync.throughput

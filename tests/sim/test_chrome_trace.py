@@ -1,0 +1,57 @@
+"""Tests for the Chrome-tracing exporter."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.sim import ClusterConfig, build_trace_events, export_chrome_trace, simulate
+from repro.strategies import baseline
+
+
+@pytest.fixture
+def run(tiny_model):
+    cfg = ClusterConfig(n_workers=2, bandwidth_gbps=1.0)
+    return simulate(tiny_model, baseline(), cfg, iterations=3, warmup=1,
+                    trace_utilization=True)
+
+
+def test_events_cover_compute_and_network(run):
+    events = build_trace_events(run)
+    cats = {e["cat"] for e in events}
+    assert {"compute", "network"} <= cats
+    names = {e["name"].split("[")[0] for e in events if e["cat"] == "compute"}
+    assert {"forward", "backward"} <= names
+
+
+def test_event_schema(run):
+    for e in build_trace_events(run):
+        assert e["ph"] == "X"
+        assert e["dur"] >= 0
+        assert e["ts"] >= 0
+        assert isinstance(e["pid"], int) and isinstance(e["tid"], int)
+
+
+def test_compute_on_tid0_network_on_tid12(run):
+    for e in build_trace_events(run):
+        if e["cat"] == "compute" or e["cat"] == "stall":
+            assert e["tid"] == 0
+        else:
+            assert e["tid"] in (1, 2)
+
+
+def test_export_writes_valid_json(run, tmp_path):
+    path = export_chrome_trace(run, tmp_path / "sub" / "trace.json")
+    doc = json.loads(path.read_text())
+    assert doc["otherData"]["model"] == run.model_name
+    assert doc["otherData"]["strategy"] == "baseline"
+    assert len(doc["traceEvents"]) > 0
+
+
+def test_export_without_utilization(tiny_model, tmp_path):
+    cfg = ClusterConfig(n_workers=2, bandwidth_gbps=1.0)
+    run = simulate(tiny_model, baseline(), cfg, iterations=3, warmup=1)
+    path = export_chrome_trace(run, tmp_path / "t.json")
+    doc = json.loads(path.read_text())
+    assert all(e["cat"] in ("compute", "stall") for e in doc["traceEvents"])

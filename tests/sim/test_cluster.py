@@ -1,0 +1,191 @@
+"""Integration-level tests of the cluster simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.base import LayerSpec, ModelSpec
+from repro.sim import ClusterConfig, ClusterSim, simulate
+from repro.strategies import (
+    asgd,
+    baseline,
+    get_strategy,
+    p3,
+    poseidon_wfbp,
+    slicing_only,
+    tensorflow_style,
+)
+
+ALL_STRATEGIES = ("baseline", "slicing", "p3", "tensorflow", "poseidon", "asgd")
+
+
+@pytest.mark.parametrize("strategy_name", ALL_STRATEGIES)
+def test_every_strategy_completes(tiny_model, fast_cluster, strategy_name):
+    result = simulate(tiny_model, get_strategy(strategy_name), fast_cluster,
+                      iterations=4, warmup=1)
+    assert result.throughput > 0
+    assert result.mean_iteration_time > 0
+    assert len(result.iteration_times) == 3
+
+
+def test_throughput_bounded_by_compute(tiny_model):
+    """No strategy can beat the compute-bound rate."""
+    cfg = ClusterConfig(n_workers=4, bandwidth_gbps=100.0)
+    result = simulate(tiny_model, p3(), cfg, iterations=4, warmup=1)
+    compute_bound = 4 * tiny_model.samples_per_sec
+    assert result.throughput <= compute_bound * 1.001
+    assert result.throughput > 0.8 * compute_bound  # and nearly reaches it
+
+
+def test_iteration_time_at_least_compute_time(tiny_model, fast_cluster):
+    result = simulate(tiny_model, baseline(), fast_cluster, iterations=4, warmup=1)
+    assert result.mean_iteration_time >= tiny_model.iteration_compute_time() - 1e-9
+
+
+def test_determinism(tiny_model, fast_cluster):
+    a = simulate(tiny_model, p3(), fast_cluster, iterations=4, warmup=1)
+    b = simulate(tiny_model, p3(), fast_cluster, iterations=4, warmup=1)
+    assert np.array_equal(a.iteration_times, b.iteration_times)
+    assert a.events_processed == b.events_processed
+
+
+def test_lower_bandwidth_never_faster(tiny_model):
+    times = []
+    for bw in (0.5, 1.0, 4.0):
+        cfg = ClusterConfig(n_workers=4, bandwidth_gbps=bw)
+        times.append(simulate(tiny_model, baseline(), cfg,
+                              iterations=4, warmup=1).mean_iteration_time)
+    assert times[0] >= times[1] >= times[2]
+
+
+def test_p3_at_least_as_fast_as_baseline_when_constrained(skewed_model):
+    cfg = ClusterConfig(n_workers=4, bandwidth_gbps=0.5)
+    base = simulate(skewed_model, baseline(), cfg, iterations=4, warmup=1)
+    fast = simulate(skewed_model, p3(), cfg, iterations=4, warmup=1)
+    assert fast.throughput >= base.throughput
+
+
+def test_all_keys_pushed_and_returned(tiny_model, fast_cluster):
+    sim = ClusterSim(tiny_model, p3(), fast_cluster)
+    n_keys = len(sim.placed)
+    result = sim.run(iterations=3, warmup=1)
+    total_updates = sum(s.updates_done for s in sim.servers)
+    # every key is updated once per iteration
+    assert total_updates == n_keys * 3
+
+
+def test_per_worker_throughput_sums(tiny_model, fast_cluster):
+    result = simulate(tiny_model, baseline(), fast_cluster, iterations=4, warmup=1)
+    assert result.throughput == pytest.approx(
+        sum(result.per_worker_throughput.values()))
+    assert len(result.per_worker_throughput) == 4
+
+
+def test_single_worker_cluster(tiny_model):
+    cfg = ClusterConfig(n_workers=1, bandwidth_gbps=1.0)
+    result = simulate(tiny_model, baseline(), cfg, iterations=3, warmup=1)
+    # With a colocated single server, all traffic is loopback: compute bound.
+    assert result.mean_iteration_time == pytest.approx(
+        tiny_model.iteration_compute_time(), rel=0.05)
+
+
+def test_dedicated_servers_topology(tiny_model):
+    cfg = ClusterConfig(n_workers=2, n_servers=2, colocate_servers=False,
+                        bandwidth_gbps=1.0)
+    result = simulate(tiny_model, p3(), cfg, iterations=3, warmup=1)
+    assert result.throughput > 0
+
+
+def test_fewer_servers_than_workers(tiny_model):
+    cfg = ClusterConfig(n_workers=4, n_servers=2, bandwidth_gbps=1.0)
+    result = simulate(tiny_model, p3(), cfg, iterations=3, warmup=1)
+    assert result.throughput > 0
+
+
+def test_invalid_configs_rejected():
+    with pytest.raises(ValueError):
+        ClusterConfig(n_workers=0)
+    with pytest.raises(ValueError):
+        ClusterConfig(bandwidth_gbps=0)
+    with pytest.raises(ValueError):
+        ClusterConfig(n_workers=2, n_servers=3)  # colocated needs <= workers
+    with pytest.raises(ValueError):
+        ClusterConfig(compute_scale=0.0)
+
+
+def test_iterations_must_exceed_warmup(tiny_model, fast_cluster):
+    with pytest.raises(ValueError):
+        simulate(tiny_model, baseline(), fast_cluster, iterations=2, warmup=2)
+
+
+def test_utilization_trace_collected_when_requested(tiny_model, fast_cluster):
+    result = simulate(tiny_model, baseline(), fast_cluster, iterations=3,
+                      warmup=1, trace_utilization=True)
+    assert result.utilization is not None
+    assert result.utilization.total_bytes(0, "tx") > 0
+    off = simulate(tiny_model, baseline(), fast_cluster, iterations=3, warmup=1)
+    assert off.utilization is None
+
+
+def test_traffic_volume_matches_model_size(tiny_model):
+    """Per steady iteration, each worker pushes its remote gradient bytes."""
+    cfg = ClusterConfig(n_workers=2, bandwidth_gbps=10.0, overhead_bytes=0)
+    sim = ClusterSim(tiny_model, slicing_only(slice_params=10_000), cfg,
+                     trace_utilization=True)
+    iterations = 4
+    sim.run(iterations=iterations, warmup=1)
+    total_tx = sum(sim.utilization.total_bytes(m, "tx") for m in range(2))
+    # Each iteration: each worker pushes ~1/2 of model remotely, each server
+    # returns ~1/2 of its shard to the remote worker -> total == model bytes
+    # per worker per direction... Just bound it: positive and proportional.
+    expected_push = tiny_model.total_bytes / 2 * 2  # both workers, half remote
+    expected_param = expected_push
+    assert total_tx == pytest.approx((expected_push + expected_param) * iterations,
+                                     rel=0.05)
+
+
+def test_compute_scale_speeds_up_compute_bound(tiny_model):
+    cfg_fast = ClusterConfig(n_workers=2, bandwidth_gbps=100.0, compute_scale=2.0)
+    cfg_slow = ClusterConfig(n_workers=2, bandwidth_gbps=100.0, compute_scale=1.0)
+    fast = simulate(tiny_model, p3(), cfg_fast, iterations=3, warmup=1)
+    slow = simulate(tiny_model, p3(), cfg_slow, iterations=3, warmup=1)
+    assert fast.throughput == pytest.approx(2 * slow.throughput, rel=0.05)
+
+
+def test_asgd_workers_do_not_wait_for_stragglers():
+    """With heavy jitter, ASGD's mean iteration time beats synchronous."""
+    model = ModelSpec(
+        name="jittery",
+        layers=(LayerSpec("a", 50_000, 1.0), LayerSpec("b", 50_000, 1.0)),
+        batch_size=16,
+        samples_per_sec=400.0,
+        jitter_sigma=0.4,
+    )
+    cfg = ClusterConfig(n_workers=4, bandwidth_gbps=10.0, seed=7)
+    sync = simulate(model, baseline(), cfg, iterations=6, warmup=2)
+    async_ = simulate(model, asgd(), cfg, iterations=6, warmup=2)
+    assert async_.throughput > sync.throughput
+
+
+def test_speedup_over(tiny_model):
+    cfg = ClusterConfig(n_workers=4, bandwidth_gbps=0.5)
+    base = simulate(tiny_model, baseline(), cfg, iterations=4, warmup=1)
+    fast = simulate(tiny_model, p3(), cfg, iterations=4, warmup=1)
+    assert fast.speedup_over(base) == pytest.approx(
+        fast.throughput / base.throughput)
+
+
+def test_p3_beats_tensorflow_under_constraint(skewed_model):
+    """P3 outperforms the TF-style deferred-pull scheme when bandwidth
+    binds (the Section 2 observation about underutilized duplex)."""
+    cfg = ClusterConfig(n_workers=4, bandwidth_gbps=0.5)
+    tf = simulate(skewed_model, tensorflow_style(), cfg, iterations=4, warmup=1)
+    fast = simulate(skewed_model, p3(), cfg, iterations=4, warmup=1)
+    assert fast.throughput > tf.throughput
+
+
+def test_poseidon_equivalent_to_baseline_semantics(tiny_model, fast_cluster):
+    base = simulate(tiny_model, baseline(), fast_cluster, iterations=4, warmup=1)
+    pose = simulate(tiny_model, poseidon_wfbp(), fast_cluster, iterations=4, warmup=1)
+    assert pose.mean_iteration_time == pytest.approx(base.mean_iteration_time)

@@ -1,0 +1,88 @@
+"""Tests for ByteScheduler-style credit flow control on top of P3."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.sim import ClusterConfig, ClusterSim, MsgKind, simulate
+from repro.strategies import credit_p3, p3
+from repro.strategies.base import PullPolicy, StrategyConfig
+
+
+def test_factory_and_validation():
+    s = credit_p3(credit_slices=4)
+    assert s.credit_slices == 4 and s.prioritized
+    with pytest.raises(ValueError):
+        credit_p3(credit_slices=0)
+    with pytest.raises(ValueError):
+        # credit requires BROADCAST (receipt acks ride on it)
+        StrategyConfig("bad", 1000, True, PullPolicy.NOTIFY_PULL,
+                       credit_slices=4)
+
+
+def test_credit_run_completes_and_matches_updates(tiny_model, fast_cluster):
+    sim = ClusterSim(tiny_model, credit_p3(credit_slices=2,
+                                           slice_params=10_000), fast_cluster)
+    result = sim.run(iterations=3, warmup=1)
+    assert result.throughput > 0
+    assert sum(s.updates_done for s in sim.servers) == len(sim.placed) * 3
+
+
+def test_credit_emits_receipt_acks(tiny_model, fast_cluster):
+    sim = ClusterSim(tiny_model, credit_p3(credit_slices=2,
+                                           slice_params=10_000), fast_cluster)
+    sent = []
+    orig = sim.transport.send
+    sim.transport.send = lambda m: (sent.append(m), orig(m))
+    sim.run(iterations=2, warmup=1)
+    kinds = Counter(m.kind for m in sent)
+    assert kinds[MsgKind.ACK] == kinds[MsgKind.PUSH]
+
+
+def test_no_acks_without_credit(tiny_model, fast_cluster):
+    sim = ClusterSim(tiny_model, p3(slice_params=10_000), fast_cluster)
+    sent = []
+    orig = sim.transport.send
+    sim.transport.send = lambda m: (sent.append(m), orig(m))
+    sim.run(iterations=2, warmup=1)
+    assert all(m.kind is not MsgKind.ACK for m in sent)
+
+
+def test_outstanding_never_exceeds_credit(tiny_model, fast_cluster):
+    credit = 3
+    sim = ClusterSim(tiny_model, credit_p3(credit_slices=credit,
+                                           slice_params=10_000), fast_cluster)
+    max_seen = [0]
+    for w in sim.workers:
+        orig_drain = w._drain_credit
+
+        def drain(w=w, orig=orig_drain):
+            orig()
+            max_seen[0] = max(max_seen[0], w._outstanding)
+
+        w._drain_credit = drain
+    sim.run(iterations=3, warmup=1)
+    assert 0 < max_seen[0] <= credit
+
+
+def test_tiny_credit_hurts_large_credit_converges_to_p3(tiny_model):
+    cfg = ClusterConfig(n_workers=4, bandwidth_gbps=1.0)
+    plain = simulate(tiny_model, p3(slice_params=10_000), cfg,
+                     iterations=4, warmup=1)
+    tight = simulate(tiny_model, credit_p3(1, slice_params=10_000), cfg,
+                     iterations=4, warmup=1)
+    loose = simulate(tiny_model, credit_p3(64, slice_params=10_000), cfg,
+                     iterations=4, warmup=1)
+    assert tight.throughput < plain.throughput
+    assert loose.throughput == pytest.approx(plain.throughput, rel=0.05)
+
+
+def test_credit_helps_under_oversubscribed_core(skewed_model):
+    """The ByteScheduler result: bounding in-network backlog pays off
+    when a FIFO core is the contention point."""
+    cfg = ClusterConfig(n_workers=4, bandwidth_gbps=1.0, oversubscription=2.0)
+    plain = simulate(skewed_model, p3(), cfg, iterations=4, warmup=1)
+    credited = simulate(skewed_model, credit_p3(8), cfg, iterations=4, warmup=1)
+    assert credited.throughput >= plain.throughput * 0.98

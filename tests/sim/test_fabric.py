@@ -1,0 +1,68 @@
+"""Tests for the oversubscribed-core fabric and stacked compression."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import ClusterConfig, simulate
+from repro.strategies import baseline, p3, p3_with_compression
+
+
+def test_oversubscription_validation():
+    with pytest.raises(ValueError):
+        ClusterConfig(oversubscription=0.5)
+    ClusterConfig(oversubscription=1.0)  # no fabric, fine
+
+
+def test_oversubscription_monotone_slowdown(tiny_model):
+    times = []
+    for ratio in (1.0, 2.0, 8.0):
+        cfg = ClusterConfig(n_workers=4, bandwidth_gbps=2.0,
+                            oversubscription=ratio)
+        r = simulate(tiny_model, baseline(), cfg, iterations=4, warmup=1)
+        times.append(r.mean_iteration_time)
+    assert times[0] <= times[1] <= times[2]
+    assert times[2] > times[0]
+
+
+def test_oversubscription_ratio_one_matches_no_fabric(tiny_model):
+    """ratio == 1 must not add a serialization stage."""
+    cfg = ClusterConfig(n_workers=4, bandwidth_gbps=1.0, oversubscription=1.0)
+    r = simulate(tiny_model, p3(), cfg, iterations=4, warmup=1)
+    base = simulate(tiny_model, p3(),
+                    ClusterConfig(n_workers=4, bandwidth_gbps=1.0),
+                    iterations=4, warmup=1)
+    assert r.mean_iteration_time == pytest.approx(base.mean_iteration_time)
+
+
+def test_core_bottleneck_erases_p3_advantage(tiny_model):
+    """A FIFO core switch cannot honour end-host priorities: when it is
+    the bottleneck, P3 ≈ baseline."""
+    cfg = ClusterConfig(n_workers=4, bandwidth_gbps=2.0, oversubscription=8.0)
+    base = simulate(tiny_model, baseline(), cfg, iterations=4, warmup=1)
+    fast = simulate(tiny_model, p3(), cfg, iterations=4, warmup=1)
+    assert fast.throughput == pytest.approx(base.throughput, rel=0.1)
+
+
+def test_fabric_works_with_background_traffic(tiny_model):
+    cfg = ClusterConfig(n_workers=2, bandwidth_gbps=1.0,
+                        oversubscription=2.0, background_load=0.3)
+    r = simulate(tiny_model, baseline(), cfg, iterations=3, warmup=1)
+    assert r.throughput > 0
+
+
+def test_p3_with_compression_factory():
+    s = p3_with_compression(0.01)
+    assert s.prioritized and s.slice_params == 50_000
+    assert s.gradient_scale == pytest.approx(0.02)
+    with pytest.raises(ValueError):
+        p3_with_compression(0.9)
+
+
+def test_compression_stacks_on_p3(skewed_model):
+    """Section 6: compression is orthogonal and composes with P3."""
+    cfg = ClusterConfig(n_workers=4, bandwidth_gbps=0.2)
+    plain = simulate(skewed_model, p3(), cfg, iterations=4, warmup=1)
+    stacked = simulate(skewed_model, p3_with_compression(0.01), cfg,
+                       iterations=4, warmup=1)
+    assert stacked.throughput > 2.0 * plain.throughput

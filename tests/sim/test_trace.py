@@ -1,0 +1,128 @@
+"""Unit tests for utilization and iteration tracing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.trace import (
+    IterationRecord,
+    IterationTrace,
+    UtilizationTrace,
+    utilization_summary,
+)
+
+
+def test_series_single_transmission_fills_bins():
+    trace = UtilizationTrace()
+    # 1000 bytes over [0, 0.02) at machine 0 tx -> 500 B per 10 ms bin.
+    trace(0, "tx", 0.0, 0.02, 1000)
+    times, gbps = trace.series(0, "tx", bin_s=0.01, t_end=0.02)
+    assert len(gbps) == 2
+    expected = 500 * 8 / 0.01 / 1e9
+    assert gbps == pytest.approx([expected, expected])
+
+
+def test_series_partial_bin_overlap():
+    trace = UtilizationTrace()
+    trace(0, "tx", 0.005, 0.015, 1000)  # spans halves of two bins
+    _, gbps = trace.series(0, "tx", bin_s=0.01, t_end=0.02)
+    assert gbps[0] == pytest.approx(gbps[1])
+    assert gbps.sum() * 0.01 / 8 * 1e9 == pytest.approx(1000)
+
+
+def test_series_filters_machine_and_direction():
+    trace = UtilizationTrace()
+    trace(0, "tx", 0.0, 0.01, 100)
+    trace(1, "tx", 0.0, 0.01, 200)
+    trace(0, "rx", 0.0, 0.01, 300)
+    assert trace.total_bytes(0, "tx") == 100
+    assert trace.total_bytes(1, "tx") == 200
+    assert trace.total_bytes(0, "rx") == 300
+
+
+def test_series_zero_duration_transmission():
+    trace = UtilizationTrace()
+    trace(0, "tx", 0.005, 0.005, 400)
+    _, gbps = trace.series(0, "tx", bin_s=0.01, t_end=0.01)
+    assert gbps[0] * 0.01 / 8 * 1e9 == pytest.approx(400)
+
+
+def test_idle_fraction():
+    trace = UtilizationTrace()
+    trace(0, "tx", 0.0, 0.01, 10**6)  # busy first bin only
+    idle = trace.idle_fraction(0, "tx", 0.0, 0.05, bin_s=0.01)
+    assert idle == pytest.approx(0.8)
+
+
+def test_disabled_trace_records_nothing():
+    trace = UtilizationTrace()
+    trace.enabled = False
+    trace(0, "tx", 0.0, 1.0, 100)
+    assert trace.records == []
+
+
+def test_peak_gbps():
+    trace = UtilizationTrace()
+    trace(0, "tx", 0.0, 0.01, 1250 * 1000)  # 1 Gbps for one bin
+    assert trace.peak_gbps(0, "tx") == pytest.approx(1.0)
+
+
+@given(st.lists(
+    st.tuples(st.floats(min_value=0, max_value=0.5, allow_nan=False),
+              st.floats(min_value=1e-4, max_value=0.2, allow_nan=False),
+              st.integers(min_value=1, max_value=10**6)),
+    min_size=1, max_size=30))
+@settings(max_examples=40, deadline=None)
+def test_property_binning_conserves_bytes(transmissions):
+    """Bytes summed over all bins equal bytes recorded."""
+    trace = UtilizationTrace()
+    t_end = 0.0
+    for start, dur, nbytes in transmissions:
+        trace(0, "tx", start, start + dur, nbytes)
+        t_end = max(t_end, start + dur)
+    _, gbps = trace.series(0, "tx", bin_s=0.01, t_end=t_end + 0.01)
+    recovered = gbps.sum() * 0.01 / 8 * 1e9
+    total = sum(b for _, _, b in transmissions)
+    assert recovered == pytest.approx(total, rel=1e-6)
+
+
+def _rec(worker=0, iteration=0, fs=0.0, bs=1.0, be=3.0, end=4.0):
+    return IterationRecord(worker, iteration, fs, bs, be, end)
+
+
+def test_iteration_record_derived_metrics():
+    r = _rec()
+    assert r.duration == pytest.approx(4.0)
+    assert r.compute_time == pytest.approx(3.0)
+    assert r.stall_time == pytest.approx(1.0)
+
+
+def test_iteration_trace_per_worker_filtering_and_skip():
+    trace = IterationTrace()
+    for w in range(2):
+        for i in range(4):
+            trace.add(_rec(worker=w, iteration=i, fs=i * 5.0, end=i * 5.0 + 4.0))
+    times = trace.iteration_times(worker=1, skip=2)
+    assert len(times) == 2
+    assert trace.mean_iteration_time(worker=0, skip=1) == pytest.approx(4.0)
+
+
+def test_iteration_trace_empty_after_skip_raises():
+    trace = IterationTrace()
+    trace.add(_rec())
+    with pytest.raises(ValueError):
+        trace.mean_iteration_time(worker=0, skip=5)
+
+
+def test_utilization_summary_keys():
+    trace = UtilizationTrace()
+    trace(0, "tx", 0.0, 0.01, 1000)
+    trace(0, "rx", 0.0, 0.01, 1000)
+    out = utilization_summary(trace, 0, 0.0, 0.05)
+    assert set(out) == {
+        "tx_peak_gbps", "tx_mean_gbps", "tx_idle_frac",
+        "rx_peak_gbps", "rx_mean_gbps", "rx_idle_frac",
+    }

@@ -1,0 +1,78 @@
+"""Unit tests for the synthetic dataset generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.training.data import Dataset, SyntheticSpec, make_dataset
+
+
+def test_shapes_and_dtypes():
+    ds = make_dataset(n_train=64, n_val=16, seed=0)
+    spec = SyntheticSpec()
+    assert ds.x_train.shape == (64, spec.channels, spec.image_size, spec.image_size)
+    assert ds.x_val.shape == (16, spec.channels, spec.image_size, spec.image_size)
+    assert ds.y_train.shape == (64,)
+    assert ds.n_train == 64 and ds.n_val == 16
+
+
+def test_labels_in_range():
+    ds = make_dataset(n_train=200, n_val=50, seed=1)
+    assert ds.y_train.min() >= 0
+    assert ds.y_train.max() < SyntheticSpec().n_classes
+
+
+def test_deterministic_by_seed():
+    a = make_dataset(n_train=32, n_val=8, seed=42)
+    b = make_dataset(n_train=32, n_val=8, seed=42)
+    np.testing.assert_array_equal(a.x_train, b.x_train)
+    np.testing.assert_array_equal(a.y_val, b.y_val)
+
+
+def test_different_seeds_differ():
+    a = make_dataset(n_train=32, n_val=8, seed=1)
+    b = make_dataset(n_train=32, n_val=8, seed=2)
+    assert not np.array_equal(a.x_train, b.x_train)
+
+
+def test_all_classes_present():
+    ds = make_dataset(n_train=500, n_val=100, seed=3)
+    assert len(np.unique(ds.y_train)) == SyntheticSpec().n_classes
+
+
+def test_noise_controls_difficulty():
+    """Same-class samples correlate more under low noise."""
+    def intra_class_corr(noise):
+        spec = SyntheticSpec(noise=noise, max_shift=0)
+        ds = make_dataset(n_train=300, n_val=10, spec=spec, seed=0)
+        cors = []
+        for c in range(3):
+            xs = ds.x_train[ds.y_train == c].reshape(-1, spec.channels * 256)
+            if len(xs) < 2:
+                continue
+            cors.append(np.corrcoef(xs[0], xs[1])[0, 1])
+        return np.mean(cors)
+
+    assert intra_class_corr(0.5) > intra_class_corr(5.0)
+
+
+def test_custom_spec_respected():
+    spec = SyntheticSpec(n_classes=3, image_size=8, channels=1)
+    ds = make_dataset(n_train=30, n_val=10, spec=spec, seed=0)
+    assert ds.x_train.shape == (30, 1, 8, 8)
+    assert ds.y_train.max() < 3
+
+
+def test_signal_is_learnable_at_default_noise():
+    """Nearest-prototype classification must beat chance on val data —
+    otherwise every convergence experiment is meaningless."""
+    ds = make_dataset(n_train=2000, n_val=400, seed=0)
+    # Estimate prototypes from training means.
+    classes = np.unique(ds.y_train)
+    protos = np.stack([ds.x_train[ds.y_train == c].mean(axis=0) for c in classes])
+    flat_val = ds.x_val.reshape(len(ds.x_val), -1)
+    flat_protos = protos.reshape(len(classes), -1)
+    preds = np.argmax(flat_val @ flat_protos.T, axis=1)
+    acc = (classes[preds] == ds.y_val).mean()
+    assert acc > 0.5  # far above 10% chance

@@ -1,0 +1,158 @@
+"""Unit and property tests for the DGC compressor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.training.dgc import (
+    DGCCompressor,
+    DGCConfig,
+    aggregate_sparse,
+    compression_ratio,
+)
+
+
+def _compressor(density=0.5, momentum=0.0, clip=0.0):
+    cfg = DGCConfig(density=density, momentum=momentum, clip_norm=clip,
+                    warmup_epochs=0, warmup_densities=())
+    return DGCCompressor(cfg)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        DGCConfig(density=0.0)
+    with pytest.raises(ValueError):
+        DGCConfig(density=1.5)
+    with pytest.raises(ValueError):
+        DGCConfig(warmup_epochs=3, warmup_densities=(0.25,))
+
+
+def test_warmup_density_schedule():
+    cfg = DGCConfig(density=0.001, warmup_epochs=2, warmup_densities=(0.25, 0.06))
+    assert cfg.density_at(0) == 0.25
+    assert cfg.density_at(1) == 0.06
+    assert cfg.density_at(2) == 0.001
+
+
+def test_topk_selects_largest_magnitudes():
+    comp = _compressor(density=0.5)
+    grads = {"w": np.array([0.1, -5.0, 0.2, 3.0])}
+    out = comp.compress(grads, density=0.5)
+    idx, values = out["w"]
+    assert set(idx) == {1, 3}
+    assert set(np.round(values, 6)) == {-5.0, 3.0}
+
+
+def test_transmitted_coordinates_zeroed_residual_kept():
+    comp = _compressor(density=0.5)
+    comp.compress({"w": np.array([1.0, 10.0])}, density=0.5)
+    # 10.0 was sent; 1.0 accumulates locally.
+    np.testing.assert_allclose(comp.residual["w"], [1.0, 0.0])
+    out = comp.compress({"w": np.array([1.0, 0.0])}, density=0.5)
+    idx, values = out["w"]
+    # accumulated 1+1=2 at index 0 now dominates
+    assert list(idx) == [0]
+    np.testing.assert_allclose(values, [2.0])
+
+
+def test_momentum_correction_accumulates_velocity():
+    comp = _compressor(density=1.0, momentum=0.5)
+    out1 = comp.compress({"w": np.array([1.0])}, density=1.0)
+    np.testing.assert_allclose(out1["w"][1], [1.0])
+    out2 = comp.compress({"w": np.array([1.0])}, density=1.0)
+    # full density -> momentum masked every step -> velocity restarts
+    np.testing.assert_allclose(out2["w"][1], [1.0])
+
+
+def test_momentum_factor_masking_zeroes_sent_velocity():
+    comp = _compressor(density=0.5, momentum=0.9)
+    comp.compress({"w": np.array([10.0, 1.0])}, density=0.5)
+    np.testing.assert_allclose(comp.velocity["w"], [0.0, 1.0])
+
+
+def test_gradient_clipping_bounds_norm():
+    comp = _compressor(density=1.0, clip=1.0)
+    out = comp.compress({"w": np.array([3.0, 4.0])}, density=1.0)
+    values = out["w"][1]
+    assert np.linalg.norm(values) == pytest.approx(1.0)
+
+
+def test_density_one_sends_everything():
+    comp = _compressor(density=1.0)
+    g = np.array([0.5, -0.25, 0.0])
+    out = comp.compress({"w": g}, density=1.0)
+    idx, values = out["w"]
+    assert len(idx) == 3
+    np.testing.assert_allclose(comp.residual["w"], 0.0)
+
+
+def test_invalid_density_rejected():
+    comp = _compressor()
+    with pytest.raises(ValueError):
+        comp.compress({"w": np.zeros(4)}, density=0.0)
+
+
+def test_aggregate_sparse_sums_across_workers():
+    shapes = {"w": (4,)}
+    a = {"w": (np.array([0, 2]), np.array([1.0, 2.0]))}
+    b = {"w": (np.array([2, 3]), np.array([3.0, 4.0]))}
+    dense = aggregate_sparse([a, b], shapes)
+    np.testing.assert_allclose(dense["w"], [1.0, 0.0, 5.0, 4.0])
+
+
+def test_aggregate_sparse_duplicate_indices_within_worker():
+    shapes = {"w": (2,)}
+    a = {"w": (np.array([0, 0]), np.array([1.0, 2.0]))}
+    dense = aggregate_sparse([a], shapes)
+    np.testing.assert_allclose(dense["w"], [3.0, 0.0])
+
+
+def test_aggregate_sparse_reshapes():
+    shapes = {"w": (2, 2)}
+    a = {"w": (np.array([3]), np.array([7.0]))}
+    dense = aggregate_sparse([a], shapes)
+    assert dense["w"].shape == (2, 2)
+    assert dense["w"][1, 1] == 7.0
+
+
+def test_compression_ratio():
+    sparse = {"w": (np.arange(5), np.zeros(5))}
+    # 5 values + 5 indices transmitted for a 1000-param model
+    assert compression_ratio(sparse, 1000) == pytest.approx(100.0)
+
+
+def test_residual_norm_diagnostic():
+    comp = _compressor(density=0.5)
+    assert comp.residual_norm == 0.0
+    comp.compress({"w": np.array([1.0, 10.0])}, density=0.5)
+    assert comp.residual_norm == pytest.approx(1.0)
+
+
+@given(st.lists(st.floats(min_value=-100, max_value=100, allow_nan=False),
+                min_size=1, max_size=50),
+       st.floats(min_value=0.05, max_value=1.0))
+@settings(max_examples=60, deadline=None)
+def test_property_no_gradient_mass_lost(values, density):
+    """sent + residual == accumulated gradient, exactly (no momentum)."""
+    g = np.array(values)
+    comp = _compressor(density=density)
+    out = comp.compress({"w": g.copy()}, density=density)
+    idx, sent = out["w"]
+    reconstructed = comp.residual["w"].copy()
+    reconstructed[idx] += sent
+    np.testing.assert_allclose(reconstructed, g, atol=1e-12)
+
+
+@given(st.integers(min_value=1, max_value=200),
+       st.floats(min_value=0.01, max_value=1.0))
+@settings(max_examples=60, deadline=None)
+def test_property_k_matches_density(n, density):
+    rng = np.random.default_rng(n)
+    comp = _compressor(density=density)
+    out = comp.compress({"w": rng.normal(size=n)}, density=density)
+    idx, _ = out["w"]
+    expected_k = max(1, int(np.ceil(n * density)))
+    assert len(idx) == expected_k

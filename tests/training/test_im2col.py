@@ -1,0 +1,74 @@
+"""im2col/col2im correctness against naive implementations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.training.im2col import col2im, conv_out_size, im2col
+
+
+def naive_conv(x, w, stride, pad):
+    """Direct-loop convolution as the gold standard."""
+    n, c, h, wd = x.shape
+    cout, _, k, _ = w.shape
+    oh, ow = conv_out_size(h, wd, k, stride, pad)
+    xp = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    out = np.zeros((n, cout, oh, ow))
+    for i in range(oh):
+        for j in range(ow):
+            patch = xp[:, :, i * stride:i * stride + k, j * stride:j * stride + k]
+            out[:, :, i, j] = np.einsum("nchw,ochw->no", patch, w)
+    return out
+
+
+def test_conv_out_size():
+    assert conv_out_size(8, 8, 3, 1, 1) == (8, 8)
+    assert conv_out_size(8, 8, 3, 2, 1) == (4, 4)
+    assert conv_out_size(7, 7, 1, 1, 0) == (7, 7)
+    with pytest.raises(ValueError):
+        conv_out_size(2, 2, 5, 1, 0)
+
+
+@pytest.mark.parametrize("stride,pad,k", [(1, 1, 3), (2, 1, 3), (1, 0, 1), (2, 2, 5)])
+def test_im2col_conv_matches_naive(stride, pad, k):
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(2, 3, 8, 8))
+    w = rng.normal(size=(4, 3, k, k))
+    oh, ow = conv_out_size(8, 8, k, stride, pad)
+    cols = im2col(x, k, stride, pad)
+    out = (cols @ w.reshape(4, -1).T).reshape(2, oh, ow, 4).transpose(0, 3, 1, 2)
+    np.testing.assert_allclose(out, naive_conv(x, w, stride, pad), atol=1e-10)
+
+
+def test_col2im_is_adjoint_of_im2col():
+    """<im2col(x), c> == <x, col2im(c)> — the defining adjoint property,
+    which is exactly what correct backprop through im2col requires."""
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=(2, 3, 6, 6))
+    cols = im2col(x, 3, 2, 1)
+    c = rng.normal(size=cols.shape)
+    lhs = float((cols * c).sum())
+    rhs = float((x * col2im(c, x.shape, 3, 2, 1)).sum())
+    assert lhs == pytest.approx(rhs)
+
+
+@given(st.integers(min_value=1, max_value=3),
+       st.integers(min_value=1, max_value=3),
+       st.sampled_from([1, 3]),
+       st.sampled_from([1, 2]),
+       st.integers(min_value=0, max_value=1),
+       st.integers(min_value=4, max_value=7))
+@settings(max_examples=30, deadline=None)
+def test_property_adjointness(n, c, k, stride, pad, hw):
+    if (hw + 2 * pad - k) < 0:
+        return
+    rng = np.random.default_rng(n * 100 + c)
+    x = rng.normal(size=(n, c, hw, hw))
+    cols = im2col(x, k, stride, pad)
+    g = rng.normal(size=cols.shape)
+    lhs = float((cols * g).sum())
+    rhs = float((x * col2im(g, x.shape, k, stride, pad)).sum())
+    assert lhs == pytest.approx(rhs, rel=1e-9)

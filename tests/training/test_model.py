@@ -1,0 +1,95 @@
+"""Unit tests for Network and the loss head."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.training import Network, SoftmaxCrossEntropy, mlp, small_cnn
+
+
+def test_softmax_ce_known_value():
+    loss_fn = SoftmaxCrossEntropy()
+    logits = np.array([[0.0, 0.0]])
+    loss = loss_fn.forward(logits, np.array([0]))
+    assert loss == pytest.approx(np.log(2.0))
+
+
+def test_softmax_ce_gradient_sums_to_zero():
+    rng = np.random.default_rng(0)
+    loss_fn = SoftmaxCrossEntropy()
+    logits = rng.normal(size=(6, 5))
+    loss_fn.forward(logits, rng.integers(5, size=6))
+    grad = loss_fn.backward()
+    np.testing.assert_allclose(grad.sum(axis=1), 0.0, atol=1e-12)
+
+
+def test_softmax_ce_numerically_stable():
+    loss_fn = SoftmaxCrossEntropy()
+    logits = np.array([[1000.0, -1000.0]])
+    loss = loss_fn.forward(logits, np.array([0]))
+    assert np.isfinite(loss)
+
+
+def test_parameters_are_live_views(rng):
+    net = mlp(rng, in_dim=8, hidden=4, n_classes=3)
+    params = net.parameters()
+    key = next(iter(params))
+    params[key] += 1.0
+    assert np.array_equal(net.parameters()[key], params[key])
+
+
+def test_vector_round_trip(rng):
+    net = mlp(rng, in_dim=8, hidden=4, n_classes=3)
+    vec = net.get_vector()
+    assert vec.size == net.n_params
+    net.set_vector(vec * 2.0)
+    np.testing.assert_allclose(net.get_vector(), vec * 2.0)
+
+
+def test_set_vector_size_checked(rng):
+    net = mlp(rng, in_dim=8, hidden=4, n_classes=3)
+    with pytest.raises(ValueError):
+        net.set_vector(np.zeros(net.n_params + 1))
+
+
+def test_set_parameters_name_checked(rng):
+    net = mlp(rng, in_dim=8, hidden=4, n_classes=3)
+    with pytest.raises(KeyError):
+        net.set_parameters({"bogus": np.zeros(3)})
+
+
+def test_set_parameters_copies(rng):
+    net = mlp(rng, in_dim=8, hidden=4, n_classes=3)
+    snapshot = {k: v.copy() for k, v in net.parameters().items()}
+    net.set_parameters(snapshot)
+    key = next(iter(snapshot))
+    snapshot[key] += 5.0
+    assert not np.array_equal(net.parameters()[key], snapshot[key])
+
+
+def test_loss_and_grad_fills_all_gradients(rng):
+    net = small_cnn(rng, n_classes=3, in_channels=2, width=2)
+    x = rng.normal(size=(4, 2, 16, 16))
+    y = rng.integers(3, size=4)
+    loss = net.loss_and_grad(x, y)
+    assert np.isfinite(loss)
+    grads = net.gradients()
+    assert set(grads) == set(net.parameters())
+    assert any(np.abs(g).max() > 0 for g in grads.values())
+
+
+def test_predict_batches_consistently(rng):
+    net = mlp(rng, in_dim=8, hidden=4, n_classes=3)
+    x = rng.normal(size=(30, 8))
+    full = net.predict(x, batch_size=30)
+    chunked = net.predict(x, batch_size=7)
+    np.testing.assert_array_equal(full, chunked)
+
+
+def test_accuracy_range(rng):
+    net = mlp(rng, in_dim=8, hidden=4, n_classes=3)
+    x = rng.normal(size=(20, 8))
+    y = rng.integers(3, size=20)
+    acc = net.accuracy(x, y)
+    assert 0.0 <= acc <= 1.0

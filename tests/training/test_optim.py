@@ -1,0 +1,64 @@
+"""Unit tests for SGD and LR schedules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.training.optim import SGD, StepSchedule
+
+
+def test_vanilla_sgd_step():
+    opt = SGD(lr=0.1, momentum=0.0)
+    params = {"w": np.array([1.0, 2.0])}
+    opt.step(params, {"w": np.array([1.0, -1.0])})
+    np.testing.assert_allclose(params["w"], [0.9, 2.1])
+
+
+def test_momentum_accumulates():
+    opt = SGD(lr=1.0, momentum=0.5)
+    params = {"w": np.array([0.0])}
+    g = {"w": np.array([1.0])}
+    opt.step(params, g)   # v=1, w=-1
+    opt.step(params, g)   # v=1.5, w=-2.5
+    np.testing.assert_allclose(params["w"], [-2.5])
+
+
+def test_weight_decay_pulls_to_zero():
+    opt = SGD(lr=0.1, momentum=0.0, weight_decay=0.5)
+    params = {"w": np.array([2.0])}
+    opt.step(params, {"w": np.array([0.0])})
+    np.testing.assert_allclose(params["w"], [1.9])
+
+
+def test_reset_clears_velocity():
+    opt = SGD(lr=1.0, momentum=0.9)
+    params = {"w": np.array([0.0])}
+    opt.step(params, {"w": np.array([1.0])})
+    opt.reset()
+    params = {"w": np.array([0.0])}
+    opt.step(params, {"w": np.array([1.0])})
+    np.testing.assert_allclose(params["w"], [-1.0])  # no momentum carry-over
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SGD(lr=0.0)
+    with pytest.raises(ValueError):
+        SGD(lr=0.1, momentum=1.0)
+
+
+def test_step_schedule():
+    sched = StepSchedule(base_lr=1.0, milestones=(0.5, 0.75), gamma=0.1)
+    assert sched.lr_at(0, 100) == pytest.approx(1.0)
+    assert sched.lr_at(49, 100) == pytest.approx(1.0)
+    assert sched.lr_at(50, 100) == pytest.approx(0.1)
+    assert sched.lr_at(75, 100) == pytest.approx(0.01)
+
+
+def test_in_place_update_preserves_identity():
+    opt = SGD(lr=0.1, momentum=0.9)
+    w = np.array([1.0])
+    params = {"w": w}
+    opt.step(params, {"w": np.array([1.0])})
+    assert params["w"] is w  # updated in place, not rebound

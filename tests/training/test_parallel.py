@@ -1,0 +1,180 @@
+"""Tests for the data-parallel harness and its sync rules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.training import (
+    DGCConfig,
+    TrainConfig,
+    make_dataset,
+    mlp,
+    train_data_parallel,
+)
+from repro.training.data import SyntheticSpec
+
+
+def _tiny_dataset(seed=0, n=128):
+    spec = SyntheticSpec(n_classes=4, image_size=8, channels=1, noise=1.0)
+    return make_dataset(n_train=n, n_val=64, spec=spec, seed=seed)
+
+
+def _net(seed=0, in_dim=64):
+    return mlp(np.random.default_rng(seed), in_dim=in_dim, hidden=16, n_classes=4)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        TrainConfig(n_workers=0)
+    with pytest.raises(ValueError):
+        TrainConfig(n_workers=3, batch_size=64)  # not divisible
+    with pytest.raises(ValueError):
+        TrainConfig(epochs=0)
+
+
+def test_unknown_method_rejected():
+    with pytest.raises(ValueError):
+        train_data_parallel(_net(), _tiny_dataset(),
+                            TrainConfig(epochs=1, batch_size=32), method="p4")
+
+
+def test_exact_sync_equals_single_worker_sgd():
+    """The core P3 claim (Section 5.6): synchronizing full gradients is
+    *exactly* synchronous SGD — W workers on shards match 1 worker on the
+    full batch.  (Requires a batch-norm-free net: BN statistics are
+    per-shard on real clusters too.)"""
+    ds = _tiny_dataset()
+    cfg4 = TrainConfig(n_workers=4, epochs=2, batch_size=32, lr=0.05, seed=7)
+    cfg1 = TrainConfig(n_workers=1, epochs=2, batch_size=32, lr=0.05, seed=7)
+
+    def _bn_free(seed):
+        return mlp(np.random.default_rng(seed), in_dim=64, hidden=16,
+                   n_classes=4, batchnorm=False)
+
+    net_a, net_b = _bn_free(3), _bn_free(3)
+    res_a = train_data_parallel(net_a, ds, cfg4, method="exact")
+    res_b = train_data_parallel(net_b, ds, cfg1, method="exact")
+    np.testing.assert_allclose(net_a.get_vector(), net_b.get_vector(),
+                               rtol=1e-8, atol=1e-10)
+    np.testing.assert_allclose(res_a.val_accuracy, res_b.val_accuracy)
+
+
+def test_training_is_deterministic():
+    ds = _tiny_dataset()
+    cfg = TrainConfig(n_workers=2, epochs=2, batch_size=32, seed=5)
+    a = train_data_parallel(_net(1), ds, cfg, method="exact")
+    b = train_data_parallel(_net(1), ds, cfg, method="exact")
+    np.testing.assert_array_equal(a.val_accuracy, b.val_accuracy)
+    np.testing.assert_array_equal(a.train_loss, b.train_loss)
+
+
+def test_exact_training_learns():
+    ds = _tiny_dataset(n=256)
+    cfg = TrainConfig(n_workers=4, epochs=6, batch_size=32, lr=0.05, seed=2)
+    res = train_data_parallel(_net(2), ds, cfg, method="exact")
+    assert res.final_accuracy > 0.7
+    assert res.train_loss[-1] < res.train_loss[0]
+
+
+def test_dgc_training_learns():
+    ds = _tiny_dataset(n=256)
+    cfg = TrainConfig(n_workers=4, epochs=6, batch_size=32, lr=0.05, seed=2)
+    res = train_data_parallel(_net(2), ds, cfg, method="dgc",
+                              dgc_config=DGCConfig(density=0.1, clip_norm=0.0,
+                                                   warmup_epochs=2,
+                                                   warmup_densities=(0.25, 0.25)))
+    assert res.final_accuracy > 0.5
+
+
+def test_asgd_training_learns():
+    ds = _tiny_dataset(n=256)
+    cfg = TrainConfig(n_workers=4, epochs=6, batch_size=32, lr=0.05, seed=2)
+    res = train_data_parallel(_net(2), ds, cfg, method="asgd")
+    assert res.final_accuracy > 0.5
+
+
+def test_dgc_full_density_matches_exact_when_unclipped():
+    """density=1 with no clipping and no momentum shift is plain sync SGD
+    (server applies the summed mean; worker momentum==optimizer momentum
+    must both be off for exact equality)."""
+    ds = _tiny_dataset()
+    cfg = TrainConfig(n_workers=2, epochs=1, batch_size=32, lr=0.05,
+                      momentum=0.0, weight_decay=0.0, seed=9)
+    dgc_cfg = DGCConfig(density=1.0, momentum=0.0, clip_norm=0.0,
+                        warmup_epochs=0, warmup_densities=())
+    net_a, net_b = _net(4), _net(4)
+    train_data_parallel(net_a, ds, cfg, method="exact")
+    train_data_parallel(net_b, ds, cfg, method="dgc", dgc_config=dgc_cfg)
+    np.testing.assert_allclose(net_a.get_vector(), net_b.get_vector(),
+                               rtol=1e-8, atol=1e-10)
+
+
+def test_result_metadata():
+    ds = _tiny_dataset()
+    cfg = TrainConfig(n_workers=2, epochs=3, batch_size=32, seed=1)
+    res = train_data_parallel(_net(1), ds, cfg, method="exact")
+    assert res.method == "exact"
+    assert len(res.val_accuracy) == 3
+    assert res.steps_per_epoch == 128 // 32
+    assert 0 <= res.final_accuracy <= 1
+    assert res.best_accuracy >= res.final_accuracy - 1e-12
+
+
+def test_epochs_to_accuracy():
+    ds = _tiny_dataset(n=256)
+    cfg = TrainConfig(n_workers=2, epochs=5, batch_size=32, lr=0.05, seed=2)
+    res = train_data_parallel(_net(2), ds, cfg, method="exact")
+    hit = res.epochs_to_accuracy(0.5)
+    assert hit is None or 1 <= hit <= 5
+    assert res.epochs_to_accuracy(1.01) is None
+
+
+def test_epoch_callback_invoked():
+    ds = _tiny_dataset()
+    seen = []
+    cfg = TrainConfig(n_workers=2, epochs=2, batch_size=32, seed=1)
+    train_data_parallel(_net(1), ds, cfg, method="exact",
+                        epoch_callback=lambda e, acc, loss: seen.append(e))
+    assert seen == [0, 1]
+
+
+def test_localsgd_training_learns():
+    ds = _tiny_dataset(n=256)
+    cfg = TrainConfig(n_workers=4, epochs=6, batch_size=32, lr=0.05, seed=2,
+                      local_sgd_steps=4)
+    res = train_data_parallel(_net(2), ds, cfg, method="localsgd")
+    assert res.final_accuracy > 0.5
+
+
+def test_localsgd_period_one_close_to_exact():
+    """Averaging after every step is synchronous SGD up to the order of
+    momentum application; trajectories should track closely."""
+    ds = _tiny_dataset()
+    cfg = TrainConfig(n_workers=2, epochs=2, batch_size=32, lr=0.05,
+                      momentum=0.0, weight_decay=0.0, seed=9, local_sgd_steps=1)
+
+    def _bn_free(seed):
+        return mlp(np.random.default_rng(seed), in_dim=64, hidden=16,
+                   n_classes=4, batchnorm=False)
+
+    net_a, net_b = _bn_free(4), _bn_free(4)
+    train_data_parallel(net_a, ds, cfg, method="exact")
+    train_data_parallel(net_b, ds, cfg, method="localsgd")
+    np.testing.assert_allclose(net_a.get_vector(), net_b.get_vector(),
+                               rtol=1e-8, atol=1e-10)
+
+
+def test_localsgd_config_validation():
+    with pytest.raises(ValueError):
+        TrainConfig(local_sgd_steps=0)
+
+
+def test_asgd_differs_from_exact():
+    """Staleness must change the trajectory (otherwise it's not async)."""
+    ds = _tiny_dataset()
+    cfg = TrainConfig(n_workers=4, epochs=2, batch_size=32, lr=0.05, seed=3)
+    net_a, net_b = _net(6), _net(6)
+    train_data_parallel(net_a, ds, cfg, method="exact")
+    train_data_parallel(net_b, ds, cfg, method="asgd")
+    assert not np.allclose(net_a.get_vector(), net_b.get_vector())
