@@ -2,13 +2,15 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench report quick-report figures clean
+.PHONY: install test test-fast bench report quick-report figures clean
+
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 install:
 	pip install -e .[dev]
 
 test:
-	$(PYTHON) -m pytest tests/
+	$(PYTHON) -m pytest tests/ -x -q
 
 test-fast:
 	$(PYTHON) -m pytest tests/ -x -q -p no:randomly -m "not slow"

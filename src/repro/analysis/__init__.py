@@ -33,6 +33,7 @@ from .bounds import (
     p3_crossover_gbps,
     wire_bytes_per_direction,
 )
+from .robustness import degradation_report, fault_plan_for, robustness_sweep
 from .sensitivity import sensitivity_scan, speedup_at
 from .series import FigureData, Series, speedup
 from .stats import SeedStats, speedup_stats, summarize, throughput_stats
@@ -82,10 +83,13 @@ __all__ = [
     "fig7_bandwidth_sweep",
     "fig8_baseline_utilization",
     "fig9_p3_utilization",
+    "degradation_report",
+    "fault_plan_for",
     "latency_sensitivity",
     "load_figure",
     "oversubscription_sweep",
     "peak_speedups",
+    "robustness_sweep",
     "SeedStats",
     "iteration_time_percentiles",
     "save_figure",

@@ -170,6 +170,18 @@ def cmd_trace(args: argparse.Namespace) -> None:
     print(f"wrote {path} — open in chrome://tracing or ui.perfetto.dev")
 
 
+def cmd_robustness(args: argparse.Namespace) -> None:
+    """Extension: per-strategy throughput degradation under faults."""
+    from .analysis.robustness import degradation_report, robustness_sweep
+    fig = robustness_sweep(args.model, bandwidth_gbps=args.bandwidth,
+                           kinds=tuple(args.kinds.split(",")),
+                           n_workers=args.workers, iterations=args.iterations,
+                           seed=args.seed)
+    _emit(fig, args)
+    print()
+    print(degradation_report(fig))
+
+
 def cmd_sensitivity(args: argparse.Namespace) -> None:
     """Robustness scan of the headline speedup across cost constants."""
     fig = analysis.sensitivity_scan(args.model, iterations=args.iterations)
@@ -241,6 +253,13 @@ def build_parser() -> argparse.ArgumentParser:
         model_default="resnet50")
     add("sensitivity", cmd_sensitivity, "cost-constant robustness scan",
         model_default="resnet50")
+    robust_p = add("robustness", cmd_robustness,
+                   "per-strategy degradation under injected faults",
+                   model_default="resnet50")
+    robust_p.add_argument("--bandwidth", type=float, default=16.0)
+    robust_p.add_argument("--kinds", default="straggler,link,stall",
+                          help="comma list of straggler,link,stall")
+    robust_p.add_argument("--seed", type=int, default=0)
     trace_p = add("trace", cmd_trace, "export a chrome://tracing timeline",
                   model_default="resnet50")
     trace_p.add_argument("--strategy", default="p3")

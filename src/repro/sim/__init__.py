@@ -4,6 +4,14 @@ from .background import BackgroundTraffic
 from .chrome_trace import build_trace_events, export_chrome_trace
 from .cluster import ClusterConfig, ClusterSim, RunResult, simulate
 from .engine import EventHandle, SimulationError, Simulator
+from .faults import (
+    FaultInjector,
+    FaultPlan,
+    LinkFault,
+    ServerStallFault,
+    StragglerFault,
+)
+from .invariants import InvariantMonitor, InvariantViolation, simulate_checked
 from .network import (
     Channel,
     FifoQueue,
@@ -25,20 +33,28 @@ __all__ = [
     "ClusterConfig",
     "ClusterSim",
     "EventHandle",
+    "FaultInjector",
+    "FaultPlan",
     "FifoQueue",
+    "InvariantMonitor",
+    "InvariantViolation",
     "IterationRecord",
     "IterationTrace",
+    "LinkFault",
     "Message",
     "MsgKind",
     "PriorityQueue",
     "Role",
     "RunResult",
+    "ServerStallFault",
     "SimulationError",
     "Simulator",
+    "StragglerFault",
     "Transport",
     "UtilizationTrace",
     "gbps_to_bytes_per_s",
     "make_queue",
     "simulate",
+    "simulate_checked",
     "utilization_summary",
 ]

@@ -18,6 +18,7 @@ from ..models.base import ModelSpec
 from ..strategies.base import PullPolicy, StrategyConfig
 from .background import BackgroundTraffic
 from .engine import SimulationError, Simulator
+from .faults import FaultInjector, FaultPlan
 from .network import (
     Channel,
     Message,
@@ -57,6 +58,7 @@ class ClusterConfig:
     background_load: float = 0.0     # fraction of NIC capacity used by other tenants
     background_burst_bytes: int = 1_000_000
     oversubscription: float = 1.0    # core:edge ratio; >1 adds a shared fabric hop
+    fault_plan: Optional[FaultPlan] = None  # transient degradation (repro.sim.faults)
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -181,6 +183,9 @@ class ClusterSim:
         if config.background_load > 0:
             self.background = BackgroundTraffic(
                 self, config.background_load, config.background_burst_bytes)
+        self.fault_injector: Optional[FaultInjector] = None
+        if config.fault_plan is not None and config.fault_plan:
+            self.fault_injector = FaultInjector(self, config.fault_plan)
 
     # ------------------------------------------------------------------
     # Topology
@@ -224,6 +229,8 @@ class ClusterSim:
             w.start(iterations)
         if self.background is not None:
             self.background.start()
+        if self.fault_injector is not None:
+            self.fault_injector.start()
         self.sim.run(max_events=max_events)
         if self._done_count < self.n_workers:
             stuck = [w.wid for w in self.workers if not w.done]

@@ -1,0 +1,315 @@
+"""Deterministic fault injection for the cluster simulator.
+
+The paper's evaluation (Section 5.3) argues priority scheduling matters
+most when effective bandwidth is scarce and contended, yet the base
+simulator only models clean static networks plus steady background
+tenants.  This module adds the transient degradation real clusters are
+dominated by (cf. Parameter Hub's rack-scale contention analysis):
+
+* **stragglers** — a worker's compute slows by a factor, statically or
+  intermittently (:class:`StragglerFault`, via
+  ``SimWorker.fault_slowdown``);
+* **link degradation / flaps** — a NIC channel's rate drops to a
+  fraction of nominal (or to zero) for scheduled or seeded-random
+  intervals (:class:`LinkFault`, via :meth:`Channel.set_rate`, which
+  recomputes in-flight transmissions);
+* **server stalls** — a PS shard's update consumer pauses and its work
+  queue backs up (:class:`ServerStallFault`, via
+  ``SimServerShard.pause``/``resume``).
+
+A :class:`FaultPlan` bundles fault specs with a seed and rides on
+:class:`~repro.sim.cluster.ClusterConfig`.  All randomness (occurrence
+jitter) flows from per-fault ``numpy`` generators derived from
+``(plan.seed, fault_index)``, so the same plan produces byte-identical
+traces regardless of how fault events interleave — the determinism the
+property tests in ``tests/sim`` lock down.
+
+Faults are *lossless*: they reshape timing, never drop or duplicate
+bytes, so every simulator invariant (conservation, exactly-once
+updates) must keep holding under any plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .cluster import ClusterSim
+    from .network import Channel
+
+
+def _validate_schedule(name: str, start: float, duration: Optional[float],
+                       period: Optional[float], jitter: float) -> None:
+    if start < 0:
+        raise ValueError(f"{name}: start must be >= 0")
+    if duration is not None and duration <= 0:
+        raise ValueError(f"{name}: duration must be positive")
+    if jitter < 0:
+        raise ValueError(f"{name}: jitter must be >= 0")
+    if period is not None:
+        if duration is None:
+            raise ValueError(f"{name}: a repeating fault needs a duration")
+        if period <= duration:
+            raise ValueError(f"{name}: period must exceed duration "
+                             "(occurrences may not overlap themselves)")
+
+
+@dataclass(frozen=True)
+class StragglerFault:
+    """Multiply one worker's compute durations by ``factor``.
+
+    ``duration=None`` makes the slowdown permanent; setting ``period``
+    makes it intermittent — slow for ``duration`` seconds starting at
+    ``start + k * period`` (plus a seeded jitter draw in
+    ``[0, jitter)``), then recover, for every ``k`` until the run ends.
+    """
+
+    worker: int
+    factor: float
+    start: float = 0.0
+    duration: Optional[float] = None
+    period: Optional[float] = None
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.worker < 0:
+            raise ValueError("StragglerFault: worker must be >= 0")
+        if self.factor <= 0:
+            raise ValueError("StragglerFault: factor must be positive")
+        _validate_schedule("StragglerFault", self.start, self.duration,
+                           self.period, self.jitter)
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """Degrade one machine's NIC to ``rate_factor`` of nominal rate.
+
+    ``rate_factor=0`` models a fully-down link: in-flight transmissions
+    freeze (bytes stay on the wire) and resume on recovery, queued
+    messages wait.  ``direction`` selects ``"tx"``, ``"rx"`` or
+    ``"both"`` channels.  Scheduling semantics (``start`` /
+    ``duration`` / ``period`` / ``jitter``) match
+    :class:`StragglerFault`; a repeating ``LinkFault`` with nonzero
+    ``jitter`` is a randomly-flapping link.
+    """
+
+    machine: int
+    rate_factor: float = 0.0
+    start: float = 0.0
+    duration: Optional[float] = None
+    period: Optional[float] = None
+    jitter: float = 0.0
+    direction: str = "both"
+
+    def __post_init__(self) -> None:
+        if self.machine < 0:
+            raise ValueError("LinkFault: machine must be >= 0")
+        if not (0.0 <= self.rate_factor < 1.0):
+            raise ValueError("LinkFault: rate_factor must be in [0, 1)")
+        if self.direction not in ("tx", "rx", "both"):
+            raise ValueError("LinkFault: direction must be tx, rx or both")
+        if self.duration is None and self.rate_factor == 0.0:
+            raise ValueError("LinkFault: a permanently dead link can never "
+                             "drain — give it a duration")
+        _validate_schedule("LinkFault", self.start, self.duration,
+                           self.period, self.jitter)
+
+    @property
+    def directions(self) -> Tuple[str, ...]:
+        return ("tx", "rx") if self.direction == "both" else (self.direction,)
+
+
+@dataclass(frozen=True)
+class ServerStallFault:
+    """Pause one PS shard's aggregation/update consumer.
+
+    Pushes keep arriving while stalled, so the shard's work queue backs
+    up and drains after recovery.  Scheduling semantics match
+    :class:`StragglerFault`.
+    """
+
+    server: int
+    start: float = 0.0
+    duration: Optional[float] = None
+    period: Optional[float] = None
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.server < 0:
+            raise ValueError("ServerStallFault: server must be >= 0")
+        if self.duration is None:
+            raise ValueError("ServerStallFault: a permanently stalled server "
+                             "can never drain — give it a duration")
+        _validate_schedule("ServerStallFault", self.start, self.duration,
+                           self.period, self.jitter)
+
+
+FaultSpec = Union[StragglerFault, LinkFault, ServerStallFault]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, composable set of fault specs for one simulated run.
+
+    The plan is pure configuration (hashable, comparable); the
+    :class:`FaultInjector` turns it into simulator events.  Two runs of
+    the same ``ClusterConfig`` carrying the same plan produce identical
+    traces.
+    """
+
+    faults: Tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    def scaled(self, time_scale: float) -> "FaultPlan":
+        """Copy with every schedule time multiplied by ``time_scale`` —
+        lets one dimensionless plan be fitted to a model's iteration
+        time (see :mod:`repro.analysis.robustness`)."""
+        if time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+
+        def scale(spec: FaultSpec) -> FaultSpec:
+            return replace(
+                spec,
+                start=spec.start * time_scale,
+                duration=None if spec.duration is None else spec.duration * time_scale,
+                period=None if spec.period is None else spec.period * time_scale,
+                jitter=spec.jitter * time_scale,
+            )
+
+        return FaultPlan(tuple(scale(s) for s in self.faults), seed=self.seed)
+
+
+class FaultInjector:
+    """Drives a :class:`FaultPlan` through the event engine.
+
+    Modeled after :class:`~repro.sim.background.BackgroundTraffic`: the
+    cluster constructs one injector per run and calls :meth:`start`
+    alongside the workers.  Repeating faults reschedule themselves
+    lazily and stop once every worker finished, letting the simulation
+    drain.
+
+    Overlapping faults compose: concurrent stragglers on one worker
+    multiply, concurrent link faults on one channel multiply their rate
+    factors, and nested server stalls count (the shard resumes when the
+    last one lifts).
+    """
+
+    def __init__(self, ctx: "ClusterSim", plan: FaultPlan) -> None:
+        self.ctx = ctx
+        self.plan = plan
+        self.activations = 0
+        self.deactivations = 0
+        # Active degradation factors, keyed by target.  Effects are
+        # recomputed as products over these lists (never by dividing
+        # back out) so lifting every fault restores *exactly* 1.0x.
+        self._worker_factors: Dict[int, List[float]] = {}
+        self._link_factors: Dict[Tuple[int, str], List[float]] = {}
+        for spec in plan.faults:
+            self._validate_target(spec)
+
+    def _validate_target(self, spec: FaultSpec) -> None:
+        if isinstance(spec, StragglerFault):
+            if spec.worker >= self.ctx.n_workers:
+                raise ValueError(f"StragglerFault targets worker {spec.worker} "
+                                 f"but the cluster has {self.ctx.n_workers}")
+        elif isinstance(spec, LinkFault):
+            if spec.machine >= self.ctx.n_machines:
+                raise ValueError(f"LinkFault targets machine {spec.machine} "
+                                 f"but the cluster has {self.ctx.n_machines}")
+        elif isinstance(spec, ServerStallFault):
+            if spec.server >= self.ctx.n_servers:
+                raise ValueError(f"ServerStallFault targets server {spec.server} "
+                                 f"but the cluster has {self.ctx.n_servers}")
+        else:
+            raise TypeError(f"unknown fault spec {spec!r}")
+
+    def start(self) -> None:
+        for index, spec in enumerate(self.plan.faults):
+            # One independent generator per fault: jitter draws stay
+            # deterministic no matter how fault events interleave.
+            rng = np.random.default_rng((self.plan.seed, index))
+            self._schedule_occurrence(spec, rng, occurrence=0)
+
+    # ------------------------------------------------------------------
+    # Occurrence scheduling
+    # ------------------------------------------------------------------
+    def _schedule_occurrence(self, spec: FaultSpec,
+                             rng: np.random.Generator, occurrence: int) -> None:
+        base = spec.start + (spec.period or 0.0) * occurrence
+        if spec.jitter > 0:
+            base += float(rng.uniform(0.0, spec.jitter))
+        when = max(base, self.ctx.sim.now)
+        self.ctx.sim.schedule_at(when, self._activate, spec, rng, occurrence)
+
+    def _activate(self, spec: FaultSpec, rng: np.random.Generator,
+                  occurrence: int) -> None:
+        if self.ctx.all_workers_done:
+            return  # let the simulation drain and terminate
+        self.activations += 1
+        self._apply(spec, on=True)
+        if spec.duration is not None:
+            self.ctx.sim.schedule(spec.duration, self._deactivate,
+                                  spec, rng, occurrence)
+
+    def _deactivate(self, spec: FaultSpec, rng: np.random.Generator,
+                    occurrence: int) -> None:
+        self.deactivations += 1
+        self._apply(spec, on=False)
+        if spec.period is not None and not self.ctx.all_workers_done:
+            self._schedule_occurrence(spec, rng, occurrence + 1)
+
+    # ------------------------------------------------------------------
+    # Effects
+    # ------------------------------------------------------------------
+    def _apply(self, spec: FaultSpec, on: bool) -> None:
+        if isinstance(spec, StragglerFault):
+            self._apply_straggler(spec, on)
+        elif isinstance(spec, LinkFault):
+            self._apply_link(spec, on)
+        else:
+            self._apply_stall(spec, on)
+
+    def _apply_straggler(self, spec: StragglerFault, on: bool) -> None:
+        factors = self._worker_factors.setdefault(spec.worker, [])
+        if on:
+            factors.append(spec.factor)
+        else:
+            factors.remove(spec.factor)
+        worker = self.ctx.workers[spec.worker]
+        worker.fault_slowdown = float(np.prod(factors)) if factors else 1.0
+
+    def _channels(self, spec: LinkFault) -> List[Tuple[str, "Channel"]]:
+        out = []
+        for direction in spec.directions:
+            chans = self.ctx.tx_channels if direction == "tx" else self.ctx.rx_channels
+            out.append((direction, chans[spec.machine]))
+        return out
+
+    def _apply_link(self, spec: LinkFault, on: bool) -> None:
+        for direction, channel in self._channels(spec):
+            factors = self._link_factors.setdefault((spec.machine, direction), [])
+            if on:
+                factors.append(spec.rate_factor)
+            else:
+                factors.remove(spec.rate_factor)
+            nominal = channel.nominal_rate
+            if nominal is None:
+                continue  # infinite links cannot be fractionally degraded
+            effective = nominal * float(np.prod(factors)) if factors else nominal
+            channel.set_rate(effective)
+
+    def _apply_stall(self, spec: ServerStallFault, on: bool) -> None:
+        server = self.ctx.servers[spec.server]
+        if on:
+            server.pause()
+        else:
+            server.resume()

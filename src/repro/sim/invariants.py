@@ -1,0 +1,279 @@
+"""Runtime invariant monitoring for the cluster simulator.
+
+The fault-injection layer (:mod:`repro.sim.faults`) reshapes *timing*
+only; it must never lose or duplicate a byte, re-order the clock, or
+let a worker compute on parameters whose synchronization has not
+finished.  :class:`InvariantMonitor` attaches to a built
+:class:`~repro.sim.cluster.ClusterSim` **before** :meth:`run` and
+checks, live and at end of run:
+
+* **clock monotonicity** — the event clock never goes backwards;
+* **byte conservation** — every protocol message sent through the
+  transport is delivered exactly once, with the same payload, and every
+  transmission a channel starts it also completes;
+* **exactly-once updates** — every gradient push delivered to a PS
+  shard is applied in exactly one aggregation/update job;
+* **forward gating** — a forward layer never starts before all of its
+  parameter keys arrived for the current round, and no round ever
+  receives more parameter messages than it has keys.
+
+These are the reusable checkers behind ``tests/sim/test_invariants.py``
+(the property harness runs them across strategies, with and without
+fault plans); :func:`simulate_checked` is the one-call convenience
+wrapper.
+
+Monitoring works by wrapping bound methods with counting/asserting
+closures, so the production simulator carries no bookkeeping overhead
+when no monitor is attached.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+from .cluster import ClusterConfig, ClusterSim, RunResult
+from .network import Message, MsgKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..models.base import ModelSpec
+    from ..strategies.base import StrategyConfig
+
+
+class InvariantViolation(AssertionError):
+    """A simulator invariant was broken (lost bytes, time travel, ...)."""
+
+
+class InvariantMonitor:
+    """Attach invariant checks to a :class:`ClusterSim` before running.
+
+    Usage::
+
+        cluster = ClusterSim(model, strategy, config)
+        monitor = InvariantMonitor(cluster)
+        result = cluster.run(iterations=5)
+        monitor.assert_all_final()
+
+    Live checks (clock, forward gating, duplicate deliveries) raise
+    :class:`InvariantViolation` the moment they fail;
+    :meth:`assert_all_final` verifies the end-of-run conservation
+    ledgers balance.
+    """
+
+    def __init__(self, cluster: ClusterSim) -> None:
+        self.cluster = cluster
+        # Ledgers: (src, dst, kind) -> [messages, payload_bytes]
+        self.sent: Dict[Tuple[int, int, str], list] = defaultdict(lambda: [0, 0])
+        self.delivered: Dict[Tuple[int, int, str], list] = defaultdict(lambda: [0, 0])
+        # (machine, direction) -> wire bytes whose transmission completed
+        self.channel_completed: Dict[Tuple[int, str], int] = defaultdict(int)
+        # key -> gradient pushes delivered to its shard / contributions
+        # consumed by update jobs
+        self.pushes_delivered: Dict[int, int] = defaultdict(int)
+        self.contribs_consumed: Dict[int, int] = defaultdict(int)
+        self.events_seen = 0
+        self._wrap_clock()
+        self._wrap_transport()
+        self._wrap_channels()
+        for server in cluster.servers:
+            self._wrap_server(server)
+        for worker in cluster.workers:
+            self._wrap_worker(worker)
+
+    # ------------------------------------------------------------------
+    # Wrappers
+    # ------------------------------------------------------------------
+    def _wrap_clock(self) -> None:
+        sim = self.cluster.sim
+        orig_step = sim.step
+        last = [sim.now]
+
+        def step() -> bool:
+            ran = orig_step()
+            if sim.now < last[0]:
+                raise InvariantViolation(
+                    f"clock went backwards: {last[0]} -> {sim.now}")
+            last[0] = sim.now
+            if ran:
+                self.events_seen += 1
+            return ran
+
+        sim.step = step  # type: ignore[method-assign]
+
+    def _wrap_transport(self) -> None:
+        transport = self.cluster.transport
+        orig_send = transport.send
+        orig_deliver = transport._local_deliver
+
+        def send(msg: Message) -> None:
+            self.sent[(msg.src, msg.dst, msg.kind.value)][0] += 1
+            self.sent[(msg.src, msg.dst, msg.kind.value)][1] += msg.payload_bytes
+            orig_send(msg)
+
+        def deliver(msg: Message) -> None:
+            if msg.kind is not MsgKind.NOISE:
+                self.delivered[(msg.src, msg.dst, msg.kind.value)][0] += 1
+                self.delivered[(msg.src, msg.dst, msg.kind.value)][1] += msg.payload_bytes
+            orig_deliver(msg)
+
+        transport.send = send  # type: ignore[method-assign]
+        transport._local_deliver = deliver  # type: ignore[method-assign]
+
+    def _wrap_channels(self) -> None:
+        for ch in self.cluster.tx_channels + self.cluster.rx_channels:
+            orig = ch.on_complete
+
+            def on_complete(msg: Message, _ch=ch, _orig=orig) -> None:
+                wire = msg.payload_bytes + _ch.overhead_bytes
+                self.channel_completed[(_ch.machine, _ch.direction)] += wire
+                _orig(msg)
+
+            ch.on_complete = on_complete
+
+    def _wrap_server(self, server) -> None:
+        orig_on_push = server._on_push
+        orig_pop = server._queue_pop
+
+        def on_push(msg: Message) -> None:
+            self.pushes_delivered[msg.key] += 1
+            orig_on_push(msg)
+
+        def queue_pop():
+            key, recipients, n_contribs = orig_pop()
+            self.contribs_consumed[key] += n_contribs
+            return key, recipients, n_contribs
+
+        server._on_push = on_push
+        server._queue_pop = queue_pop
+
+    def _wrap_worker(self, worker) -> None:
+        """Forward gating, checked against an *independent* ledger.
+
+        The monitor counts actual PARAM deliveries per layer round
+        (reset when the worker pushes that layer's gradients, which is
+        what opens a new round) rather than trusting the worker's own
+        ``params_arrived`` bookkeeping — a buggy gate that opens early
+        trips the check even if the worker's counters claim otherwise.
+        """
+        cluster = self.cluster
+        # The first forward pass consumes the initial broadcast, which
+        # the simulator treats as already complete.
+        arrived = [int(n) for n in worker.keys_per_layer]
+        orig_try = worker._try_forward_layer
+        orig_on_param = worker._on_param
+        orig_push_layer = worker._push_layer
+
+        def try_forward_layer() -> None:
+            orig_try()
+            if worker.done or worker.waiting_forward:
+                return
+            layer = worker.fwd_layer
+            if arrived[layer] < worker.keys_per_layer[layer]:
+                raise InvariantViolation(
+                    f"worker {worker.wid} started forward layer {layer} with "
+                    f"only {arrived[layer]}/{int(worker.keys_per_layer[layer])} "
+                    "parameter keys actually delivered this round")
+
+        def on_param(msg: Message) -> None:
+            layer = cluster.keys[msg.key].layer_index
+            arrived[layer] += 1
+            if arrived[layer] > worker.keys_per_layer[layer]:
+                raise InvariantViolation(
+                    f"worker {worker.wid} received {arrived[layer]} parameter "
+                    f"messages for layer {layer} which has only "
+                    f"{int(worker.keys_per_layer[layer])} keys "
+                    "(duplicate delivery)")
+            orig_on_param(msg)
+
+        def push_layer(layer: int) -> None:
+            arrived[layer] = 0  # pushing the gradients opens a new round
+            orig_push_layer(layer)
+
+        worker._try_forward_layer = try_forward_layer
+        worker._on_param = on_param
+        worker._push_layer = push_layer
+
+    # ------------------------------------------------------------------
+    # Final checks
+    # ------------------------------------------------------------------
+    def assert_message_conservation(self) -> None:
+        """Every sent protocol message was delivered exactly once, with
+        identical payload bytes — per (src, dst, kind) flow."""
+        flows = set(self.sent) | set(self.delivered)
+        for flow in sorted(flows):
+            s_count, s_bytes = self.sent.get(flow, [0, 0])
+            d_count, d_bytes = self.delivered.get(flow, [0, 0])
+            if (s_count, s_bytes) != (d_count, d_bytes):
+                src, dst, kind = flow
+                raise InvariantViolation(
+                    f"flow {src}->{dst} [{kind}]: sent {s_count} msgs/{s_bytes} B "
+                    f"but delivered {d_count} msgs/{d_bytes} B")
+
+    def assert_channels_drained(self) -> None:
+        """Every transmission a channel started also completed, and no
+        channel ends the run busy or with queued messages."""
+        for ch in self.cluster.tx_channels + self.cluster.rx_channels:
+            done = self.channel_completed[(ch.machine, ch.direction)]
+            if done != ch.bytes_transferred:
+                raise InvariantViolation(
+                    f"channel {ch.machine}/{ch.direction}: started "
+                    f"{ch.bytes_transferred} wire bytes but completed {done}")
+            if ch.busy or len(ch.queue) > 0:
+                raise InvariantViolation(
+                    f"channel {ch.machine}/{ch.direction} did not drain "
+                    f"(busy={ch.busy}, queued={len(ch.queue)})")
+
+    def assert_updates_exactly_once(self) -> None:
+        """Every gradient push delivered to a shard was consumed by
+        exactly one update job, and no shard holds unfinished work."""
+        for server in self.cluster.servers:
+            if server.busy or server._queue_len() > 0:
+                raise InvariantViolation(
+                    f"server {server.sid} did not drain (busy={server.busy}, "
+                    f"queued jobs={server._queue_len()})")
+        keys = set(self.pushes_delivered) | set(self.contribs_consumed)
+        for key in sorted(keys):
+            pushed = self.pushes_delivered[key]
+            consumed = self.contribs_consumed[key]
+            if pushed != consumed:
+                raise InvariantViolation(
+                    f"key {key}: {pushed} gradient pushes delivered but "
+                    f"{consumed} consumed by update jobs")
+
+    def assert_clock_advanced(self) -> None:
+        if self.events_seen == 0 or self.cluster.sim.now <= 0.0:
+            raise InvariantViolation("simulation processed no events")
+
+    def assert_all_final(self) -> None:
+        """Run every end-of-run invariant check."""
+        self.assert_clock_advanced()
+        self.assert_message_conservation()
+        self.assert_channels_drained()
+        self.assert_updates_exactly_once()
+
+    def summary(self) -> Dict[str, int]:
+        """Ledger totals, for test diagnostics."""
+        return {
+            "events": self.events_seen,
+            "messages_sent": sum(v[0] for v in self.sent.values()),
+            "messages_delivered": sum(v[0] for v in self.delivered.values()),
+            "payload_bytes": sum(v[1] for v in self.sent.values()),
+            "pushes_delivered": sum(self.pushes_delivered.values()),
+            "contribs_consumed": sum(self.contribs_consumed.values()),
+        }
+
+
+def simulate_checked(
+    model: "ModelSpec",
+    strategy: "StrategyConfig",
+    config: Optional[ClusterConfig] = None,
+    iterations: int = 5,
+    warmup: int = 1,
+) -> RunResult:
+    """Like :func:`repro.sim.cluster.simulate`, but with every invariant
+    monitored during the run and asserted afterwards."""
+    cluster = ClusterSim(model, strategy, config or ClusterConfig())
+    monitor = InvariantMonitor(cluster)
+    result = cluster.run(iterations=iterations, warmup=warmup)
+    monitor.assert_all_final()
+    return result

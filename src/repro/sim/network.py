@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable, Deque, List, Optional, Tuple
 
-from .engine import SimulationError, Simulator
+from .engine import EventHandle, SimulationError, Simulator
 
 
 class MsgKind(Enum):
@@ -152,6 +152,12 @@ class Channel:
     Messages that arrive while the channel is busy wait in the queue; the
     in-flight message is never preempted (P3's consumer thread uses
     blocking sends — preemption happens between slices, not within one).
+
+    The rate may change mid-transmission (:meth:`set_rate` — link
+    degradation faults, :mod:`repro.sim.faults`): the in-flight
+    message's completion is recomputed from the bytes still on the wire,
+    so a message that started on a healthy link finishes late on a
+    degraded one, and stalls outright while the rate is zero.
     """
 
     def __init__(
@@ -172,6 +178,7 @@ class Channel:
         self.machine = machine
         self.direction = direction
         self.rate = rate_bytes_per_s
+        self.nominal_rate = rate_bytes_per_s
         self.queue = queue
         self.on_complete = on_complete
         self.overhead_bytes = overhead_bytes
@@ -181,18 +188,77 @@ class Channel:
         self.bytes_transferred = 0
         self.messages_transferred = 0
         self.busy_time = 0.0
+        # In-flight transmission state (valid while busy): the message,
+        # its wire size, segment start, last progress sync, and what is
+        # still owed — CPU first, then wire bytes at the current rate.
+        self._seg_msg: Optional[Message] = None
+        self._seg_wire_bytes = 0
+        self._seg_start = 0.0
+        self._seg_last = 0.0
+        self._seg_cpu_left = 0.0
+        self._seg_bytes_left = 0.0
+        self._finish_handle: Optional[EventHandle] = None
 
     def occupancy(self, msg: Message) -> float:
-        """Seconds this channel is occupied transmitting ``msg``."""
+        """Seconds this channel is occupied transmitting ``msg`` at the
+        current rate (ignoring future rate changes)."""
         wire_bytes = msg.payload_bytes + self.overhead_bytes
         if self.rate is None:
             return self.per_message_cpu_s
+        if self.rate <= 0:
+            return float("inf")
         return wire_bytes / self.rate + self.per_message_cpu_s
 
     def enqueue(self, msg: Message) -> None:
         self.queue.push(msg)
         if not self.busy:
             self._start_next()
+
+    def set_rate(self, rate_bytes_per_s: Optional[float]) -> None:
+        """Change the link rate, rescheduling any in-flight completion.
+
+        ``0.0`` models a fully-down link: the in-flight message keeps
+        its remaining bytes and resumes when the rate recovers.
+        """
+        if rate_bytes_per_s is not None and rate_bytes_per_s < 0:
+            raise ValueError("rate_bytes_per_s must be >= 0 (or None for infinite)")
+        if self.busy:
+            self._sync_progress()
+            self.rate = rate_bytes_per_s
+            if self._finish_handle is not None:
+                self._finish_handle.cancel()
+            self._schedule_finish()
+        else:
+            self.rate = rate_bytes_per_s
+
+    def _remaining(self) -> float:
+        """Seconds until the in-flight message completes at current rate."""
+        rem = self._seg_cpu_left
+        if self._seg_bytes_left > 0:
+            if self.rate is None:
+                pass  # infinite rate: bytes are free
+            elif self.rate <= 0:
+                return float("inf")
+            else:
+                rem += self._seg_bytes_left / self.rate
+        return rem
+
+    def _sync_progress(self) -> None:
+        """Account elapsed time against the in-flight message's debt."""
+        elapsed = self.sim.now - self._seg_last
+        self._seg_last = self.sim.now
+        cpu = min(elapsed, self._seg_cpu_left)
+        self._seg_cpu_left -= cpu
+        elapsed -= cpu
+        if elapsed > 0 and self.rate is not None and self.rate > 0:
+            self._seg_bytes_left = max(0.0, self._seg_bytes_left - elapsed * self.rate)
+
+    def _schedule_finish(self) -> None:
+        rem = self._remaining()
+        if rem == float("inf"):
+            self._finish_handle = None  # stalled until the rate recovers
+        else:
+            self._finish_handle = self.sim.schedule(rem, self._finish)
 
     def _start_next(self) -> None:
         if self.busy:
@@ -201,17 +267,27 @@ class Channel:
             return
         msg = self.queue.pop()
         self.busy = True
-        dur = self.occupancy(msg)
         wire_bytes = msg.payload_bytes + self.overhead_bytes
-        if self.trace is not None:
-            self.trace(self.machine, self.direction, self.sim.now, self.sim.now + dur, wire_bytes)
+        self._seg_msg = msg
+        self._seg_wire_bytes = wire_bytes
+        self._seg_start = self.sim.now
+        self._seg_last = self.sim.now
+        self._seg_cpu_left = self.per_message_cpu_s
+        self._seg_bytes_left = 0.0 if self.rate is None else float(wire_bytes)
         self.bytes_transferred += wire_bytes
         self.messages_transferred += 1
-        self.busy_time += dur
-        self.sim.schedule(dur, self._finish, msg)
+        self._schedule_finish()
 
-    def _finish(self, msg: Message) -> None:
+    def _finish(self) -> None:
+        msg = self._seg_msg
+        assert msg is not None
+        self.busy_time += self.sim.now - self._seg_start
+        if self.trace is not None:
+            self.trace(self.machine, self.direction, self._seg_start,
+                       self.sim.now, self._seg_wire_bytes)
         self.busy = False
+        self._seg_msg = None
+        self._finish_handle = None
         self.on_complete(msg)
         if len(self.queue) > 0:
             self._start_next()

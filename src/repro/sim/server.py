@@ -51,6 +51,31 @@ class SimServerShard:
         self.busy = False
         self.updates_done = 0
         self.update_busy_time = 0.0
+        # Stall-fault support (repro.sim.faults): while the pause count
+        # is positive the consumer starts no new update jobs; pushes keep
+        # arriving and back up the work queue.  The job already running
+        # when the stall begins finishes normally — the fault models a
+        # wedged consumer thread, not a killed one.
+        self._pause_count = 0
+
+    # ------------------------------------------------------------------
+    # Fault hooks
+    # ------------------------------------------------------------------
+    @property
+    def paused(self) -> bool:
+        return self._pause_count > 0
+
+    def pause(self) -> None:
+        """Stop starting new aggregation/update jobs (nestable)."""
+        self._pause_count += 1
+
+    def resume(self) -> None:
+        """Undo one :meth:`pause`; drains the backlog when unpaused."""
+        if self._pause_count <= 0:
+            raise RuntimeError(f"server {self.sid} resumed while not paused")
+        self._pause_count -= 1
+        if not self.paused and not self.busy and self._queue_len() > 0:
+            self._next_job()
 
     # ------------------------------------------------------------------
     # Message handling
@@ -107,7 +132,7 @@ class SimServerShard:
     # ------------------------------------------------------------------
     def _enqueue_job(self, key: int, recipients: List[int], n_contribs: int) -> None:
         self._queue_push(key, recipients, n_contribs)
-        if not self.busy:
+        if not self.busy and not self.paused:
             self._next_job()
 
     def _queue_push(self, key: int, recipients: List[int], n_contribs: int) -> None:
@@ -139,7 +164,7 @@ class SimServerShard:
         self.busy = False
         self.updates_done += 1
         self._dispatch(key, recipients)
-        if self._queue_len() > 0:
+        if self._queue_len() > 0 and not self.paused:
             self._next_job()
 
     # ------------------------------------------------------------------

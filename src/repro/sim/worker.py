@@ -64,6 +64,11 @@ class SimWorker:
         self.bwd_layer = -1
         self.waiting_forward = False
         self._jitter_mult = 1.0
+        # Straggler faults (repro.sim.faults) multiply compute durations
+        # while active.  Applied at segment-schedule time: a fault that
+        # begins mid-layer slows the *next* layer, matching the
+        # layer-granular compute timeline.
+        self.fault_slowdown = 1.0
         self._rng = np.random.default_rng(ctx.config.seed * 7919 + worker_id + 1)
         self._record: IterationRecord | None = None
 
@@ -102,7 +107,7 @@ class SimWorker:
             self.waiting_forward = True
             return
         self.waiting_forward = False
-        dur = self.fwd_times[i] * self._jitter_mult
+        dur = self.fwd_times[i] * self._jitter_mult * self.fault_slowdown
         self.ctx.sim.schedule(dur, self._forward_layer_done)
 
     def _forward_layer_done(self) -> None:
@@ -119,7 +124,7 @@ class SimWorker:
         assert self._record is not None
         self._record.backward_start = self.ctx.sim.now
         self.bwd_layer = self.n_layers - 1
-        dur = self.bwd_times[self.bwd_layer] * self._jitter_mult
+        dur = self.bwd_times[self.bwd_layer] * self._jitter_mult * self.fault_slowdown
         self.ctx.sim.schedule(dur, self._backward_layer_done)
 
     def _backward_layer_done(self) -> None:
@@ -130,7 +135,7 @@ class SimWorker:
         self._push_layer(i)
         self.bwd_layer -= 1
         if self.bwd_layer >= 0:
-            dur = self.bwd_times[self.bwd_layer] * self._jitter_mult
+            dur = self.bwd_times[self.bwd_layer] * self._jitter_mult * self.fault_slowdown
             self.ctx.sim.schedule(dur, self._backward_layer_done)
         else:
             self._finish_backward()

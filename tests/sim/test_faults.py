@@ -1,0 +1,292 @@
+"""Unit tests for each fault type in isolation (repro.sim.faults).
+
+Channel-level tests pin down the exact semantics of mid-flight rate
+changes; cluster-level tests verify each fault's end-to-end effect — a
+2x straggler doubles its machine's compute time, a down link stalls
+exactly the flows crossing it, a stalled server backs up and drains.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import (
+    ClusterConfig,
+    ClusterSim,
+    FaultPlan,
+    LinkFault,
+    ServerStallFault,
+    Simulator,
+    StragglerFault,
+)
+from repro.sim.network import Channel, FifoQueue, Message, MsgKind, Role, Transport
+from repro.strategies import baseline, p3
+
+
+def _msg(payload=1000, src=0, dst=1):
+    return Message(kind=MsgKind.PUSH, key=0, payload_bytes=payload,
+                   priority=0, src=src, dst=dst, dst_role=Role.SERVER)
+
+
+# ----------------------------------------------------------------------
+# Spec validation
+# ----------------------------------------------------------------------
+def test_spec_validation():
+    with pytest.raises(ValueError, match="factor"):
+        StragglerFault(worker=0, factor=0.0)
+    with pytest.raises(ValueError, match="rate_factor"):
+        LinkFault(machine=0, rate_factor=1.5, duration=1.0)
+    with pytest.raises(ValueError, match="dead link"):
+        LinkFault(machine=0, rate_factor=0.0, duration=None)
+    with pytest.raises(ValueError, match="stalled server"):
+        ServerStallFault(server=0, duration=None)
+    with pytest.raises(ValueError, match="period"):
+        StragglerFault(worker=0, factor=2.0, duration=2.0, period=1.0)
+    with pytest.raises(ValueError, match="repeating"):
+        StragglerFault(worker=0, factor=2.0, period=1.0)
+    with pytest.raises(ValueError, match="direction"):
+        LinkFault(machine=0, rate_factor=0.5, duration=1.0, direction="up")
+
+
+def test_injector_rejects_out_of_range_targets(tiny_model):
+    for bad in (StragglerFault(worker=9, factor=2.0),
+                LinkFault(machine=9, rate_factor=0.5, duration=1.0),
+                ServerStallFault(server=9, duration=1.0)):
+        cfg = ClusterConfig(n_workers=2, fault_plan=FaultPlan((bad,)))
+        with pytest.raises(ValueError, match="targets"):
+            ClusterSim(tiny_model, p3(), cfg)
+
+
+def test_plan_scaled():
+    plan = FaultPlan((StragglerFault(worker=0, factor=2.0, start=1.0,
+                                     duration=0.5, period=2.0, jitter=0.25),),
+                     seed=3)
+    scaled = plan.scaled(4.0)
+    spec = scaled.faults[0]
+    assert (spec.start, spec.duration, spec.period, spec.jitter) == (4.0, 2.0, 8.0, 1.0)
+    assert scaled.seed == 3
+    assert spec.factor == 2.0
+
+
+# ----------------------------------------------------------------------
+# Channel.set_rate: the link-fault mechanism
+# ----------------------------------------------------------------------
+def _timed_channel(sim, rate=1000.0):
+    done = []
+    ch = Channel(sim, 0, "tx", rate, FifoQueue(),
+                 on_complete=lambda m: done.append(sim.now), overhead_bytes=0)
+    return ch, done
+
+
+def test_set_rate_recomputes_in_flight_transmission():
+    """1000 B at 1000 B/s; halving the rate at t=0.5 leaves 500 B that
+    now need a full second: completion at exactly 1.5 s."""
+    sim = Simulator()
+    ch, done = _timed_channel(sim)
+    ch.enqueue(_msg(payload=1000))
+    sim.schedule(0.5, ch.set_rate, 500.0)
+    sim.run()
+    assert done == pytest.approx([1.5])
+
+
+def test_down_link_freezes_and_resumes():
+    """Rate zero freezes the remaining bytes; recovery resumes where
+    the transmission left off."""
+    sim = Simulator()
+    ch, done = _timed_channel(sim)
+    ch.enqueue(_msg(payload=1000))
+    sim.schedule(0.5, ch.set_rate, 0.0)     # 500 B still on the wire
+    sim.schedule(2.5, ch.set_rate, 1000.0)  # 2 s outage
+    sim.run()
+    assert done == pytest.approx([3.0])
+    assert ch.busy_time == pytest.approx(3.0)
+
+
+def test_rate_restored_midway_is_lossless():
+    """Degrade and restore with no net change: total time is the sum of
+    per-rate segments, and exactly the message's bytes move."""
+    sim = Simulator()
+    ch, done = _timed_channel(sim)
+    ch.enqueue(_msg(payload=1000))
+    sim.schedule(0.25, ch.set_rate, 250.0)
+    sim.schedule(1.25, ch.set_rate, 1000.0)
+    # 0.25 s @1000 = 250 B, 1 s @250 = 250 B, 0.5 s @1000 = 500 B
+    sim.run()
+    assert done == pytest.approx([1.75])
+    assert ch.bytes_transferred == 1000
+
+
+def test_set_rate_while_idle_applies_to_next_message():
+    sim = Simulator()
+    ch, done = _timed_channel(sim)
+    ch.set_rate(500.0)
+    ch.enqueue(_msg(payload=1000))
+    sim.run()
+    assert done == pytest.approx([2.0])
+
+
+def test_down_link_stalls_exactly_crossing_flows():
+    """Machine 1's NIC goes down: the 0->1 flow stalls for the outage,
+    while the 0->2 flow is untouched."""
+    sim = Simulator()
+    transport = Transport(sim, latency_s=0.0)
+    delivered = {}
+    channels = {}
+    for m in range(3):
+        tx = Channel(sim, m, "tx", 1000.0, FifoQueue(), lambda _: None,
+                     overhead_bytes=0)
+        rx = Channel(sim, m, "rx", 1000.0, FifoQueue(), lambda _: None,
+                     overhead_bytes=0)
+        channels[m] = (tx, rx)
+        delivered[m] = []
+        transport.register(m, tx, rx, delivered[m].append)
+    transport.send(_msg(payload=500, src=0, dst=1))
+    transport.send(_msg(payload=500, src=0, dst=2))
+    # Outage on machine 1's RX covering that message's entire receive
+    # serialization (which would be [0.5, 1.0) when healthy).
+    sim.schedule(0.5, channels[1][1].set_rate, 0.0)
+    sim.schedule(2.0, channels[1][1].set_rate, 1000.0)
+    sim.run()
+    # 0->2: tx0 serializes the two sends back to back (0.5 + 0.5), then
+    # rx2 takes 0.5 — unaffected by machine 1's outage.
+    assert delivered[2][0].deliver_time == pytest.approx(1.5)
+    # 0->1: rx would finish at 1.0, but its 0.5 s of work only starts
+    # completing after the outage lifts at 2.0.
+    assert delivered[1][0].deliver_time == pytest.approx(2.5)
+
+
+# ----------------------------------------------------------------------
+# Straggler fault: compute slowdown
+# ----------------------------------------------------------------------
+def _compute_time(result, worker):
+    recs = result.iterations.worker_iterations(worker)[1:]
+    return sum(r.compute_time for r in recs) / len(recs)
+
+
+def test_static_straggler_doubles_compute_time(tiny_model):
+    """A permanent 2x straggler takes ~2x the compute time per
+    iteration (throughput of its machine roughly halves)."""
+    base_cfg = ClusterConfig(n_workers=2, bandwidth_gbps=50.0, seed=0)
+    base = ClusterSim(tiny_model, p3(), base_cfg).run(iterations=5, warmup=1)
+    plan = FaultPlan((StragglerFault(worker=0, factor=2.0),))
+    slow_cfg = ClusterConfig(n_workers=2, bandwidth_gbps=50.0,
+                             fault_plan=plan, seed=0)
+    slow = ClusterSim(tiny_model, p3(), slow_cfg).run(iterations=5, warmup=1)
+    ratio = _compute_time(slow, 0) / _compute_time(base, 0)
+    assert ratio == pytest.approx(2.0, rel=0.05)
+    # Synchronous SGD gates the healthy worker on the straggler: its
+    # iteration duration stretches to match even though its own compute
+    # segments run at full speed.
+    slow_iters = slow.iterations.iteration_times(worker=1, skip=1)
+    assert slow_iters.mean() == pytest.approx(
+        slow.iterations.iteration_times(worker=0, skip=1).mean(), rel=0.1)
+    assert slow.throughput < base.throughput
+
+
+def test_intermittent_straggler_recovers(tiny_model):
+    """Windowed slowdown: slower than fault-free, faster than a
+    permanent straggler of the same factor, and the multiplier is back
+    to exactly 1.0 once the run drains."""
+    def run(plan):
+        cfg = ClusterConfig(n_workers=2, bandwidth_gbps=50.0,
+                            fault_plan=plan, seed=0)
+        cluster = ClusterSim(tiny_model, p3(), cfg)
+        result = cluster.run(iterations=6, warmup=1)
+        return cluster, result
+
+    _, base = run(None)
+    iter_t = base.mean_iteration_time
+    window = FaultPlan((StragglerFault(worker=0, factor=4.0, start=0.0,
+                                       duration=iter_t, period=2 * iter_t),))
+    cluster, windowed = run(window)
+    _, permanent = run(FaultPlan((StragglerFault(worker=0, factor=4.0),)))
+    assert base.mean_iteration_time < windowed.mean_iteration_time
+    assert windowed.mean_iteration_time < permanent.mean_iteration_time
+    assert cluster.fault_injector.activations >= 2
+    assert cluster.fault_injector.activations == cluster.fault_injector.deactivations
+    assert cluster.workers[0].fault_slowdown == 1.0
+
+
+def test_overlapping_stragglers_compose_multiplicatively(tiny_model):
+    plan = FaultPlan((StragglerFault(worker=0, factor=2.0),
+                      StragglerFault(worker=0, factor=3.0)))
+    cfg = ClusterConfig(n_workers=2, bandwidth_gbps=50.0, fault_plan=plan, seed=0)
+    cluster = ClusterSim(tiny_model, p3(), cfg)
+    result = cluster.run(iterations=4, warmup=1)
+    assert cluster.workers[0].fault_slowdown == pytest.approx(6.0)
+    base = ClusterSim(tiny_model, p3(),
+                      ClusterConfig(n_workers=2, bandwidth_gbps=50.0, seed=0)
+                      ).run(iterations=4, warmup=1)
+    assert _compute_time(result, 0) / _compute_time(base, 0) == pytest.approx(6.0, rel=0.05)
+
+
+# ----------------------------------------------------------------------
+# Link fault at cluster level
+# ----------------------------------------------------------------------
+def test_link_degradation_slows_training(tiny_model):
+    def run(plan):
+        cfg = ClusterConfig(n_workers=2, bandwidth_gbps=0.5,
+                            fault_plan=plan, seed=0)
+        return ClusterSim(tiny_model, baseline(), cfg).run(iterations=5, warmup=1)
+
+    base = run(None)
+    iter_t = base.mean_iteration_time
+    degraded = run(FaultPlan((LinkFault(machine=0, rate_factor=0.1,
+                                        start=0.0, duration=2 * iter_t,
+                                        period=4 * iter_t),)))
+    assert degraded.mean_iteration_time > base.mean_iteration_time
+    # Everything still drains and completes despite the flaps.
+    assert len(degraded.iteration_times) == len(base.iteration_times)
+
+
+def test_link_rate_restored_after_fault(tiny_model):
+    plan = FaultPlan((LinkFault(machine=0, rate_factor=0.0, start=0.001,
+                                duration=0.002),))
+    cfg = ClusterConfig(n_workers=2, bandwidth_gbps=1.0, fault_plan=plan, seed=0)
+    cluster = ClusterSim(tiny_model, p3(), cfg)
+    cluster.run(iterations=4, warmup=1)
+    for ch in (cluster.tx_channels[0], cluster.rx_channels[0]):
+        assert ch.rate == ch.nominal_rate
+
+
+# ----------------------------------------------------------------------
+# Server stall fault
+# ----------------------------------------------------------------------
+def test_stalled_server_backs_up_then_drains(tiny_model):
+    """During the stall the shard's work queue grows; afterwards it
+    drains and every round's updates still complete."""
+    def run(plan):
+        cfg = ClusterConfig(n_workers=2, bandwidth_gbps=10.0,
+                            fault_plan=plan, seed=0)
+        cluster = ClusterSim(tiny_model, baseline(), cfg)
+        result = cluster.run(iterations=5, warmup=1)
+        return cluster, result
+
+    base_cluster, base = run(None)
+    iter_t = base.mean_iteration_time
+    plan = FaultPlan((ServerStallFault(server=0, start=0.2 * iter_t,
+                                       duration=2 * iter_t),))
+    cfg = ClusterConfig(n_workers=2, bandwidth_gbps=10.0, fault_plan=plan, seed=0)
+    cluster = ClusterSim(tiny_model, baseline(), cfg)
+    server = cluster.servers[0]
+    backlog = []
+    # Sample the shard's queue depth right before the stall lifts.
+    cluster.sim.schedule(0.2 * iter_t + 1.99 * iter_t,
+                         lambda: backlog.append(server._queue_len()))
+    stalled = cluster.run(iterations=5, warmup=1)
+    assert backlog[0] > 0, "stalled shard never backed up"
+    assert server._queue_len() == 0 and not server.busy
+    assert not server.paused
+    # Same total work despite the stall: one update job per key round.
+    assert server.updates_done == base_cluster.servers[0].updates_done
+    assert stalled.mean_iteration_time > base.mean_iteration_time
+
+
+def test_nested_stalls_resume_after_last(tiny_model):
+    plan = FaultPlan((ServerStallFault(server=0, start=0.0, duration=0.004),
+                      ServerStallFault(server=0, start=0.002, duration=0.004)))
+    cfg = ClusterConfig(n_workers=2, bandwidth_gbps=10.0, fault_plan=plan, seed=0)
+    cluster = ClusterSim(tiny_model, baseline(), cfg)
+    cluster.run(iterations=4, warmup=1)
+    assert not cluster.servers[0].paused
+    assert cluster.fault_injector.deactivations == 2
