@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench report quick-report figures clean
+.PHONY: install test test-fast bench bench-snapshot live-demo report quick-report figures clean
 
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
@@ -17,6 +17,12 @@ test-fast:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-snapshot:
+	$(PYTHON) tools/bench_snapshot.py
+
+live-demo:
+	$(PYTHON) examples/live_cluster.py
 
 report:
 	$(PYTHON) -m repro.analysis.report --out report.md

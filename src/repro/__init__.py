@@ -16,6 +16,10 @@ Public API overview
 ``repro.training``
     Pure-numpy data-parallel training substrate for the convergence
     experiments (P3 exact sync vs. DGC vs. ASGD).
+``repro.live``
+    Live transport: the same functional data plane over real TCP
+    sockets and OS processes, with priority scheduling and token-bucket
+    bandwidth shaping (the software ``tc qdisc``).
 ``repro.analysis``
     One driver per paper figure, regenerating its data series.
 
@@ -29,7 +33,7 @@ Quickstart
 True
 """
 
-from . import allreduce, analysis, core, kvstore, models, sim, strategies, training
+from . import allreduce, analysis, core, kvstore, live, models, sim, strategies, training
 from .sim import ClusterConfig, RunResult, simulate
 
 __version__ = "0.1.0"
@@ -41,6 +45,7 @@ __all__ = [
     "analysis",
     "core",
     "kvstore",
+    "live",
     "models",
     "sim",
     "simulate",

@@ -33,6 +33,14 @@ from .bounds import (
     p3_crossover_gbps,
     wire_bytes_per_direction,
 )
+from .calibration import (
+    CalibrationReport,
+    calibrate,
+    live_model_spec,
+    predict_sim,
+    run_inprocess,
+    sim_bandwidth_gbps,
+)
 from .robustness import degradation_report, fault_plan_for, robustness_sweep
 from .sensitivity import sensitivity_scan, speedup_at
 from .series import FigureData, Series, speedup
@@ -67,8 +75,14 @@ __all__ = [
     "HyperSetting",
     "ScheduleOutcome",
     "Series",
+    "CalibrationReport",
     "ascii_plot",
     "burstiness_comparison",
+    "calibrate",
+    "live_model_spec",
+    "predict_sim",
+    "run_inprocess",
+    "sim_bandwidth_gbps",
     "colocation_ablation",
     "component_ablation",
     "fig10_scalability",

@@ -1,0 +1,213 @@
+"""Sim-vs-live calibration (repro.analysis.calibration).
+
+The live transport (:mod:`repro.live`) makes two falsifiable promises:
+
+1. **Value fidelity** — final parameters from a live run are
+   *bit-identical* to the in-process functional store's for the same
+   model/seed (the paper's Section 5.6 convergence-neutrality, now
+   across process and socket boundaries).
+2. **Timing fidelity** — on a token-bucket-shaped link, the measured
+   live P3-vs-baseline speedup agrees in sign (within a documented
+   tolerance, see :attr:`CalibrationReport.tolerance`) with what
+   :mod:`repro.sim` predicts for an equivalently configured cluster.
+
+``calibrate()`` runs both checks end to end and returns a
+:class:`CalibrationReport`.
+
+Mapping a live config into the simulator
+----------------------------------------
+* Each named parameter array of the live model becomes one
+  :class:`LayerSpec` (that is also the KVStore key granularity).
+* The emulated per-layer compute sleeps fix the compute-bound
+  throughput: ``samples_per_sec = worker_batch / (n_layers * (fwd + bwd))``
+  with ``forward_fraction = fwd / (fwd + bwd)``.
+* The live wire carries fp64 (8 B/param) while the simulator's byte
+  accounting uses the paper's fp32 (4 B/param), so the simulated
+  bandwidth is ``rate_bytes_per_s * (4/8)`` — equal transfer *time* for
+  equal parameter counts.
+* Live shards are separate processes with their own shapers, i.e. their
+  own NICs: ``colocate_servers=False``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..live.config import LiveClusterConfig
+from ..live.driver import LiveRunResult, run_live
+from ..live.wire import WIRE_BYTES_PER_PARAM
+from ..models.base import BYTES_PER_PARAM, LayerSpec, ModelSpec
+from ..sim.cluster import ClusterConfig, simulate
+from ..strategies import base as strategies
+
+#: Documented default tolerance for sign agreement: live and simulated
+#: speedups must lie on the same side of 1.0, or both within this band
+#: of 1.0 (measurement noise on a loopback link is real; the claim is
+#: about the *direction* of the effect, not its third decimal).
+DEFAULT_TOLERANCE = 0.15
+
+
+def run_inprocess(cfg: LiveClusterConfig,
+                  strategy: Optional[str] = None) -> Dict[str, np.ndarray]:
+    """The live run's ground truth: same loop through the in-process store.
+
+    Replicates the live workers' schedule exactly — same batch indices,
+    same per-worker gradient shards, same store — without any sockets,
+    and returns the final parameters.
+    """
+    strategy = strategy or cfg.strategy
+    net = cfg.build_network()
+    dataset = cfg.build_dataset()
+    store = cfg.build_initialized_store(strategy)
+    for idx in cfg.batch_schedule():
+        worker_grads = []
+        for w in range(cfg.n_workers):
+            lo, hi = cfg.worker_slice(w)
+            net.loss_and_grad(dataset.x_train[idx][lo:hi],
+                              dataset.y_train[idx][lo:hi])
+            worker_grads.append({name: g.copy()
+                                 for name, g in net.gradients().items()})
+        net.set_parameters(store.round(worker_grads))
+    return net.parameters()
+
+
+def live_model_spec(cfg: LiveClusterConfig) -> ModelSpec:
+    """Describe the live workload as a simulator :class:`ModelSpec`."""
+    params = cfg.build_network().parameters()
+    layers = tuple(LayerSpec(name, int(v.size), 1.0)
+                   for name, v in params.items())
+    compute_s = len(layers) * (cfg.fwd_layer_s + cfg.bwd_layer_s)
+    return ModelSpec(
+        name="live_mlp",
+        layers=layers,
+        batch_size=cfg.worker_batch,
+        samples_per_sec=cfg.worker_batch / compute_s,
+        forward_fraction=cfg.fwd_layer_s / (cfg.fwd_layer_s + cfg.bwd_layer_s),
+    )
+
+
+def sim_bandwidth_gbps(cfg: LiveClusterConfig) -> float:
+    """Simulated link rate giving equal transfer time per parameter."""
+    if cfg.rate_bytes_per_s is None:
+        raise ValueError("calibration needs a shaped link "
+                         "(rate_bytes_per_s is None)")
+    effective = cfg.rate_bytes_per_s * BYTES_PER_PARAM / WIRE_BYTES_PER_PARAM
+    return effective * 8.0 / 1e9
+
+
+def predict_sim(cfg: LiveClusterConfig) -> Tuple[float, float]:
+    """Simulator-predicted mean iteration times (baseline_s, p3_s)."""
+    spec = live_model_spec(cfg)
+    sim_cfg = ClusterConfig(
+        n_workers=cfg.n_workers,
+        n_servers=cfg.n_servers,
+        bandwidth_gbps=sim_bandwidth_gbps(cfg),
+        colocate_servers=False,
+        seed=cfg.store_seed,
+    )
+    iters = max(cfg.iterations, cfg.warmup + 2)
+    base = simulate(spec, strategies.baseline(), sim_cfg,
+                    iterations=iters, warmup=cfg.warmup)
+    p3 = simulate(spec, strategies.p3(cfg.slice_params), sim_cfg,
+                  iterations=iters, warmup=cfg.warmup)
+    return base.mean_iteration_time, p3.mean_iteration_time
+
+
+@dataclass
+class CalibrationReport:
+    """Everything the live transport claims, measured in one object."""
+
+    live_baseline_s: float
+    live_p3_s: float
+    sim_baseline_s: float
+    sim_p3_s: float
+    bit_identical: bool
+    max_abs_diff: float
+    tolerance: float = DEFAULT_TOLERANCE
+
+    @property
+    def live_speedup(self) -> float:
+        return self.live_baseline_s / self.live_p3_s
+
+    @property
+    def sim_speedup(self) -> float:
+        return self.sim_baseline_s / self.sim_p3_s
+
+    def agrees(self, tolerance: Optional[float] = None) -> bool:
+        """Sign agreement within the documented tolerance band.
+
+        True when live and simulated speedups fall on the same side of
+        1.0, or when both sit inside ``1 ± tolerance`` (a predicted and
+        measured wash both count as agreement).
+        """
+        tol = self.tolerance if tolerance is None else tolerance
+        live, sim = self.live_speedup, self.sim_speedup
+        same_side = (live - 1.0) * (sim - 1.0) > 0
+        both_flat = abs(live - 1.0) <= tol and abs(sim - 1.0) <= tol
+        return bool(same_side or both_flat)
+
+    def summary(self) -> str:
+        lines = [
+            "sim-vs-live calibration",
+            f"  {'':14s}{'baseline':>12s}{'p3':>12s}{'speedup':>10s}",
+            (f"  {'live (s)':14s}{self.live_baseline_s:12.4f}"
+             f"{self.live_p3_s:12.4f}{self.live_speedup:9.2f}x"),
+            (f"  {'sim  (s)':14s}{self.sim_baseline_s:12.4f}"
+             f"{self.sim_p3_s:12.4f}{self.sim_speedup:9.2f}x"),
+            (f"  bit-identical final params vs in-process store: "
+             f"{'YES' if self.bit_identical else 'NO'} "
+             f"(max |diff| = {self.max_abs_diff:.2e})"),
+            (f"  sign agreement (tolerance ±{self.tolerance:.2f}): "
+             f"{'YES' if self.agrees() else 'NO'}"),
+        ]
+        return "\n".join(lines)
+
+
+def _max_diff(a: Dict[str, np.ndarray], b: Dict[str, np.ndarray]) -> float:
+    return max(float(np.abs(np.asarray(a[name], dtype=np.float64)
+                            - np.asarray(b[name], dtype=np.float64)).max())
+               for name in a)
+
+
+def _identical(a: Dict[str, np.ndarray], b: Dict[str, np.ndarray]) -> bool:
+    return all(np.array_equal(np.asarray(a[name], dtype=np.float64),
+                              np.asarray(b[name], dtype=np.float64))
+               for name in a)
+
+
+def calibrate(cfg: LiveClusterConfig,
+              tolerance: float = DEFAULT_TOLERANCE,
+              live_results: Optional[Dict[str, LiveRunResult]] = None,
+              ) -> CalibrationReport:
+    """Run baseline and P3 live, check both fidelity claims.
+
+    ``live_results`` may carry pre-run ``{"baseline": ..., "p3": ...}``
+    results (the CLI reuses runs it already made); missing entries are
+    run here.
+    """
+    live_results = dict(live_results or {})
+    for strategy in ("baseline", "p3"):
+        if strategy not in live_results:
+            live_results[strategy] = run_live(cfg, strategy=strategy)
+    live_base, live_p3 = live_results["baseline"], live_results["p3"]
+
+    ref_base = run_inprocess(cfg, "baseline")
+    ref_p3 = run_inprocess(cfg, "p3")
+    identical = (_identical(live_base.final_params, ref_base)
+                 and _identical(live_p3.final_params, ref_p3))
+    max_diff = max(_max_diff(live_base.final_params, ref_base),
+                   _max_diff(live_p3.final_params, ref_p3))
+
+    sim_base_s, sim_p3_s = predict_sim(cfg)
+    return CalibrationReport(
+        live_baseline_s=live_base.mean_iteration_time,
+        live_p3_s=live_p3.mean_iteration_time,
+        sim_baseline_s=sim_base_s,
+        sim_p3_s=sim_p3_s,
+        bit_identical=identical,
+        max_abs_diff=max_diff,
+        tolerance=tolerance,
+    )

@@ -191,6 +191,33 @@ def cmd_sensitivity(args: argparse.Namespace) -> None:
           f"across all knob sweeps")
 
 
+def cmd_live(args: argparse.Namespace) -> None:
+    """Run the live (real-socket) transport and calibrate it vs the sim."""
+    from .analysis.calibration import calibrate
+    from .live import LiveClusterConfig, run_live
+
+    cfg = LiveClusterConfig(
+        n_workers=args.workers,
+        n_servers=args.shards,
+        iterations=args.iterations,
+        warmup=args.warmup,
+        slice_params=args.slice_params,
+        rate_bytes_per_s=args.rate_mbps * 1e6 / 8.0,
+        batch_size=args.batch,
+    )
+    print(f"live cluster: {cfg.n_workers} workers + {cfg.n_servers} shards "
+          f"on {cfg.host}, link shaped to {args.rate_mbps:.0f} Mbit/s")
+    results = {}
+    for strategy in ("baseline", "p3"):
+        print(f"  running live {strategy} ({cfg.iterations} iterations) ...")
+        results[strategy] = run_live(cfg, strategy=strategy)
+    print()
+    report = calibrate(cfg, live_results=results)
+    print(report.summary())
+    goodput = results["p3"].goodput_bytes_per_s(0) * 8 / 1e6
+    print(f"  worker-0 p3 tx goodput: {goodput:.1f} Mbit/s")
+
+
 def cmd_report(args: argparse.Namespace) -> None:
     """Run the full evaluation and write a markdown report."""
     from .analysis.report import generate_report
@@ -265,6 +292,18 @@ def build_parser() -> argparse.ArgumentParser:
     trace_p.add_argument("--strategy", default="p3")
     trace_p.add_argument("--bandwidth", type=float, default=4.0)
     trace_p.add_argument("--out", dest="out", default="trace.json")
+    live_p = sub.add_parser(
+        "live", help="run the real-socket live transport and calibrate "
+                     "it against the simulator")
+    live_p.set_defaults(fn=cmd_live)
+    live_p.add_argument("--workers", type=int, default=2)
+    live_p.add_argument("--shards", type=int, default=2)
+    live_p.add_argument("--iterations", type=int, default=5)
+    live_p.add_argument("--warmup", type=int, default=1)
+    live_p.add_argument("--batch", type=int, default=16)
+    live_p.add_argument("--slice-params", type=int, default=5_000)
+    live_p.add_argument("--rate-mbps", type=float, default=20.0,
+                        help="token-bucket link rate (software tc qdisc)")
     report_p = add("report", cmd_report, "full evaluation -> markdown report")
     report_p.add_argument("--quick", action="store_true")
     report_p.add_argument("--out", dest="out", default="report.md")

@@ -1,0 +1,66 @@
+"""Live transport subsystem: the P3 data plane over real sockets.
+
+Where :mod:`repro.sim` *models* when bytes move and :mod:`repro.kvstore`
+computes *what* they contain in-process, this package runs the same
+functional data plane across real OS processes and TCP sockets on
+localhost, with priority-scheduled sending and token-bucket bandwidth
+shaping — the software analogue of the paper's ``tc qdisc``-throttled
+testbed.  See ``docs/live.md``.
+"""
+
+from .config import KeyPlan, LiveClusterConfig, make_plan
+from .driver import LiveRunError, LiveRunResult, run_live
+from .server import LiveServerShard, serve_shard
+from .transport import (
+    CONTROL_PRIORITY,
+    ChunkRecord,
+    PrioritySender,
+    TokenBucket,
+    TransportError,
+    connect_with_retry,
+    goodput_bytes_per_s,
+    timeline_utilization,
+)
+from .wire import (
+    Frame,
+    FrameDecoder,
+    Reassembler,
+    WireError,
+    WireKind,
+    WireMessage,
+    encode_array,
+    encode_frame,
+    split_message,
+)
+from .worker import LiveWorker, LiveWorkerError, run_worker
+
+__all__ = [
+    "CONTROL_PRIORITY",
+    "ChunkRecord",
+    "Frame",
+    "FrameDecoder",
+    "KeyPlan",
+    "LiveClusterConfig",
+    "LiveRunError",
+    "LiveRunResult",
+    "LiveServerShard",
+    "LiveWorker",
+    "LiveWorkerError",
+    "PrioritySender",
+    "Reassembler",
+    "TokenBucket",
+    "TransportError",
+    "WireError",
+    "WireKind",
+    "WireMessage",
+    "connect_with_retry",
+    "encode_array",
+    "encode_frame",
+    "goodput_bytes_per_s",
+    "make_plan",
+    "run_live",
+    "run_worker",
+    "serve_shard",
+    "split_message",
+    "timeline_utilization",
+]

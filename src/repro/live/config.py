@@ -1,0 +1,177 @@
+"""Shared configuration of a live cluster run (repro.live).
+
+Every process of a live run — driver, each server shard, each worker —
+receives one pickled :class:`LiveClusterConfig` and *derives the entire
+shared world from it deterministically*: the network replica, the
+dataset, the batch schedule, and the key plan (slicing + placement +
+priorities).  That removes any need for a metadata exchange protocol:
+two processes with the same config always agree on what key 17 means,
+which server owns it, and how urgent it is, exactly as MXNet workers
+and servers agree through their common KVStore configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..kvstore.store import BaselineKVStore, DistributedStore, KeyMeta, P3Store
+from ..training.data import Dataset, SyntheticSpec, make_dataset
+from ..training.model import Network
+from ..training.zoo import mlp
+
+STRATEGIES = ("baseline", "p3")
+
+
+@dataclass(frozen=True)
+class LiveClusterConfig:
+    """Deployment + workload parameters of one live run."""
+
+    # Topology
+    n_workers: int = 2
+    n_servers: int = 2
+    host: str = "127.0.0.1"
+
+    # Data plane
+    strategy: str = "p3"               # "baseline" | "p3"
+    slice_params: int = 5_000          # P3 slice granularity (toy-scaled)
+    threshold: int = 1_000_000         # baseline big-layer split threshold
+
+    # Link shaping (None = unshaped loopback)
+    rate_bytes_per_s: Optional[float] = 2_500_000.0
+    burst_bytes: int = 32_768
+    chunk_bytes: int = 8_192
+
+    # Workload (a toy MLP; arrays are this run's "layers")
+    in_size: int = 16                  # dataset image side (in_dim = 3*s*s)
+    hidden: int = 32
+    depth: int = 2
+    n_classes: int = 10
+    model_seed: int = 3
+    data_seed: int = 0
+    n_train: int = 128
+    n_val: int = 64
+    batch_size: int = 16               # global batch, sharded across workers
+
+    # Optimization
+    lr: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 0.0
+    store_seed: int = 1
+    batch_seed: int = 7
+
+    # Schedule
+    iterations: int = 5
+    warmup: int = 1
+
+    # Emulated per-layer compute (the software stand-in for GPU time;
+    # sleeps make the forward pass *gated* on parameter arrival, which
+    # is where P3's scheduling advantage physically comes from)
+    fwd_layer_s: float = 0.008
+    bwd_layer_s: float = 0.016
+
+    # Robustness knobs (PR 1 vocabulary: liveness + bounded waits)
+    heartbeat_interval_s: float = 0.25
+    connect_timeout_s: float = 15.0
+    round_timeout_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.strategy not in STRATEGIES:
+            raise ValueError(f"strategy must be one of {STRATEGIES}")
+        if self.n_workers <= 0 or self.n_servers <= 0:
+            raise ValueError("n_workers and n_servers must be positive")
+        if self.batch_size % self.n_workers:
+            raise ValueError("batch_size must be divisible by n_workers")
+        if self.iterations <= self.warmup:
+            raise ValueError("iterations must exceed warmup")
+        if self.rate_bytes_per_s is not None and self.rate_bytes_per_s <= 0:
+            raise ValueError("rate_bytes_per_s must be positive or None")
+        if self.chunk_bytes <= 0:
+            raise ValueError("chunk_bytes must be positive")
+
+    # ------------------------------------------------------------------
+    # Deterministic world building (identical in every process)
+    # ------------------------------------------------------------------
+    @property
+    def in_dim(self) -> int:
+        return 3 * self.in_size * self.in_size
+
+    @property
+    def worker_batch(self) -> int:
+        return self.batch_size // self.n_workers
+
+    def build_network(self) -> Network:
+        """The model replica (batchnorm off: exact replica equivalence)."""
+        rng = np.random.default_rng(self.model_seed)
+        return mlp(rng, in_dim=self.in_dim, hidden=self.hidden,
+                   n_classes=self.n_classes, depth=self.depth,
+                   batchnorm=False)
+
+    def build_dataset(self) -> Dataset:
+        return make_dataset(n_train=self.n_train, n_val=self.n_val,
+                            spec=SyntheticSpec(image_size=self.in_size),
+                            seed=self.data_seed)
+
+    def build_store(self, strategy: Optional[str] = None) -> DistributedStore:
+        """The in-process functional store this live run must reproduce
+        bit-for-bit (it also serves as the key planner)."""
+        kind = strategy or self.strategy
+        common = dict(n_workers=self.n_workers, n_servers=self.n_servers,
+                      lr=self.lr, momentum=self.momentum,
+                      weight_decay=self.weight_decay, seed=self.store_seed)
+        if kind == "baseline":
+            return BaselineKVStore(threshold=self.threshold, **common)
+        return P3Store(slice_params=self.slice_params, **common)
+
+    def build_initialized_store(
+            self, strategy: Optional[str] = None) -> DistributedStore:
+        store = self.build_store(strategy)
+        store.init(self.build_network().parameters())
+        return store
+
+    def batch_schedule(self) -> List[np.ndarray]:
+        """Per-iteration global batch indices, identical in all processes."""
+        rng = np.random.default_rng(self.batch_seed)
+        return [rng.choice(self.n_train, size=self.batch_size, replace=False)
+                for _ in range(self.iterations)]
+
+    def worker_slice(self, worker_id: int) -> Tuple[int, int]:
+        lo = worker_id * self.worker_batch
+        return lo, lo + self.worker_batch
+
+
+@dataclass
+class KeyPlan:
+    """The key layout shared by workers and servers, derived from config."""
+
+    metas: List[KeyMeta]
+    shapes: Dict[str, Tuple[int, ...]]
+    names: List[str] = field(init=False)          # forward order
+    by_name: Dict[str, List[KeyMeta]] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.names = []
+        self.by_name = {}
+        for m in self.metas:
+            if m.name not in self.by_name:
+                self.by_name[m.name] = []
+                self.names.append(m.name)
+            self.by_name[m.name].append(m)
+
+    def server_keys(self, server_id: int) -> Dict[int, KeyMeta]:
+        return {m.key: m for m in self.metas if m.server == server_id}
+
+    @property
+    def n_keys(self) -> int:
+        return len(self.metas)
+
+
+def make_plan(cfg: LiveClusterConfig,
+              strategy: Optional[str] = None) -> KeyPlan:
+    """Materialize the shared key plan for one strategy."""
+    store = cfg.build_initialized_store(strategy)
+    shapes = {name: value.shape
+              for name, value in cfg.build_network().parameters().items()}
+    return KeyPlan(metas=list(store.keys), shapes=shapes)

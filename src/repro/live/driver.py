@@ -1,0 +1,145 @@
+"""Driver: launch, supervise, and harvest a live cluster run (repro.live).
+
+``run_live()`` is the live counterpart of :func:`repro.sim.simulate`: it
+forks ``n_servers`` shard processes and ``n_workers`` worker processes,
+wires them over localhost TCP, waits with hard deadlines (no hung test
+suites), and returns a :class:`LiveRunResult` carrying measured
+iteration times, the final parameters (checked identical across every
+worker replica), and the per-chunk transmission timeline in the
+simulator's schema.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..sim.trace import UtilizationTrace
+from .config import LiveClusterConfig
+from .server import serve_shard
+from .transport import ChunkRecord, goodput_bytes_per_s, timeline_utilization
+from .worker import run_worker
+
+
+class LiveRunError(Exception):
+    """A live run failed to launch, converge, or shut down cleanly."""
+
+
+@dataclass
+class LiveRunResult:
+    """Outcome of one live training run (cf. :class:`repro.sim.RunResult`)."""
+
+    strategy: str
+    config: LiveClusterConfig
+    final_params: Dict[str, np.ndarray]
+    iteration_times: Dict[int, np.ndarray]  # per worker, seconds
+    timelines: Dict[int, List[ChunkRecord]] = field(default_factory=dict)
+    heartbeat_acks: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def mean_iteration_time(self) -> float:
+        """Steady-state mean across workers (warmup iterations skipped)."""
+        skip = self.config.warmup
+        per_worker = [float(times[skip:].mean())
+                      for times in self.iteration_times.values()]
+        return float(np.mean(per_worker))
+
+    @property
+    def throughput(self) -> float:
+        """Samples/s across the cluster (global batch per iteration)."""
+        return self.config.batch_size / self.mean_iteration_time
+
+    def goodput_bytes_per_s(self, worker: int = 0) -> float:
+        return goodput_bytes_per_s(self.timelines.get(worker, []))
+
+    def utilization(self, worker: int = 0) -> UtilizationTrace:
+        """The worker's TX timeline in the simulator's trace schema."""
+        return timeline_utilization(self.timelines.get(worker, []))
+
+    def speedup_over(self, other: "LiveRunResult") -> float:
+        return other.mean_iteration_time / self.mean_iteration_time
+
+
+def _context() -> mp.context.BaseContext:
+    # fork is cheap and inherits the imported numpy stack; fall back to
+    # spawn where fork is unavailable.
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else "spawn")
+
+
+def run_live(cfg: LiveClusterConfig, strategy: Optional[str] = None,
+             launch_timeout_s: float = 30.0) -> LiveRunResult:
+    """Run one full live training job; block until it completes."""
+    strategy = strategy or cfg.strategy
+    ctx = _context()
+    port_q = ctx.Queue()
+    result_q = ctx.Queue()
+    servers = [
+        ctx.Process(target=serve_shard, args=(s, cfg, strategy, port_q),
+                    daemon=True, name=f"live-shard-{s}")
+        for s in range(cfg.n_servers)
+    ]
+    workers: List[mp.Process] = []
+    try:
+        for proc in servers:
+            proc.start()
+        ports: Dict[int, int] = {}
+        for _ in range(cfg.n_servers):
+            try:
+                sid, port = port_q.get(timeout=launch_timeout_s)
+            except queue_mod.Empty:
+                raise LiveRunError("server shards failed to bind in time")
+            ports[sid] = port
+        addresses: List[Tuple[str, int]] = [
+            (cfg.host, ports[s]) for s in range(cfg.n_servers)]
+        workers = [
+            ctx.Process(target=run_worker,
+                        args=(w, cfg, strategy, addresses, result_q),
+                        daemon=True, name=f"live-worker-{w}")
+            for w in range(cfg.n_workers)
+        ]
+        for proc in workers:
+            proc.start()
+        deadline = cfg.round_timeout_s * cfg.iterations
+        results: Dict[int, dict] = {}
+        for _ in range(cfg.n_workers):
+            try:
+                res = result_q.get(timeout=deadline)
+            except queue_mod.Empty:
+                raise LiveRunError(
+                    f"live run timed out: got results from "
+                    f"{sorted(results)} of {cfg.n_workers} workers")
+            results[res["worker"]] = res
+        errors = {w: r["error"] for w, r in results.items() if "error" in r}
+        if errors:
+            raise LiveRunError(f"worker failures: {errors}")
+        for proc in servers + workers:
+            proc.join(timeout=launch_timeout_s)
+    finally:
+        for proc in servers + workers:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+
+    final = results[0]["params"]
+    for wid in range(1, cfg.n_workers):
+        for name, value in results[wid]["params"].items():
+            if not np.array_equal(final[name], value):
+                raise LiveRunError(
+                    f"replica divergence: worker {wid} disagrees with "
+                    f"worker 0 on {name!r} — the synchronous data plane "
+                    f"must keep replicas bit-identical")
+    return LiveRunResult(
+        strategy=strategy,
+        config=cfg,
+        final_params=final,
+        iteration_times={w: np.asarray(r["iteration_times"])
+                         for w, r in results.items()},
+        timelines={w: list(r["timeline"]) for w, r in results.items()},
+        heartbeat_acks={w: int(r["heartbeat_acks"])
+                        for w, r in results.items()},
+    )

@@ -1,0 +1,216 @@
+"""Live parameter-server shard process (repro.live).
+
+One OS process per shard, mirroring the paper's deployment of one
+KVServer per machine.  The shard's *values* and update rule are the
+existing functional data plane — :class:`repro.kvstore.server.ServerShard`
+— so the live system cannot drift from the in-process one; this module
+only adds the operating-system parts: TCP accept loop, per-connection
+reader threads, priority-scheduled response senders, heartbeats, and
+clean shutdown.
+
+Determinism note: gradient pushes arrive in nondeterministic network
+order, but floating-point accumulation order changes low bits.  The
+shard therefore *stages* each round's pushes per worker and applies
+them in worker-id order once the round is complete — the same order
+:meth:`repro.kvstore.store.DistributedStore.round` uses — which is what
+makes live final parameters bit-identical to the in-process store's.
+"""
+
+from __future__ import annotations
+
+import socket
+import sys
+import threading
+import traceback
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .config import LiveClusterConfig, make_plan
+from .transport import CONTROL_PRIORITY, PrioritySender, TokenBucket
+from .wire import FrameDecoder, Reassembler, WireKind, WireMessage, encode_array
+
+
+class LiveServerShard:
+    """One live shard: sockets + round staging around a ServerShard."""
+
+    def __init__(self, shard_id: int, cfg: LiveClusterConfig,
+                 strategy: Optional[str] = None) -> None:
+        self.sid = shard_id
+        self.cfg = cfg
+        self.strategy = strategy or cfg.strategy
+        store = cfg.build_initialized_store(self.strategy)
+        self.shard = store.shards[shard_id]
+        self.plan = make_plan(cfg, self.strategy)
+        self.my_keys = self.plan.server_keys(shard_id)
+        self.version: Dict[int, int] = {k: 0 for k in self.my_keys}
+        # key -> iteration -> worker -> staged gradient
+        self._staged: Dict[int, Dict[int, Dict[int, np.ndarray]]] = {
+            k: {} for k in self.my_keys}
+        # key -> list of (iteration, worker, priority) awaiting a value
+        self._waiting: Dict[int, List[Tuple[int, int, int]]] = {
+            k: [] for k in self.my_keys}
+        self._senders: Dict[int, PrioritySender] = {}
+        self._lock = threading.Lock()
+        self._done = threading.Event()
+        self._byes = 0
+        self.pushes_received = 0
+        self.heartbeats_seen = 0
+        shaper = None
+        if cfg.rate_bytes_per_s is not None:
+            shaper = TokenBucket(cfg.rate_bytes_per_s, cfg.burst_bytes)
+        self._shaper = shaper
+        self._listener: Optional[socket.socket] = None
+        self._conns: List[socket.socket] = []
+        self._threads: List[threading.Thread] = []
+
+    # ------------------------------------------------------------------
+    # Socket plumbing
+    # ------------------------------------------------------------------
+    def bind(self) -> int:
+        """Bind an ephemeral port; return it (reported to the driver)."""
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((self.cfg.host, 0))
+        self._listener.listen(self.cfg.n_workers)
+        self._listener.settimeout(self.cfg.connect_timeout_s)
+        return self._listener.getsockname()[1]
+
+    def serve(self) -> None:
+        """Accept every worker, run until all of them said BYE."""
+        assert self._listener is not None, "call bind() first"
+        for _ in range(self.cfg.n_workers):
+            conn, _addr = self._listener.accept()
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._conns.append(conn)
+            thread = threading.Thread(target=self._reader, args=(conn,),
+                                      daemon=True,
+                                      name=f"shard{self.sid}-reader")
+            thread.start()
+            self._threads.append(thread)
+        if not self._done.wait(self.cfg.round_timeout_s * self.cfg.iterations):
+            raise TimeoutError(f"shard {self.sid}: workers never completed")
+        for sender in self._senders.values():
+            sender.close()
+        for conn in self._conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            conn.close()
+        self._listener.close()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+
+    def _sender_for(self, conn: socket.socket, worker: int) -> PrioritySender:
+        with self._lock:
+            if worker not in self._senders:
+                self._senders[worker] = PrioritySender(
+                    conn, sender_id=self.sid, shaper=self._shaper,
+                    chunk_bytes=self.cfg.chunk_bytes)
+            return self._senders[worker]
+
+    def _reader(self, conn: socket.socket) -> None:
+        decoder = FrameDecoder()
+        reassembler = Reassembler()
+        sender: Optional[PrioritySender] = None
+        while True:
+            try:
+                data = conn.recv(65536)
+            except OSError:
+                return
+            if not data:
+                return
+            decoder.feed(data)
+            for frame in decoder.frames():
+                msg = reassembler.add(frame)
+                if msg is None:
+                    continue
+                if sender is None:
+                    sender = self._sender_for(conn, msg.sender)
+                self._handle(msg, sender)
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+    def _handle(self, msg: WireMessage, sender: PrioritySender) -> None:
+        if msg.kind is WireKind.PUSH:
+            self._on_push(msg)
+        elif msg.kind is WireKind.PULL_REQ:
+            self._on_pull(msg, sender)
+        elif msg.kind is WireKind.HEARTBEAT:
+            with self._lock:
+                self.heartbeats_seen += 1
+            sender.send(WireKind.ACK, msg.key, msg.iteration,
+                        CONTROL_PRIORITY)
+        elif msg.kind is WireKind.BYE:
+            with self._lock:
+                self._byes += 1
+                if self._byes >= self.cfg.n_workers:
+                    self._done.set()
+        else:
+            raise RuntimeError(f"shard {self.sid}: unexpected {msg.kind.name} "
+                               f"from worker {msg.sender}")
+
+    def _on_push(self, msg: WireMessage) -> None:
+        if msg.key not in self.my_keys:
+            raise KeyError(f"shard {self.sid}: key {msg.key} not placed here")
+        grad = msg.array()
+        responses: List[Tuple[int, int, int, bytes]] = []
+        with self._lock:
+            self.pushes_received += 1
+            staged = self._staged[msg.key].setdefault(msg.iteration, {})
+            if msg.sender in staged:
+                raise RuntimeError(
+                    f"shard {self.sid}: worker {msg.sender} double-pushed "
+                    f"key {msg.key} @ iteration {msg.iteration}")
+            staged[msg.sender] = grad
+            # Apply complete rounds in iteration order, workers in id
+            # order — the exact accumulation order of the in-process
+            # store, so results are bit-identical.
+            while True:
+                round_idx = self.version[msg.key]
+                ready = self._staged[msg.key].get(round_idx)
+                if ready is None or len(ready) < self.cfg.n_workers:
+                    break
+                for worker in range(self.cfg.n_workers):
+                    self.shard.push(worker, msg.key, ready[worker])
+                del self._staged[msg.key][round_idx]
+                self.version[msg.key] = round_idx + 1
+                value = encode_array(self.shard.pull(msg.key))
+                still_waiting = []
+                for iteration, worker, priority in self._waiting[msg.key]:
+                    if iteration < self.version[msg.key]:
+                        responses.append((worker, iteration, priority, value))
+                    else:
+                        still_waiting.append((iteration, worker, priority))
+                self._waiting[msg.key] = still_waiting
+        for worker, iteration, priority, value in responses:
+            self._senders[worker].send(WireKind.PULL_RESP, msg.key, iteration,
+                                       priority, value)
+
+    def _on_pull(self, msg: WireMessage, sender: PrioritySender) -> None:
+        if msg.key not in self.my_keys:
+            raise KeyError(f"shard {self.sid}: key {msg.key} not placed here")
+        with self._lock:
+            if self.version[msg.key] > msg.iteration:
+                value = encode_array(self.shard.pull(msg.key))
+            else:
+                self._waiting[msg.key].append(
+                    (msg.iteration, msg.sender, msg.priority))
+                return
+        sender.send(WireKind.PULL_RESP, msg.key, msg.iteration, msg.priority,
+                    value)
+
+
+def serve_shard(shard_id: int, cfg: LiveClusterConfig, strategy: str,
+                port_queue) -> None:
+    """``multiprocessing`` entry point for one shard process."""
+    try:
+        server = LiveServerShard(shard_id, cfg, strategy)
+        port = server.bind()
+        port_queue.put((shard_id, port))
+        server.serve()
+    except Exception:
+        traceback.print_exc(file=sys.stderr)
+        raise

@@ -1,0 +1,275 @@
+"""Priority-scheduled, rate-shaped socket transport (repro.live).
+
+The paper throttles real NICs with ``tc qdisc`` and relies on MXNet's
+sender to drain a priority queue into the constrained link.  This module
+is that machinery in userspace:
+
+* :class:`TokenBucket` — a software rate shaper.  Where the paper's
+  testbed uses kernel traffic control to emulate slower networks
+  (Section 5.3), we meter our own sends so a localhost link behaves like
+  a bandwidth-limited one.
+* :class:`PrioritySender` — a per-connection sender thread draining a
+  heap of pending messages in ``(priority, enqueue order)`` order, one
+  chunk frame at a time.  Because it re-consults the heap *between
+  chunks*, a newly enqueued urgent slice genuinely preempts the rest of
+  a large low-priority transfer — P3's scheduling claim, happening on a
+  real socket rather than in a simulator event loop.
+
+Every transmitted chunk is recorded as a :class:`ChunkRecord`; these
+convert directly into the simulator's transmission-record schema so the
+live and simulated timelines can be analysed by the same code
+(:func:`timeline_utilization`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from ..sim.trace import UtilizationTrace
+from .wire import WireKind, encode_frame
+
+#: Priority used for control traffic (heartbeats, byes): more urgent
+#: than any data priority so liveness never queues behind gradients.
+CONTROL_PRIORITY = -(1 << 30)
+
+DEFAULT_CHUNK_BYTES = 16_384
+
+
+class TransportError(Exception):
+    """Raised on connection setup or send failures."""
+
+
+class TokenBucket:
+    """Token-bucket rate shaper metering bytes onto the wire.
+
+    ``reserve(n)`` debits ``n`` bytes and returns how long the caller
+    must sleep before sending them, keeping the long-run rate at
+    ``rate_bytes_per_s`` with bursts up to ``burst_bytes``.  The clock
+    is injectable so the arithmetic is unit-testable without sleeping.
+    Thread-safe: one bucket may be shared by several senders to model a
+    single NIC carrying multiple connections.
+    """
+
+    def __init__(self, rate_bytes_per_s: float,
+                 burst_bytes: Optional[int] = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if rate_bytes_per_s <= 0:
+            raise ValueError("rate_bytes_per_s must be positive")
+        self.rate = float(rate_bytes_per_s)
+        self.burst = float(burst_bytes if burst_bytes is not None
+                           else max(1, int(rate_bytes_per_s // 10)))
+        if self.burst <= 0:
+            raise ValueError("burst_bytes must be positive")
+        self._clock = clock
+        self._tokens = self.burst
+        self._last = clock()
+        self._lock = threading.Lock()
+
+    def reserve(self, nbytes: int) -> float:
+        """Debit ``nbytes``; return seconds to wait before sending them."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(self.burst,
+                               self._tokens + (now - self._last) * self.rate)
+            self._last = now
+            self._tokens -= nbytes
+            if self._tokens >= 0:
+                return 0.0
+            return -self._tokens / self.rate
+
+
+@dataclass(frozen=True)
+class ChunkRecord:
+    """One chunk's occupancy of the (shaped) link.
+
+    Mirrors :class:`repro.sim.trace.TransmissionRecord` so live runs can
+    reuse the simulator's utilization analysis.
+    """
+
+    sender: int
+    kind: int
+    key: int
+    iteration: int
+    priority: int
+    start: float
+    end: float
+    nbytes: int
+
+
+def timeline_utilization(records: List[ChunkRecord],
+                         direction: str = "tx") -> UtilizationTrace:
+    """Convert a live chunk timeline into a sim :class:`UtilizationTrace`.
+
+    The sender id plays the simulator's ``machine`` role, so the binned
+    Gbit/s series, idle fractions and peak-rate helpers all apply to
+    live traffic unchanged.
+    """
+    trace = UtilizationTrace()
+    for r in records:
+        trace(r.sender, direction, r.start, r.end, r.nbytes)
+    return trace
+
+
+def goodput_bytes_per_s(records: List[ChunkRecord]) -> float:
+    """Payload bytes per second over the busy span of a timeline."""
+    if not records:
+        return 0.0
+    span = max(r.end for r in records) - min(r.start for r in records)
+    total = sum(r.nbytes for r in records)
+    return total / span if span > 0 else float("inf")
+
+
+@dataclass(order=True)
+class _Pending:
+    """Heap entry: one logical message part-way through transmission."""
+
+    priority: int
+    seq: int
+    kind: WireKind = field(compare=False)
+    key: int = field(compare=False)
+    iteration: int = field(compare=False)
+    payload: bytes = field(compare=False)
+    offset: int = field(compare=False, default=0)
+
+
+class PrioritySender:
+    """Drains a priority heap of messages onto one socket, chunk by chunk.
+
+    ``send()`` never blocks on the network: it enqueues and wakes the
+    sender thread, which pops the most urgent pending message, emits its
+    *next chunk* (shaped by the optional shared :class:`TokenBucket`),
+    and re-inserts the remainder.  Preemption granularity is therefore
+    ``chunk_bytes``, the software analogue of the paper's observation
+    that slice granularity bounds how long an urgent update can be stuck
+    behind bulk traffic.
+    """
+
+    def __init__(self, sock: socket.socket, sender_id: int,
+                 shaper: Optional[TokenBucket] = None,
+                 chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if chunk_bytes <= 0:
+            raise ValueError("chunk_bytes must be positive")
+        self.sock = sock
+        self.sender_id = sender_id
+        self.shaper = shaper
+        self.chunk_bytes = chunk_bytes
+        self.timeline: List[ChunkRecord] = []
+        self._clock = clock
+        self._heap: List[_Pending] = []
+        self._seq = 0
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._closing = False
+        self._error: Optional[BaseException] = None
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name=f"sender-{sender_id}")
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    def send(self, kind: WireKind, key: int, iteration: int, priority: int,
+             payload: bytes = b"") -> None:
+        """Enqueue one logical message for prioritized transmission."""
+        with self._cond:
+            if self._error is not None:
+                raise TransportError("sender already failed") from self._error
+            if self._closing:
+                raise TransportError("sender is closed")
+            heapq.heappush(self._heap, _Pending(priority, self._seq, kind,
+                                                key, iteration, payload))
+            self._seq += 1
+            self._cond.notify()
+
+    def flush(self, timeout: float = 30.0) -> None:
+        """Block until every enqueued byte has been written to the socket."""
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while self._heap and self._error is None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TransportError("flush timed out")
+                self._cond.wait(remaining)
+            if self._error is not None:
+                raise TransportError("sender failed") from self._error
+
+    def close(self, timeout: float = 30.0) -> None:
+        """Flush pending messages, then stop the sender thread."""
+        try:
+            self.flush(timeout)
+        finally:
+            with self._cond:
+                self._closing = True
+                self._cond.notify()
+            self._thread.join(timeout)
+
+    @property
+    def failed(self) -> bool:
+        return self._error is not None
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        try:
+            while True:
+                with self._cond:
+                    while not self._heap and not self._closing:
+                        self._cond.wait()
+                    if self._closing and not self._heap:
+                        return
+                    item = heapq.heappop(self._heap)
+                    chunk = item.payload[item.offset:
+                                         item.offset + self.chunk_bytes]
+                    frame = self._encode_chunk(item, chunk)
+                    done = item.offset + len(chunk) >= len(item.payload)
+                    if not done:
+                        item.offset += len(chunk)
+                        heapq.heappush(self._heap, item)
+                # Network I/O happens outside the lock so send() callers
+                # (and preempting messages) are never blocked by the wire.
+                if self.shaper is not None:
+                    wait = self.shaper.reserve(len(frame))
+                    if wait > 0:
+                        time.sleep(wait)
+                t0 = self._clock()
+                self.sock.sendall(frame)
+                t1 = self._clock()
+                self.timeline.append(ChunkRecord(
+                    self.sender_id, int(item.kind), item.key, item.iteration,
+                    item.priority, t0, t1, len(frame)))
+                with self._cond:
+                    if not self._heap:
+                        self._cond.notify_all()
+        except BaseException as exc:  # noqa: BLE001 - reported via .failed
+            with self._cond:
+                self._error = exc
+                self._cond.notify_all()
+
+    def _encode_chunk(self, item: _Pending, chunk: bytes) -> bytes:
+        return encode_frame(item.kind, self.sender_id, item.key,
+                            item.iteration, item.priority, chunk,
+                            offset=item.offset, total=len(item.payload))
+
+
+def connect_with_retry(address: Tuple[str, int], timeout_s: float = 15.0,
+                       interval_s: float = 0.05) -> socket.socket:
+    """Dial ``address``, retrying until ``timeout_s`` — workers may start
+    before their servers finish binding (PR 1's robustness vocabulary:
+    transient faults are expected, not fatal)."""
+    deadline = time.monotonic() + timeout_s
+    last_err: Optional[Exception] = None
+    while time.monotonic() < deadline:
+        try:
+            sock = socket.create_connection(address, timeout=timeout_s)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            return sock
+        except OSError as exc:
+            last_err = exc
+            time.sleep(interval_s)
+    raise TransportError(f"could not connect to {address} within "
+                         f"{timeout_s}s") from last_err

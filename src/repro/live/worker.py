@@ -1,0 +1,269 @@
+"""Live training worker process (repro.live).
+
+Each worker owns a full model replica and executes the paper's worker
+loop over real sockets:
+
+* **Backward emission** — gradients are enqueued layer by layer in
+  *generation order* (last layer first, as backprop produces them),
+  exactly like MXNet's aggressive sync.  Under the baseline strategy the
+  sender drains FIFO; under P3 each slice carries its layer's forward
+  index as priority, and the per-connection heap plus chunked framing
+  reorder and preempt transmissions on the wire.
+* **Gated forward** — iteration ``t+1``'s forward pass consumes layer
+  ``i`` only once layer ``i``'s round-``t`` parameters have arrived, then
+  spends that layer's emulated compute time.  This is the mechanism that
+  turns transmission *order* into iteration *time*: a baseline worker
+  stalls on layer 0 (whose sync queued behind everything else), while P3
+  front-loads it — Figure 4 of the paper, happening on a real network
+  stack.
+
+The numerical path is shared with the in-process data plane: the same
+gradients, pushed to :class:`repro.kvstore.server.ServerShard` instances
+living in the shard processes, applied in the same order — so the final
+parameters must be bit-identical to :meth:`DistributedStore.round`'s.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+import traceback
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .config import LiveClusterConfig, make_plan
+from .transport import (
+    CONTROL_PRIORITY,
+    ChunkRecord,
+    PrioritySender,
+    TokenBucket,
+    connect_with_retry,
+)
+from .wire import FrameDecoder, Reassembler, WireKind, encode_array
+
+
+class LiveWorkerError(Exception):
+    """Raised when a live worker cannot make progress."""
+
+
+class LiveWorker:
+    """One live training process: replica, senders, inbox, heartbeats."""
+
+    def __init__(self, worker_id: int, cfg: LiveClusterConfig,
+                 addresses: List[Tuple[str, int]],
+                 strategy: Optional[str] = None) -> None:
+        self.wid = worker_id
+        self.cfg = cfg
+        self.strategy = strategy or cfg.strategy
+        self.addresses = addresses
+        self.net = cfg.build_network()
+        self.dataset = cfg.build_dataset()
+        self.plan = make_plan(cfg, self.strategy)
+        self.batches = cfg.batch_schedule()
+        # Inbox of reassembled parameter slices: (key, iteration) -> vector
+        self._pulled: Dict[Tuple[int, int], np.ndarray] = {}
+        self._acks = 0
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._stop_hb = threading.Event()
+        self._fifo_seq = 0
+        self.iter_starts: List[float] = []
+        self.iter_end: float = 0.0
+        self.socks = []
+        self.senders: List[PrioritySender] = []
+        self._readers: List[threading.Thread] = []
+        self._reader_error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------
+    # Setup / teardown
+    # ------------------------------------------------------------------
+    def connect(self) -> None:
+        shaper = None
+        if self.cfg.rate_bytes_per_s is not None:
+            # One bucket across all connections: the worker's "NIC".
+            shaper = TokenBucket(self.cfg.rate_bytes_per_s,
+                                 self.cfg.burst_bytes)
+        for addr in self.addresses:
+            sock = connect_with_retry(addr, self.cfg.connect_timeout_s)
+            self.socks.append(sock)
+            self.senders.append(PrioritySender(
+                sock, sender_id=self.wid, shaper=shaper,
+                chunk_bytes=self.cfg.chunk_bytes))
+            reader = threading.Thread(target=self._reader, args=(sock,),
+                                      daemon=True,
+                                      name=f"worker{self.wid}-reader")
+            reader.start()
+            self._readers.append(reader)
+        self._hb_thread = threading.Thread(target=self._heartbeat_loop,
+                                           daemon=True,
+                                           name=f"worker{self.wid}-hb")
+        self._hb_thread.start()
+
+    def shutdown(self) -> None:
+        self._stop_hb.set()
+        self._hb_thread.join(timeout=5.0)
+        for sender in self.senders:
+            sender.send(WireKind.BYE, 0, 0, CONTROL_PRIORITY)
+            sender.close()
+        for sock in self.socks:
+            try:
+                sock.shutdown(1)  # SHUT_WR: let the server read our BYE
+            except OSError:
+                pass
+        for reader in self._readers:
+            reader.join(timeout=5.0)
+        for sock in self.socks:
+            sock.close()
+
+    def _reader(self, sock) -> None:
+        decoder = FrameDecoder()
+        reassembler = Reassembler()
+        try:
+            while True:
+                try:
+                    data = sock.recv(65536)
+                except OSError:
+                    return
+                if not data:
+                    return
+                decoder.feed(data)
+                for frame in decoder.frames():
+                    msg = reassembler.add(frame)
+                    if msg is None:
+                        continue
+                    with self._cond:
+                        if msg.kind is WireKind.PULL_RESP:
+                            self._pulled[(msg.key, msg.iteration)] = msg.array()
+                        elif msg.kind is WireKind.ACK:
+                            self._acks += 1
+                        self._cond.notify_all()
+        except BaseException as exc:  # noqa: BLE001 - surfaced to main thread
+            with self._cond:
+                self._reader_error = exc
+                self._cond.notify_all()
+
+    def _heartbeat_loop(self) -> None:
+        seq = 0
+        while not self._stop_hb.wait(self.cfg.heartbeat_interval_s):
+            for sender in self.senders:
+                if not sender.failed:
+                    sender.send(WireKind.HEARTBEAT, 0, seq, CONTROL_PRIORITY)
+            seq += 1
+
+    @property
+    def heartbeat_acks(self) -> int:
+        with self._lock:
+            return self._acks
+
+    # ------------------------------------------------------------------
+    # Training loop
+    # ------------------------------------------------------------------
+    def run(self) -> Dict[str, np.ndarray]:
+        """Execute all iterations; return the final parameters."""
+        cfg = self.cfg
+        lo, hi = cfg.worker_slice(self.wid)
+        params = {name: np.asarray(v, dtype=np.float64).ravel().copy()
+                  for name, v in self.net.parameters().items()}
+        for t in range(cfg.iterations):
+            self.iter_starts.append(time.monotonic())
+            # Gated forward: consume layer i only once its round-(t-1)
+            # parameters landed, then spend its emulated compute time.
+            for name in self.plan.names:
+                if t > 0:
+                    self._gather_layer(params, name, t - 1)
+                time.sleep(cfg.fwd_layer_s)
+            if t > 0:
+                self.net.set_parameters({
+                    name: params[name].reshape(self.plan.shapes[name])
+                    for name in self.plan.names})
+            idx = self.batches[t]
+            xb = self.dataset.x_train[idx][lo:hi]
+            yb = self.dataset.y_train[idx][lo:hi]
+            self.net.loss_and_grad(xb, yb)
+            grads = {name: np.asarray(g, dtype=np.float64).ravel()
+                     for name, g in self.net.gradients().items()}
+            # Backward emission: generation order (last layer first).
+            for name in reversed(self.plan.names):
+                time.sleep(cfg.bwd_layer_s)
+                for meta in self.plan.by_name[name]:
+                    prio = self._priority(meta)
+                    payload = encode_array(grads[name][meta.start:meta.stop])
+                    self.senders[meta.server].send(
+                        WireKind.PUSH, meta.key, t, prio, payload)
+                    self.senders[meta.server].send(
+                        WireKind.PULL_REQ, meta.key, t, prio)
+        # Collect the final round's parameters.
+        last = cfg.iterations - 1
+        for name in self.plan.names:
+            self._gather_layer(params, name, last)
+        self.iter_end = time.monotonic()
+        return {name: params[name].reshape(self.plan.shapes[name])
+                for name in self.plan.names}
+
+    def _priority(self, meta) -> int:
+        if self.strategy == "p3":
+            return meta.priority
+        self._fifo_seq += 1
+        return self._fifo_seq  # FIFO: priority == enqueue order
+
+    def _gather_layer(self, params: Dict[str, np.ndarray], name: str,
+                      iteration: int) -> None:
+        """Block until every slice of ``name``'s round arrived; splice in."""
+        metas = self.plan.by_name[name]
+        deadline = time.monotonic() + self.cfg.round_timeout_s
+        with self._cond:
+            while True:
+                if self._reader_error is not None:
+                    raise LiveWorkerError(
+                        f"worker {self.wid}: receive path failed"
+                    ) from self._reader_error
+                missing = [m for m in metas
+                           if (m.key, iteration) not in self._pulled]
+                if not missing:
+                    break
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise LiveWorkerError(
+                        f"worker {self.wid}: timed out waiting for "
+                        f"{[m.key for m in missing]} @ round {iteration}")
+                self._cond.wait(remaining)
+            for m in metas:
+                params[name][m.start:m.stop] = self._pulled.pop(
+                    (m.key, iteration))
+
+    def iteration_times(self) -> np.ndarray:
+        """Per-iteration durations (boundary = start of the next gated
+        forward, matching the simulator's IterationRecord semantics)."""
+        stamps = self.iter_starts + [self.iter_end]
+        return np.diff(np.array(stamps))
+
+    def timeline(self) -> List[ChunkRecord]:
+        out: List[ChunkRecord] = []
+        for sender in self.senders:
+            out.extend(sender.timeline)
+        return sorted(out, key=lambda r: r.start)
+
+
+def run_worker(worker_id: int, cfg: LiveClusterConfig, strategy: str,
+               addresses: List[Tuple[str, int]], result_queue) -> None:
+    """``multiprocessing`` entry point for one worker process."""
+    try:
+        worker = LiveWorker(worker_id, cfg, addresses, strategy)
+        worker.connect()
+        try:
+            final = worker.run()
+        finally:
+            worker.shutdown()
+        result_queue.put({
+            "worker": worker_id,
+            "params": final,
+            "iteration_times": worker.iteration_times(),
+            "timeline": worker.timeline(),
+            "heartbeat_acks": worker.heartbeat_acks,
+        })
+    except Exception as exc:
+        traceback.print_exc(file=sys.stderr)
+        result_queue.put({"worker": worker_id,
+                          "error": f"{type(exc).__name__}: {exc}"})

@@ -1,0 +1,166 @@
+"""Wire-protocol robustness: codec round-trips under hypothesis, and
+deterministic rejection of truncated or corrupted frames."""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.live.wire import (
+    HEADER_SIZE,
+    MAGIC,
+    MAX_FRAME_PAYLOAD,
+    FrameDecoder,
+    Reassembler,
+    WireError,
+    WireKind,
+    encode_array,
+    encode_frame,
+    split_message,
+)
+
+kinds = st.sampled_from(list(WireKind))
+idents = st.integers(min_value=-(2 ** 15), max_value=2 ** 15 - 1)
+keys = st.integers(min_value=0, max_value=2 ** 31 - 1)
+priorities = st.integers(min_value=-(2 ** 30), max_value=2 ** 30)
+payloads = st.binary(min_size=0, max_size=4096)
+
+
+def decode_all(data: bytes):
+    """Feed one blob through decoder + reassembler; return messages."""
+    decoder = FrameDecoder()
+    reassembler = Reassembler()
+    decoder.feed(data)
+    out = []
+    for frame in decoder.frames():
+        msg = reassembler.add(frame)
+        if msg is not None:
+            out.append(msg)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Round-trip properties
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(kind=kinds, sender=idents, key=keys, iteration=keys,
+       priority=priorities, payload=payloads,
+       chunk=st.integers(min_value=1, max_value=1024))
+def test_chunked_roundtrip(kind, sender, key, iteration, priority, payload,
+                           chunk):
+    frames = split_message(kind, sender, key, iteration, priority, payload,
+                           chunk_bytes=chunk)
+    msgs = decode_all(b"".join(frames))
+    assert len(msgs) == 1
+    msg = msgs[0]
+    assert (msg.kind, msg.sender, msg.key, msg.iteration, msg.priority) == \
+        (kind, sender, key, iteration, priority)
+    assert msg.payload == payload
+
+
+@settings(max_examples=30, deadline=None)
+@given(payload=payloads, cut=st.integers(min_value=0, max_value=4096),
+       chunk=st.integers(min_value=1, max_value=512))
+def test_byte_at_a_time_feeding(payload, cut, chunk):
+    """Arbitrary TCP segmentation must never split or corrupt a message."""
+    data = b"".join(split_message(WireKind.PUSH, 1, 2, 3, 4, payload, chunk))
+    cut = min(cut, len(data))
+    decoder = FrameDecoder()
+    reassembler = Reassembler()
+    msgs = []
+    for part in (data[:cut], data[cut:]):
+        decoder.feed(part)
+        for frame in decoder.frames():
+            msg = reassembler.add(frame)
+            if msg is not None:
+                msgs.append(msg)
+    assert len(msgs) == 1 and msgs[0].payload == payload
+
+
+def test_array_roundtrip():
+    vec = np.linspace(-1.0, 1.0, 1234)
+    frames = split_message(WireKind.PULL_RESP, 0, 7, 2, 1,
+                           encode_array(vec), chunk_bytes=100)
+    (msg,) = decode_all(b"".join(frames))
+    np.testing.assert_array_equal(msg.array(), vec)
+
+
+def test_interleaved_messages_reassemble():
+    """Chunks of different messages interleave freely on one stream."""
+    a = split_message(WireKind.PUSH, 0, 1, 0, 5, b"A" * 300, 100)
+    b = split_message(WireKind.PUSH, 0, 2, 0, 0, b"B" * 300, 100)
+    interleaved = [fr for pair in zip(a, b) for fr in pair]
+    msgs = decode_all(b"".join(interleaved))
+    assert {m.key: m.payload for m in msgs} == {1: b"A" * 300, 2: b"B" * 300}
+
+
+# ----------------------------------------------------------------------
+# Rejection of malformed input
+# ----------------------------------------------------------------------
+def test_truncated_frame_waits_for_more_bytes():
+    data = encode_frame(WireKind.PUSH, 0, 1, 0, 0, b"x" * 100)
+    decoder = FrameDecoder()
+    decoder.feed(data[:-10])
+    assert list(decoder.frames()) == []  # incomplete, not an error
+    decoder.feed(data[-10:])
+    assert len(list(decoder.frames())) == 1
+
+
+@pytest.mark.parametrize("flip_at", [0, HEADER_SIZE - 2, HEADER_SIZE + 5])
+def test_corrupt_byte_rejected(flip_at):
+    data = bytearray(encode_frame(WireKind.PUSH, 0, 1, 0, 0, b"y" * 64))
+    data[flip_at] ^= 0xFF
+    decoder = FrameDecoder()
+    decoder.feed(bytes(data))
+    with pytest.raises(WireError):
+        list(decoder.frames())
+
+
+def test_bad_magic_rejected():
+    decoder = FrameDecoder()
+    decoder.feed(b"\x00" * HEADER_SIZE)
+    with pytest.raises(WireError, match="magic"):
+        list(decoder.frames())
+
+
+def test_oversize_length_field_rejected():
+    """A corrupt length field must not trigger a giant allocation."""
+    header = struct.pack("<HBBHhiiiIII", MAGIC, 1, int(WireKind.PUSH), 0, 0,
+                         0, 0, 0, 0, MAX_FRAME_PAYLOAD * 2,
+                         MAX_FRAME_PAYLOAD * 2)
+    import zlib
+    crc = zlib.crc32(header)
+    decoder = FrameDecoder()
+    decoder.feed(header + struct.pack("<I", crc))
+    with pytest.raises(WireError, match="exceeds"):
+        list(decoder.frames())
+
+
+def test_oversize_message_refused_at_encode():
+    with pytest.raises(WireError):
+        encode_frame(WireKind.PUSH, 0, 0, 0, 0, b"", total=1 << 40)
+
+
+def test_crc_covers_payload():
+    data = bytearray(encode_frame(WireKind.PUSH, 3, 9, 1, 2, b"payload!"))
+    data[HEADER_SIZE] ^= 0x01  # first payload byte
+    decoder = FrameDecoder()
+    decoder.feed(bytes(data))
+    with pytest.raises(WireError, match="CRC"):
+        list(decoder.frames())
+
+
+def test_overlapping_chunks_rejected():
+    frames = split_message(WireKind.PUSH, 0, 1, 0, 0, b"z" * 200, 100)
+    decoder = FrameDecoder()
+    reassembler = Reassembler()
+    decoder.feed(frames[0] + frames[0] + frames[1])
+    decoded = list(decoder.frames())
+    reassembler.add(decoded[0])
+    with pytest.raises(WireError, match="overlap"):
+        for frame in decoded[1:]:
+            reassembler.add(frame)

@@ -12,8 +12,27 @@ def test_parser_lists_all_figures():
     text = parser.format_help()
     for cmd in ("fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
                 "fig11", "fig12", "fig13", "fig14", "fig15", "summary",
-                "models"):
+                "models", "live"):
         assert cmd in text
+
+
+def test_live_parser_flags():
+    parser = build_parser()
+    args = parser.parse_args(["live", "--workers", "3", "--shards", "2",
+                              "--iterations", "4", "--rate-mbps", "10"])
+    assert args.workers == 3
+    assert args.shards == 2
+    assert args.iterations == 4
+    assert args.rate_mbps == 10.0
+
+
+@pytest.mark.slow
+def test_live_command_runs(capsys):
+    """Full live run via the CLI: forks processes, so marked slow."""
+    assert main(["live", "--iterations", "3", "--warmup", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "bit-identical" in out
+    assert "speedup" in out
 
 
 def test_models_command(capsys):

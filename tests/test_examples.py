@@ -28,6 +28,21 @@ def test_example_importable_with_main(name):
     assert callable(getattr(mod, "main", None)), f"{name} lacks a main()"
 
 
+@pytest.mark.slow
+def test_live_cluster_runs(capsys, monkeypatch):
+    """Forks real worker/server processes; excluded from make test-fast."""
+    import dataclasses
+
+    mod = _load("live_cluster")
+    small = dataclasses.replace(mod.demo_config(),
+                                iterations=3, hidden=16, depth=1)
+    monkeypatch.setattr(mod, "demo_config", lambda: small)
+    mod.main()
+    out = capsys.readouterr().out
+    assert "bit-identical" in out
+    assert "speedup" in out
+
+
 def test_quickstart_runs(capsys):
     _load("quickstart").main()
     out = capsys.readouterr().out

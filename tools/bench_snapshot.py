@@ -1,0 +1,162 @@
+"""Emit a versioned performance snapshot: ``BENCH_<n>.json``.
+
+Tracks the repo's perf trajectory across PRs with two kinds of numbers:
+
+* **Simulated training throughput** per strategy (baseline / slicing /
+  p3) for the paper's heavyweight models at two bandwidths — the
+  headline quantity every optimization PR should move (or at least not
+  regress).
+* **Live-transport goodput microbench** — bytes/s actually achieved by
+  the priority sender through its token-bucket shaper over a localhost
+  socket pair, plus the shaping error vs the configured rate.  This
+  watches the constant factors of the real data plane
+  (:mod:`repro.live.transport`) that the simulator cannot see.
+
+Usage::
+
+    python tools/bench_snapshot.py                  # writes BENCH_<n>.json
+    python tools/bench_snapshot.py --quick          # tiny models, CI-sized
+    python tools/bench_snapshot.py --out-dir /tmp   # elsewhere
+
+``<n>`` auto-increments over existing snapshots so history accumulates
+in-repo; compare two snapshots with a plain diff.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import socket as socket_mod
+import sys
+import time
+from typing import Dict, List
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+SCHEMA_VERSION = 1
+SIM_MODELS = ("vgg19", "resnet50", "sockeye")
+SIM_BANDWIDTHS = (4.0, 16.0)
+SIM_STRATEGIES = ("baseline", "slicing", "p3")
+
+
+def sim_throughputs(models: List[str], bandwidths: List[float],
+                    iterations: int) -> List[Dict]:
+    """Per-(model, bandwidth, strategy) simulated throughput."""
+    from repro.models import get_model
+    from repro.sim import ClusterConfig, simulate
+    from repro.strategies import get_strategy
+
+    rows: List[Dict] = []
+    for model_name in models:
+        model = get_model(model_name)
+        for bw in bandwidths:
+            cfg = ClusterConfig(n_workers=4, bandwidth_gbps=bw)
+            for strategy in SIM_STRATEGIES:
+                t0 = time.perf_counter()
+                result = simulate(model, get_strategy(strategy), cfg,
+                                  iterations=iterations, warmup=1)
+                rows.append({
+                    "model": model_name,
+                    "bandwidth_gbps": bw,
+                    "strategy": strategy,
+                    "throughput": round(result.throughput, 3),
+                    "mean_iteration_s": round(result.mean_iteration_time, 6),
+                    "bench_wall_s": round(time.perf_counter() - t0, 3),
+                })
+    return rows
+
+
+def live_goodput_microbench(rate_bytes_per_s: float = 4_000_000.0,
+                            payload_bytes: int = 400_000,
+                            chunk_bytes: int = 16_384) -> Dict:
+    """Shaped goodput through PrioritySender over a loopback socketpair."""
+    from repro.live.transport import PrioritySender, TokenBucket
+    from repro.live.wire import HEADER_SIZE, WireKind
+
+    left, right = socket_mod.socketpair()
+    received = bytearray()
+    try:
+        sender = PrioritySender(left, sender_id=0,
+                                shaper=TokenBucket(rate_bytes_per_s,
+                                                   burst_bytes=chunk_bytes * 2),
+                                chunk_bytes=chunk_bytes)
+        payload = bytes(payload_bytes)
+        t0 = time.perf_counter()
+        sender.send(WireKind.PUSH, key=0, iteration=0, priority=0,
+                    payload=payload)
+        right.settimeout(60.0)
+        expect = payload_bytes + HEADER_SIZE * -(-payload_bytes // chunk_bytes)
+        while len(received) < expect:
+            received.extend(right.recv(65536))
+        elapsed = time.perf_counter() - t0
+        sender.close()
+    finally:
+        left.close()
+        right.close()
+    goodput = payload_bytes / elapsed
+    return {
+        "rate_bytes_per_s": rate_bytes_per_s,
+        "payload_bytes": payload_bytes,
+        "chunk_bytes": chunk_bytes,
+        "elapsed_s": round(elapsed, 4),
+        "goodput_bytes_per_s": round(goodput, 1),
+        "shaping_error": round(abs(goodput - rate_bytes_per_s)
+                               / rate_bytes_per_s, 4),
+    }
+
+
+def next_snapshot_path(out_dir: pathlib.Path) -> pathlib.Path:
+    taken = []
+    for p in out_dir.glob("BENCH_*.json"):
+        stem = p.stem.split("_", 1)[-1]
+        if stem.isdigit():
+            taken.append(int(stem))
+    return out_dir / f"BENCH_{max(taken, default=0) + 1}.json"
+
+
+def build_snapshot(models: List[str], bandwidths: List[float],
+                   iterations: int) -> Dict:
+    import numpy
+
+    return {
+        "schema": SCHEMA_VERSION,
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": numpy.__version__,
+            "platform": platform.platform(),
+        },
+        "sim_throughput": sim_throughputs(models, bandwidths, iterations),
+        "live_microbench": live_goodput_microbench(),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--out-dir", default=str(REPO),
+                        help="directory for BENCH_<n>.json (default: repo root)")
+    parser.add_argument("--models", nargs="+", default=list(SIM_MODELS))
+    parser.add_argument("--bandwidths", nargs="+", type=float,
+                        default=list(SIM_BANDWIDTHS))
+    parser.add_argument("--iterations", type=int, default=4)
+    parser.add_argument("--quick", action="store_true",
+                        help="resnet50-only, one bandwidth (CI-sized)")
+    args = parser.parse_args(argv)
+    models = ["resnet50"] if args.quick else args.models
+    bandwidths = [args.bandwidths[0]] if args.quick else args.bandwidths
+
+    snapshot = build_snapshot(models, bandwidths, args.iterations)
+    out_dir = pathlib.Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = next_snapshot_path(out_dir)
+    path.write_text(json.dumps(snapshot, indent=2) + "\n")
+    n_rows = len(snapshot["sim_throughput"])
+    print(f"wrote {path} ({n_rows} sim rows, live goodput "
+          f"{snapshot['live_microbench']['goodput_bytes_per_s']:.0f} B/s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
