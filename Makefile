@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-snapshot live-demo report quick-report figures clean
+.PHONY: install test test-fast coverage bench bench-snapshot live-demo report quick-report figures clean
 
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
@@ -14,6 +14,10 @@ test:
 
 test-fast:
 	$(PYTHON) -m pytest tests/ -x -q -p no:randomly -m "not slow"
+
+# stdlib-only coverage measurement (CI enforces the floor via pytest-cov)
+coverage:
+	$(PYTHON) tools/measure_coverage.py --json coverage.json
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -31,8 +31,8 @@ Mapping a live config into the simulator
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass, replace as dc_replace
+from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
@@ -40,6 +40,7 @@ from ..live.config import LiveClusterConfig
 from ..live.driver import LiveRunResult, run_live
 from ..live.wire import WIRE_BYTES_PER_PARAM
 from ..models.base import BYTES_PER_PARAM, LayerSpec, ModelSpec
+from ..obs import ObsSession, sim_session
 from ..sim.cluster import ClusterConfig, simulate
 from ..strategies import base as strategies
 
@@ -98,8 +99,16 @@ def sim_bandwidth_gbps(cfg: LiveClusterConfig) -> float:
     return effective * 8.0 / 1e9
 
 
-def predict_sim(cfg: LiveClusterConfig) -> Tuple[float, float]:
-    """Simulator-predicted mean iteration times (baseline_s, p3_s)."""
+def predict_sim(cfg: LiveClusterConfig,
+                obs_sessions: Optional[Dict[str, ObsSession]] = None
+                ) -> Tuple[float, float]:
+    """Simulator-predicted mean iteration times (baseline_s, p3_s).
+
+    Pass an empty dict as ``obs_sessions`` to additionally receive each
+    strategy's :class:`repro.obs.ObsSession` (keys ``"baseline"`` and
+    ``"p3"``) carrying the shared event stream, from which
+    :func:`phase_breakdown` derives per-phase time.
+    """
     spec = live_model_spec(cfg)
     sim_cfg = ClusterConfig(
         n_workers=cfg.n_workers,
@@ -109,11 +118,67 @@ def predict_sim(cfg: LiveClusterConfig) -> Tuple[float, float]:
         seed=cfg.store_seed,
     )
     iters = max(cfg.iterations, cfg.warmup + 2)
-    base = simulate(spec, strategies.baseline(), sim_cfg,
-                    iterations=iters, warmup=cfg.warmup)
-    p3 = simulate(spec, strategies.p3(cfg.slice_params), sim_cfg,
-                  iterations=iters, warmup=cfg.warmup)
-    return base.mean_iteration_time, p3.mean_iteration_time
+    times = {}
+    for name, strat in (("baseline", strategies.baseline()),
+                        ("p3", strategies.p3(cfg.slice_params))):
+        sess = sim_session() if obs_sessions is not None else None
+        result = simulate(spec, strat, sim_cfg, iterations=iters,
+                          warmup=cfg.warmup, obs=sess)
+        times[name] = result.mean_iteration_time
+        if obs_sessions is not None:
+            obs_sessions[name] = sess
+    return times["baseline"], times["p3"]
+
+
+@dataclass(frozen=True)
+class PhaseBreakdown:
+    """Where a run's time went, summed over the whole run.
+
+    Derived from the shared :mod:`repro.obs` event stream with the SAME
+    definitions for both substrates, so a simulated and a live breakdown
+    are directly comparable:
+
+    * ``compute_s`` — emulated compute (layer times x iterations),
+      supplied by the caller because compute is not an event;
+    * ``wire_s`` — Σ ``wire_s`` over ``slice_sent`` (serialization time
+      actually on the wire);
+    * ``queueing_s`` — Σ ``queue_s`` over ``slice_sent`` (enqueue-to-
+      completion time not explained by the slice's own wire occupancy);
+    * ``gate_stall_s`` — Σ ``queue_s`` over ``forward_gate_open`` (time
+      forward passes spent blocked on parameter arrival — the quantity
+      P3 exists to shrink).
+    """
+
+    compute_s: float
+    wire_s: float
+    queueing_s: float
+    gate_stall_s: float
+
+    def row(self) -> str:
+        return (f"compute={self.compute_s:7.3f}s  wire={self.wire_s:7.3f}s  "
+                f"queueing={self.queueing_s:7.3f}s  "
+                f"gate-stall={self.gate_stall_s:7.3f}s")
+
+
+def phase_breakdown(events: Iterable[Dict[str, object]],
+                    compute_s: float = 0.0) -> PhaseBreakdown:
+    """Fold a shared-schema event stream into a :class:`PhaseBreakdown`."""
+    wire = queueing = gate = 0.0
+    for e in events:
+        kind = e["kind"]
+        if kind == "slice_sent":
+            wire += float(e.get("wire_s", 0.0))
+            queueing += float(e.get("queue_s", 0.0))
+        elif kind == "forward_gate_open":
+            gate += float(e.get("queue_s", 0.0))
+    return PhaseBreakdown(compute_s=compute_s, wire_s=wire,
+                          queueing_s=queueing, gate_stall_s=gate)
+
+
+def _live_compute_s(cfg: LiveClusterConfig) -> float:
+    """Per-worker emulated compute over one live run."""
+    n_layers = len(live_model_spec(cfg).layers)
+    return cfg.iterations * n_layers * (cfg.fwd_layer_s + cfg.bwd_layer_s)
 
 
 @dataclass
@@ -127,6 +192,10 @@ class CalibrationReport:
     bit_identical: bool
     max_abs_diff: float
     tolerance: float = DEFAULT_TOLERANCE
+    #: Per-strategy phase breakdowns ("baseline"/"p3") from the shared
+    #: repro.obs event stream; populated by ``calibrate(observe=True)``.
+    live_phases: Optional[Dict[str, PhaseBreakdown]] = None
+    sim_phases: Optional[Dict[str, PhaseBreakdown]] = None
 
     @property
     def live_speedup(self) -> float:
@@ -163,6 +232,12 @@ class CalibrationReport:
             (f"  sign agreement (tolerance ±{self.tolerance:.2f}): "
              f"{'YES' if self.agrees() else 'NO'}"),
         ]
+        if self.live_phases and self.sim_phases:
+            lines.append("  per-phase breakdown (whole run, repro.obs):")
+            for strategy in ("baseline", "p3"):
+                lines.append(f"    {strategy}:")
+                lines.append(f"      live  {self.live_phases[strategy].row()}")
+                lines.append(f"      sim   {self.sim_phases[strategy].row()}")
         return "\n".join(lines)
 
 
@@ -181,17 +256,22 @@ def _identical(a: Dict[str, np.ndarray], b: Dict[str, np.ndarray]) -> bool:
 def calibrate(cfg: LiveClusterConfig,
               tolerance: float = DEFAULT_TOLERANCE,
               live_results: Optional[Dict[str, LiveRunResult]] = None,
+              observe: bool = False,
               ) -> CalibrationReport:
     """Run baseline and P3 live, check both fidelity claims.
 
     ``live_results`` may carry pre-run ``{"baseline": ..., "p3": ...}``
     results (the CLI reuses runs it already made); missing entries are
-    run here.
+    run here.  With ``observe=True`` both substrates record the shared
+    :mod:`repro.obs` event stream and the report gains comparable
+    per-phase (compute / wire / queueing / gate-stall) breakdowns;
+    pre-supplied live results must then come from an observed config.
     """
     live_results = dict(live_results or {})
+    run_cfg = dc_replace(cfg, observe=True) if observe else cfg
     for strategy in ("baseline", "p3"):
         if strategy not in live_results:
-            live_results[strategy] = run_live(cfg, strategy=strategy)
+            live_results[strategy] = run_live(run_cfg, strategy=strategy)
     live_base, live_p3 = live_results["baseline"], live_results["p3"]
 
     ref_base = run_inprocess(cfg, "baseline")
@@ -201,7 +281,18 @@ def calibrate(cfg: LiveClusterConfig,
     max_diff = max(_max_diff(live_base.final_params, ref_base),
                    _max_diff(live_p3.final_params, ref_p3))
 
-    sim_base_s, sim_p3_s = predict_sim(cfg)
+    sim_sessions: Optional[Dict[str, ObsSession]] = {} if observe else None
+    sim_base_s, sim_p3_s = predict_sim(cfg, obs_sessions=sim_sessions)
+    live_phases = sim_phases = None
+    if observe:
+        compute_s = _live_compute_s(cfg)
+        live_phases = {
+            name: phase_breakdown(result.events, compute_s=compute_s)
+            for name, result in live_results.items()}
+        sim_phases = {
+            name: phase_breakdown(sess.recorder.to_dicts(),
+                                  compute_s=compute_s)
+            for name, sess in sim_sessions.items()}
     return CalibrationReport(
         live_baseline_s=live_base.mean_iteration_time,
         live_p3_s=live_p3.mean_iteration_time,
@@ -210,4 +301,6 @@ def calibrate(cfg: LiveClusterConfig,
         bit_identical=identical,
         max_abs_diff=max_diff,
         tolerance=tolerance,
+        live_phases=live_phases,
+        sim_phases=sim_phases,
     )

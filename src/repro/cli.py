@@ -170,6 +170,80 @@ def cmd_trace(args: argparse.Namespace) -> None:
     print(f"wrote {path} — open in chrome://tracing or ui.perfetto.dev")
 
 
+def _run_observed_sim(args: argparse.Namespace):
+    """One simulated run with the repro.obs session attached."""
+    from .obs import sim_session
+    from .sim import ClusterConfig, simulate
+    from .strategies import get_strategy
+    model = get_model(args.model)
+    cfg = ClusterConfig(n_workers=args.workers,
+                        bandwidth_gbps=args.bandwidth)
+    sess = sim_session()
+    result = simulate(model, get_strategy(args.strategy), cfg,
+                      iterations=args.iterations, warmup=1,
+                      trace_utilization=True, obs=sess)
+    return result, sess
+
+
+def cmd_run(args: argparse.Namespace) -> None:
+    """Simulate one run with the unified observability layer attached."""
+    from .obs import ascii_timeline, export_metrics_summary
+    from .sim.chrome_trace import export_chrome_trace
+    result, sess = _run_observed_sim(args)
+    print(f"{result.model_name}/{result.strategy_name}: "
+          f"{result.throughput:.1f} samples/s, "
+          f"mean iteration {result.mean_iteration_time * 1000:.1f} ms")
+    counts = sess.recorder.counts_by_kind()
+    print("events: " + ", ".join(f"{k}={n}"
+                                 for k, n in sorted(counts.items())))
+    meta = {"model": result.model_name, "strategy": result.strategy_name,
+            "bandwidth_gbps": args.bandwidth, "workers": args.workers}
+    if args.trace:
+        path = export_chrome_trace(result, args.trace,
+                                   events=sess.recorder.to_dicts())
+        print(f"wrote {path} — open in chrome://tracing or ui.perfetto.dev")
+    if args.metrics:
+        path = export_metrics_summary(sess, args.metrics, metadata=meta)
+        print(f"wrote {path}")
+    if getattr(args, "plot", False) and result.utilization is not None:
+        print()
+        print(ascii_timeline(result.utilization, machines=range(args.workers),
+                             title=f"{result.model_name} NIC tx"))
+
+
+def _print_metrics_doc(doc: dict) -> None:
+    print(f"schema={doc['schema']} source={doc['source']} "
+          f"events={doc['n_events']}")
+    for name, snap in sorted(doc["metrics"].items()):
+        if snap["type"] == "histogram":
+            print(f"  {name:24s} n={snap['count']:<7d} "
+                  f"mean={snap['mean']:.3e} p50={snap['p50']:.3e} "
+                  f"p95={snap['p95']:.3e} p99={snap['p99']:.3e}")
+        else:
+            print(f"  {name:24s} {snap['type']}={snap['value']:g}")
+    for kind, n in sorted(doc["event_counts"].items()):
+        print(f"  event {kind:22s} {n}")
+
+
+def cmd_metrics(args: argparse.Namespace) -> None:
+    """Print a run's metrics summary (counters, p50/p95/p99, events)."""
+    import json
+    from .obs import metrics_summary
+    if args.load:
+        with open(args.load) as f:
+            doc = json.load(f)
+    else:
+        result, sess = _run_observed_sim(args)
+        doc = metrics_summary(sess, metadata={
+            "model": result.model_name, "strategy": result.strategy_name,
+            "bandwidth_gbps": args.bandwidth, "workers": args.workers})
+    _print_metrics_doc(doc)
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(doc, f, indent=2, sort_keys=True)
+        print(f"wrote {args.out}")
+
+
 def cmd_robustness(args: argparse.Namespace) -> None:
     """Extension: per-strategy throughput degradation under faults."""
     from .analysis.robustness import degradation_report, robustness_sweep
@@ -196,6 +270,7 @@ def cmd_live(args: argparse.Namespace) -> None:
     from .analysis.calibration import calibrate
     from .live import LiveClusterConfig, run_live
 
+    observe = bool(args.trace or args.metrics)
     cfg = LiveClusterConfig(
         n_workers=args.workers,
         n_servers=args.shards,
@@ -204,6 +279,7 @@ def cmd_live(args: argparse.Namespace) -> None:
         slice_params=args.slice_params,
         rate_bytes_per_s=args.rate_mbps * 1e6 / 8.0,
         batch_size=args.batch,
+        observe=observe,
     )
     print(f"live cluster: {cfg.n_workers} workers + {cfg.n_servers} shards "
           f"on {cfg.host}, link shaped to {args.rate_mbps:.0f} Mbit/s")
@@ -212,10 +288,28 @@ def cmd_live(args: argparse.Namespace) -> None:
         print(f"  running live {strategy} ({cfg.iterations} iterations) ...")
         results[strategy] = run_live(cfg, strategy=strategy)
     print()
-    report = calibrate(cfg, live_results=results)
+    report = calibrate(cfg, live_results=results, observe=observe)
     print(report.summary())
     goodput = results["p3"].goodput_bytes_per_s(0) * 8 / 1e6
     print(f"  worker-0 p3 tx goodput: {goodput:.1f} Mbit/s")
+    if observe:
+        from .obs import (export_chrome_trace, export_metrics_summary,
+                          session_from_events)
+        from .live.transport import timeline_utilization
+        res = results["p3"]
+        meta = {"strategy": "p3", "workers": cfg.n_workers,
+                "rate_mbps": args.rate_mbps}
+        if args.trace:
+            chunks = [c for tl in res.timelines.values() for c in tl]
+            path = export_chrome_trace(
+                args.trace, transmissions=timeline_utilization(chunks).records,
+                events=res.events, metadata=meta)
+            print(f"wrote {path} — open in chrome://tracing or "
+                  f"ui.perfetto.dev")
+        if args.metrics:
+            sess = session_from_events(res.events, source="live")
+            path = export_metrics_summary(sess, args.metrics, metadata=meta)
+            print(f"wrote {path}")
 
 
 def cmd_report(args: argparse.Namespace) -> None:
@@ -292,6 +386,20 @@ def build_parser() -> argparse.ArgumentParser:
     trace_p.add_argument("--strategy", default="p3")
     trace_p.add_argument("--bandwidth", type=float, default=4.0)
     trace_p.add_argument("--out", dest="out", default="trace.json")
+    run_p = add("run", cmd_run, "simulate one run with repro.obs attached",
+                model_default="resnet50")
+    run_p.add_argument("--strategy", default="p3")
+    run_p.add_argument("--bandwidth", type=float, default=4.0)
+    run_p.add_argument("--trace", help="write a chrome://tracing JSON here")
+    run_p.add_argument("--metrics", help="write a JSON metrics summary here")
+    metrics_p = add("metrics", cmd_metrics,
+                    "metrics summary of a run (counters, p50/p95/p99)",
+                    model_default="resnet50")
+    metrics_p.add_argument("--strategy", default="p3")
+    metrics_p.add_argument("--bandwidth", type=float, default=4.0)
+    metrics_p.add_argument("--load", help="pretty-print an existing metrics "
+                                          "summary JSON instead of running")
+    metrics_p.add_argument("--out", help="also write the summary JSON here")
     live_p = sub.add_parser(
         "live", help="run the real-socket live transport and calibrate "
                      "it against the simulator")
@@ -304,6 +412,10 @@ def build_parser() -> argparse.ArgumentParser:
     live_p.add_argument("--slice-params", type=int, default=5_000)
     live_p.add_argument("--rate-mbps", type=float, default=20.0,
                         help="token-bucket link rate (software tc qdisc)")
+    live_p.add_argument("--trace", help="record repro.obs events and write "
+                                        "a chrome://tracing JSON here")
+    live_p.add_argument("--metrics", help="record repro.obs events and "
+                                          "write a JSON metrics summary here")
     report_p = add("report", cmd_report, "full evaluation -> markdown report")
     report_p.add_argument("--quick", action="store_true")
     report_p.add_argument("--out", dest="out", default="report.md")

@@ -77,6 +77,13 @@ class LiveClusterConfig:
     connect_timeout_s: float = 15.0
     round_timeout_s: float = 60.0
 
+    # Observability (repro.obs): when True every process records the
+    # shared event stream (slice enqueued/sent/preempted/applied, gate
+    # opens, round applies) and the driver merges it into
+    # :attr:`LiveRunResult.events`.  Observation-only: recording never
+    # alters protocol behaviour.
+    observe: bool = False
+
     def __post_init__(self) -> None:
         if self.strategy not in STRATEGIES:
             raise ValueError(f"strategy must be one of {STRATEGIES}")

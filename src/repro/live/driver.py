@@ -13,11 +13,12 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import queue as queue_mod
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as dc_replace
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..obs.events import normalize_timestamps
 from ..sim.trace import UtilizationTrace
 from .config import LiveClusterConfig
 from .server import serve_shard
@@ -39,6 +40,10 @@ class LiveRunResult:
     iteration_times: Dict[int, np.ndarray]  # per worker, seconds
     timelines: Dict[int, List[ChunkRecord]] = field(default_factory=dict)
     heartbeat_acks: Dict[int, int] = field(default_factory=dict)
+    #: Merged repro.obs event stream from every process (populated only
+    #: when ``config.observe`` is set), timestamps rebased to t=0 and
+    #: sorted; validates against :data:`repro.obs.EVENT_SCHEMA`.
+    events: List[dict] = field(default_factory=list)
 
     @property
     def mean_iteration_time(self) -> float:
@@ -78,8 +83,10 @@ def run_live(cfg: LiveClusterConfig, strategy: Optional[str] = None,
     ctx = _context()
     port_q = ctx.Queue()
     result_q = ctx.Queue()
+    events_q = ctx.Queue() if cfg.observe else None
     servers = [
-        ctx.Process(target=serve_shard, args=(s, cfg, strategy, port_q),
+        ctx.Process(target=serve_shard,
+                    args=(s, cfg, strategy, port_q, events_q),
                     daemon=True, name=f"live-shard-{s}")
         for s in range(cfg.n_servers)
     ]
@@ -117,6 +124,29 @@ def run_live(cfg: LiveClusterConfig, strategy: Optional[str] = None,
         errors = {w: r["error"] for w, r in results.items() if "error" in r}
         if errors:
             raise LiveRunError(f"worker failures: {errors}")
+        events: List[dict] = []
+        if events_q is not None:
+            for r in results.values():
+                events.extend(r.get("events", []))
+            # Shard streams arrive after clean shutdown; observability is
+            # best-effort, so a missing stream degrades, never fails.
+            for _ in range(cfg.n_servers):
+                try:
+                    _sid, shard_events = events_q.get(
+                        timeout=launch_timeout_s)
+                except queue_mod.Empty:
+                    break
+                events.extend(shard_events)
+            if events:
+                # Rebase events AND chunk timelines onto the same zero so
+                # a merged trace export lines them up.
+                t0 = min(float(e["ts"]) for e in events)
+                events = normalize_timestamps(events)
+                events.sort(key=lambda e: (e["ts"], e["node"], e["kind"]))
+                for r in results.values():
+                    r["timeline"] = [
+                        dc_replace(c, start=c.start - t0, end=c.end - t0)
+                        for c in r["timeline"]]
         for proc in servers + workers:
             proc.join(timeout=launch_timeout_s)
     finally:
@@ -142,4 +172,5 @@ def run_live(cfg: LiveClusterConfig, strategy: Optional[str] = None,
         timelines={w: list(r["timeline"]) for w, r in results.items()},
         heartbeat_acks={w: int(r["heartbeat_acks"])
                         for w, r in results.items()},
+        events=events,
     )

@@ -26,6 +26,9 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+import time
+
+from ..obs.events import EventKind, EventRecorder
 from .config import LiveClusterConfig, make_plan
 from .transport import CONTROL_PRIORITY, PrioritySender, TokenBucket
 from .wire import FrameDecoder, Reassembler, WireKind, WireMessage, encode_array
@@ -63,6 +66,11 @@ class LiveServerShard:
         self._listener: Optional[socket.socket] = None
         self._conns: List[socket.socket] = []
         self._threads: List[threading.Thread] = []
+        # Shared-schema observability (repro.obs); None = zero overhead.
+        self.recorder = (EventRecorder("live", clock=time.monotonic)
+                         if cfg.observe else None)
+        self._layer_index = {name: i for i, name in
+                             enumerate(self.plan.names)}
 
     # ------------------------------------------------------------------
     # Socket plumbing
@@ -107,7 +115,8 @@ class LiveServerShard:
             if worker not in self._senders:
                 self._senders[worker] = PrioritySender(
                     conn, sender_id=self.sid, shaper=self._shaper,
-                    chunk_bytes=self.cfg.chunk_bytes)
+                    chunk_bytes=self.cfg.chunk_bytes,
+                    recorder=self.recorder, node=f"server{self.sid}")
             return self._senders[worker]
 
     def _reader(self, conn: socket.socket) -> None:
@@ -177,6 +186,19 @@ class LiveServerShard:
                     self.shard.push(worker, msg.key, ready[worker])
                 del self._staged[msg.key][round_idx]
                 self.version[msg.key] = round_idx + 1
+                if self.recorder is not None:
+                    meta = self.my_keys[msg.key]
+                    node = f"server{self.sid}"
+                    layer = self._layer_index[meta.name]
+                    detail = f"contribs={self.cfg.n_workers}"
+                    self.recorder.emit(
+                        EventKind.SLICE_APPLIED, node=node, key=msg.key,
+                        iteration=round_idx, priority=meta.priority,
+                        layer=layer, nbytes=meta.size * 8, detail=detail)
+                    self.recorder.emit(
+                        EventKind.ROUND_APPLIED, node=node, key=msg.key,
+                        iteration=round_idx, priority=meta.priority,
+                        layer=layer, detail=detail)
                 value = encode_array(self.shard.pull(msg.key))
                 still_waiting = []
                 for iteration, worker, priority in self._waiting[msg.key]:
@@ -204,13 +226,21 @@ class LiveServerShard:
 
 
 def serve_shard(shard_id: int, cfg: LiveClusterConfig, strategy: str,
-                port_queue) -> None:
-    """``multiprocessing`` entry point for one shard process."""
+                port_queue, events_queue=None) -> None:
+    """``multiprocessing`` entry point for one shard process.
+
+    With ``cfg.observe`` set and an ``events_queue`` provided, the
+    shard's recorded event stream is shipped to the driver after a clean
+    shutdown (CLOCK_MONOTONIC is system-wide on Linux, so timestamps are
+    directly comparable with the workers').
+    """
     try:
         server = LiveServerShard(shard_id, cfg, strategy)
         port = server.bind()
         port_queue.put((shard_id, port))
         server.serve()
+        if events_queue is not None and server.recorder is not None:
+            events_queue.put((shard_id, server.recorder.to_dicts()))
     except Exception:
         traceback.print_exc(file=sys.stderr)
         raise

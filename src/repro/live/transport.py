@@ -30,6 +30,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
+from ..obs.events import EventKind, EventRecorder
 from ..sim.trace import UtilizationTrace
 from .wire import WireKind, encode_frame
 
@@ -137,6 +138,76 @@ class _Pending:
     iteration: int = field(compare=False)
     payload: bytes = field(compare=False)
     offset: int = field(compare=False, default=0)
+    enqueue_ts: float = field(compare=False, default=0.0)
+    wire_s: float = field(compare=False, default=0.0)
+
+
+#: Wire kinds that carry gradient/parameter slices and therefore appear
+#: in the shared :mod:`repro.obs` event stream; control traffic does not.
+DATA_KINDS = (WireKind.PUSH, WireKind.PULL_RESP)
+
+
+class ChunkScheduler:
+    """The pure scheduling core of :class:`PrioritySender`.
+
+    Holds the pending-message heap and implements chunking and
+    preemption with no sockets, threads or clocks, so property tests
+    (``tests/live/test_transport.py``) can drive arbitrary push/pop
+    interleavings deterministically.  Invariants it guarantees:
+
+    * every popped chunk belongs to the most urgent pending message —
+      minimal ``(priority, enqueue order)`` at the moment of the pop;
+    * a message's chunks are emitted in offset order with no gaps or
+      duplicates, regardless of how often it is preempted;
+    * preemption is detected (the previously transmitting message was
+      interrupted mid-payload) but never loses the interrupted message.
+    """
+
+    def __init__(self, chunk_bytes: int = DEFAULT_CHUNK_BYTES) -> None:
+        if chunk_bytes <= 0:
+            raise ValueError("chunk_bytes must be positive")
+        self.chunk_bytes = chunk_bytes
+        self._heap: List[_Pending] = []
+        self._seq = 0
+        self._last: Optional[_Pending] = None  # message sent from last pop
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, kind: WireKind, key: int, iteration: int, priority: int,
+             payload: bytes = b"", enqueue_ts: float = 0.0) -> _Pending:
+        item = _Pending(priority, self._seq, kind, key, iteration, payload,
+                        enqueue_ts=enqueue_ts)
+        self._seq += 1
+        heapq.heappush(self._heap, item)
+        return item
+
+    def pop_chunk(self) -> Optional[Tuple[_Pending, bytes, int, bool,
+                                          Optional[_Pending]]]:
+        """Take the most urgent message's next chunk.
+
+        Returns ``(item, chunk, offset, done, preempted)`` or ``None``
+        when nothing is pending.  ``offset`` is the chunk's start within
+        the message payload (``item.offset`` has already advanced past
+        it); ``done`` is True when ``chunk`` is the message's final
+        chunk; ``preempted`` names the message whose in-progress
+        transmission this pop interrupted (it stays queued and resumes
+        later), or ``None``.
+        """
+        if not self._heap:
+            return None
+        item = heapq.heappop(self._heap)
+        offset = item.offset
+        chunk = item.payload[offset:offset + self.chunk_bytes]
+        done = offset + len(chunk) >= len(item.payload)
+        prev = self._last
+        preempted = (prev if prev is not None and prev is not item
+                     and prev.offset < len(prev.payload) else None)
+        item.offset += len(chunk)
+        if not done:
+            heapq.heappush(self._heap, item)
+        self._last = item
+        return item, chunk, offset, done, preempted
 
 
 class PrioritySender:
@@ -154,17 +225,19 @@ class PrioritySender:
     def __init__(self, sock: socket.socket, sender_id: int,
                  shaper: Optional[TokenBucket] = None,
                  chunk_bytes: int = DEFAULT_CHUNK_BYTES,
-                 clock: Callable[[], float] = time.monotonic) -> None:
-        if chunk_bytes <= 0:
-            raise ValueError("chunk_bytes must be positive")
+                 clock: Callable[[], float] = time.monotonic,
+                 recorder: Optional[EventRecorder] = None,
+                 node: str = "") -> None:
         self.sock = sock
         self.sender_id = sender_id
         self.shaper = shaper
         self.chunk_bytes = chunk_bytes
         self.timeline: List[ChunkRecord] = []
         self._clock = clock
-        self._heap: List[_Pending] = []
-        self._seq = 0
+        # Shared-schema observability (repro.obs); None = zero overhead.
+        self.recorder = recorder
+        self.node = node
+        self._sched = ChunkScheduler(chunk_bytes)
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
         self._closing = False
@@ -182,16 +255,21 @@ class PrioritySender:
                 raise TransportError("sender already failed") from self._error
             if self._closing:
                 raise TransportError("sender is closed")
-            heapq.heappush(self._heap, _Pending(priority, self._seq, kind,
-                                                key, iteration, payload))
-            self._seq += 1
+            now = self._clock()
+            self._sched.push(kind, key, iteration, priority, payload,
+                             enqueue_ts=now)
+            if self.recorder is not None and kind in DATA_KINDS:
+                self.recorder.emit(
+                    EventKind.SLICE_ENQUEUED, node=self.node, ts=now,
+                    key=key, iteration=iteration, priority=priority,
+                    nbytes=len(payload), detail=kind.name.lower())
             self._cond.notify()
 
     def flush(self, timeout: float = 30.0) -> None:
         """Block until every enqueued byte has been written to the socket."""
         deadline = time.monotonic() + timeout
         with self._cond:
-            while self._heap and self._error is None:
+            while len(self._sched) and self._error is None:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     raise TransportError("flush timed out")
@@ -218,18 +296,22 @@ class PrioritySender:
         try:
             while True:
                 with self._cond:
-                    while not self._heap and not self._closing:
+                    while not len(self._sched) and not self._closing:
                         self._cond.wait()
-                    if self._closing and not self._heap:
+                    if self._closing and not len(self._sched):
                         return
-                    item = heapq.heappop(self._heap)
-                    chunk = item.payload[item.offset:
-                                         item.offset + self.chunk_bytes]
-                    frame = self._encode_chunk(item, chunk)
-                    done = item.offset + len(chunk) >= len(item.payload)
-                    if not done:
-                        item.offset += len(chunk)
-                        heapq.heappush(self._heap, item)
+                    item, chunk, offset, done, preempted = \
+                        self._sched.pop_chunk()
+                    frame = self._encode_chunk(item, chunk, offset)
+                    if (preempted is not None and self.recorder is not None
+                            and preempted.kind in DATA_KINDS):
+                        self.recorder.emit(
+                            EventKind.SLICE_PREEMPTED, node=self.node,
+                            ts=self._clock(), key=preempted.key,
+                            iteration=preempted.iteration,
+                            priority=preempted.priority,
+                            nbytes=len(preempted.payload) - preempted.offset,
+                            detail=f"overtaken_by_key={item.key}")
                 # Network I/O happens outside the lock so send() callers
                 # (and preempting messages) are never blocked by the wire.
                 if self.shaper is not None:
@@ -239,21 +321,35 @@ class PrioritySender:
                 t0 = self._clock()
                 self.sock.sendall(frame)
                 t1 = self._clock()
+                item.wire_s += t1 - t0
                 self.timeline.append(ChunkRecord(
                     self.sender_id, int(item.kind), item.key, item.iteration,
                     item.priority, t0, t1, len(frame)))
+                if (done and self.recorder is not None
+                        and item.kind in DATA_KINDS):
+                    # Same queueing definition as the simulator adapter:
+                    # time since enqueue not spent on this message's own
+                    # wire occupancy (shaper waits count as queueing).
+                    queue_s = max(0.0, (t1 - item.enqueue_ts) - item.wire_s)
+                    self.recorder.emit(
+                        EventKind.SLICE_SENT, node=self.node, ts=t1,
+                        key=item.key, iteration=item.iteration,
+                        priority=item.priority, nbytes=len(item.payload),
+                        queue_s=queue_s, wire_s=item.wire_s,
+                        detail=item.kind.name.lower())
                 with self._cond:
-                    if not self._heap:
+                    if not len(self._sched):
                         self._cond.notify_all()
         except BaseException as exc:  # noqa: BLE001 - reported via .failed
             with self._cond:
                 self._error = exc
                 self._cond.notify_all()
 
-    def _encode_chunk(self, item: _Pending, chunk: bytes) -> bytes:
+    def _encode_chunk(self, item: _Pending, chunk: bytes,
+                      offset: int) -> bytes:
         return encode_frame(item.kind, self.sender_id, item.key,
                             item.iteration, item.priority, chunk,
-                            offset=item.offset, total=len(item.payload))
+                            offset=offset, total=len(item.payload))
 
 
 def connect_with_retry(address: Tuple[str, int], timeout_s: float = 15.0,

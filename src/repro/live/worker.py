@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..obs.events import EventKind, EventRecorder
 from .config import LiveClusterConfig, make_plan
 from .transport import (
     CONTROL_PRIORITY,
@@ -75,6 +76,11 @@ class LiveWorker:
         self.senders: List[PrioritySender] = []
         self._readers: List[threading.Thread] = []
         self._reader_error: Optional[BaseException] = None
+        # Shared-schema observability (repro.obs); None = zero overhead.
+        self.recorder = (EventRecorder("live", clock=time.monotonic)
+                         if cfg.observe else None)
+        self._layer_index = {name: i for i, name in
+                             enumerate(self.plan.names)}
 
     # ------------------------------------------------------------------
     # Setup / teardown
@@ -90,7 +96,8 @@ class LiveWorker:
             self.socks.append(sock)
             self.senders.append(PrioritySender(
                 sock, sender_id=self.wid, shaper=shaper,
-                chunk_bytes=self.cfg.chunk_bytes))
+                chunk_bytes=self.cfg.chunk_bytes,
+                recorder=self.recorder, node=f"worker{self.wid}"))
             reader = threading.Thread(target=self._reader, args=(sock,),
                                       daemon=True,
                                       name=f"worker{self.wid}-reader")
@@ -171,8 +178,13 @@ class LiveWorker:
             # Gated forward: consume layer i only once its round-(t-1)
             # parameters landed, then spend its emulated compute time.
             for name in self.plan.names:
-                if t > 0:
-                    self._gather_layer(params, name, t - 1)
+                waited = self._gather_layer(params, name, t - 1) if t > 0 \
+                    else 0.0
+                if self.recorder is not None:
+                    self.recorder.emit(
+                        EventKind.FORWARD_GATE_OPEN,
+                        node=f"worker{self.wid}", iteration=t,
+                        layer=self._layer_index[name], queue_s=waited)
                 time.sleep(cfg.fwd_layer_s)
             if t > 0:
                 self.net.set_parameters({
@@ -209,10 +221,13 @@ class LiveWorker:
         return self._fifo_seq  # FIFO: priority == enqueue order
 
     def _gather_layer(self, params: Dict[str, np.ndarray], name: str,
-                      iteration: int) -> None:
-        """Block until every slice of ``name``'s round arrived; splice in."""
+                      iteration: int) -> float:
+        """Block until every slice of ``name``'s round arrived; splice in.
+
+        Returns the seconds spent waiting (the forward gate's stall)."""
         metas = self.plan.by_name[name]
-        deadline = time.monotonic() + self.cfg.round_timeout_s
+        t_enter = time.monotonic()
+        deadline = t_enter + self.cfg.round_timeout_s
         with self._cond:
             while True:
                 if self._reader_error is not None:
@@ -232,6 +247,7 @@ class LiveWorker:
             for m in metas:
                 params[name][m.start:m.stop] = self._pulled.pop(
                     (m.key, iteration))
+        return time.monotonic() - t_enter
 
     def iteration_times(self) -> np.ndarray:
         """Per-iteration durations (boundary = start of the next gated
@@ -262,6 +278,8 @@ def run_worker(worker_id: int, cfg: LiveClusterConfig, strategy: str,
             "iteration_times": worker.iteration_times(),
             "timeline": worker.timeline(),
             "heartbeat_acks": worker.heartbeat_acks,
+            "events": (worker.recorder.to_dicts()
+                       if worker.recorder is not None else []),
         })
     except Exception as exc:
         traceback.print_exc(file=sys.stderr)

@@ -1,0 +1,223 @@
+"""Shared event-record schema for simulated and live runs (repro.obs).
+
+The paper's argument is a scheduling argument: *when* each gradient
+slice moves, waits, and lands decides the iteration time (Figures 4 and
+6-9).  This module pins down one vocabulary for those moments so the
+discrete-event simulator (:mod:`repro.sim`) and the live socket data
+plane (:mod:`repro.live`) describe a run with the *same* records and the
+same exporters can render either one.
+
+Event kinds
+-----------
+``slice_enqueued``     a gradient/parameter slice entered a send queue
+``slice_preempted``    a queued or in-flight slice was overtaken by a
+                       more urgent one (P3's scheduling in action)
+``slice_sent``         the slice's last byte left the sender
+``slice_applied``      a PS shard consumed the slice in an update job
+``forward_gate_open``  a worker's forward layer unblocked (its round's
+                       parameters all arrived)
+``round_applied``      a PS shard finished one full aggregation round
+                       for a key
+
+Every record is a flat, JSON-serializable :class:`ObsEvent`;
+:func:`validate_event` is the executable schema both sides must satisfy
+(see ``tests/obs/test_schema_conformance.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import asdict, dataclass, field
+from enum import Enum
+from typing import Callable, Dict, Iterable, List, Optional, Set
+
+
+class EventKind(str, Enum):
+    """The shared vocabulary of observable moments."""
+
+    SLICE_ENQUEUED = "slice_enqueued"
+    SLICE_PREEMPTED = "slice_preempted"
+    SLICE_SENT = "slice_sent"
+    SLICE_APPLIED = "slice_applied"
+    FORWARD_GATE_OPEN = "forward_gate_open"
+    ROUND_APPLIED = "round_applied"
+
+
+#: Event kinds that describe one synchronization slice (carry a real key).
+SLICE_KINDS: Set[str] = {
+    EventKind.SLICE_ENQUEUED.value,
+    EventKind.SLICE_PREEMPTED.value,
+    EventKind.SLICE_SENT.value,
+    EventKind.SLICE_APPLIED.value,
+    EventKind.ROUND_APPLIED.value,
+}
+
+
+@dataclass(frozen=True)
+class ObsEvent:
+    """One observed moment of a run, sim or live.
+
+    ``ts`` is seconds on the run's own clock (simulated seconds for the
+    simulator, normalized monotonic seconds for live processes).
+    ``queue_s``/``wire_s`` are filled on ``slice_sent``: time the slice
+    spent waiting (not on the wire) and transmitting, respectively —
+    the raw material of the per-phase calibration breakdown.
+    """
+
+    ts: float
+    source: str          # "sim" | "live"
+    node: str            # "worker0", "server1", ...
+    kind: str            # EventKind value
+    key: int = -1        # synchronization key (slice events)
+    iteration: int = -1  # training round, when known
+    priority: int = 0    # scheduling priority (lower = more urgent)
+    layer: int = -1      # forward layer index (gate events)
+    nbytes: int = 0      # payload bytes (slice events)
+    queue_s: float = 0.0
+    wire_s: float = 0.0
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+#: Executable schema: field -> (accepted types, required).  ``ObsEvent``
+#: instances always conform; the validator exists so *foreign* streams
+#: (JSON re-loaded from an exporter, another process's records) can be
+#: checked against the same contract.
+EVENT_SCHEMA: Dict[str, tuple] = {
+    "ts": ((int, float), True),
+    "source": ((str,), True),
+    "node": ((str,), True),
+    "kind": ((str,), True),
+    "key": ((int,), True),
+    "iteration": ((int,), True),
+    "priority": ((int,), True),
+    "layer": ((int,), True),
+    "nbytes": ((int,), True),
+    "queue_s": ((int, float), True),
+    "wire_s": ((int, float), True),
+    "detail": ((str,), True),
+}
+
+VALID_SOURCES = ("sim", "live")
+VALID_KINDS: Set[str] = {k.value for k in EventKind}
+
+
+class SchemaError(ValueError):
+    """An event record does not conform to the shared schema."""
+
+
+def validate_event(record: Dict[str, object]) -> None:
+    """Raise :class:`SchemaError` unless ``record`` conforms."""
+    for name, (types, required) in EVENT_SCHEMA.items():
+        if name not in record:
+            if required:
+                raise SchemaError(f"event missing required field {name!r}: "
+                                  f"{record}")
+            continue
+        value = record[name]
+        if not isinstance(value, types) or isinstance(value, bool):
+            raise SchemaError(
+                f"field {name!r} has type {type(value).__name__}, "
+                f"expected one of {[t.__name__ for t in types]}")
+    unknown = set(record) - set(EVENT_SCHEMA)
+    if unknown:
+        raise SchemaError(f"event carries unknown fields {sorted(unknown)}")
+    if record["source"] not in VALID_SOURCES:
+        raise SchemaError(f"source must be one of {VALID_SOURCES}, "
+                          f"got {record['source']!r}")
+    if record["kind"] not in VALID_KINDS:
+        raise SchemaError(f"unknown event kind {record['kind']!r}")
+    if record["ts"] < 0:
+        raise SchemaError(f"negative timestamp {record['ts']}")
+    if record["kind"] in SLICE_KINDS and record["key"] < 0:
+        raise SchemaError(f"slice event without a key: {record}")
+
+
+def validate_events(records: Iterable[Dict[str, object]]) -> int:
+    """Validate a whole stream; return how many records were checked."""
+    n = 0
+    for record in records:
+        validate_event(record)
+        n += 1
+    return n
+
+
+class EventRecorder:
+    """Append-only, thread-safe collector of :class:`ObsEvent` records.
+
+    The recorder never schedules work, never sleeps, and never consumes
+    randomness: attaching one to a run is observation-only by
+    construction (the guarantee ``tests/obs/test_observation_only.py``
+    enforces).
+    """
+
+    def __init__(self, source: str,
+                 clock: Optional[Callable[[], float]] = None) -> None:
+        if source not in VALID_SOURCES:
+            raise ValueError(f"source must be one of {VALID_SOURCES}")
+        self.source = source
+        self._clock = clock
+        self._events: List[ObsEvent] = []
+        self._lock = threading.Lock()
+
+    def emit(self, kind: EventKind, node: str, *, ts: Optional[float] = None,
+             key: int = -1, iteration: int = -1, priority: int = 0,
+             layer: int = -1, nbytes: int = 0, queue_s: float = 0.0,
+             wire_s: float = 0.0, detail: str = "") -> None:
+        if ts is None:
+            if self._clock is None:
+                raise ValueError("recorder has no clock; pass ts explicitly")
+            ts = self._clock()
+        event = ObsEvent(ts=float(ts), source=self.source, node=node,
+                         kind=EventKind(kind).value, key=key,
+                         iteration=iteration, priority=priority, layer=layer,
+                         nbytes=nbytes, queue_s=queue_s, wire_s=wire_s,
+                         detail=detail)
+        with self._lock:
+            self._events.append(event)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    @property
+    def events(self) -> List[ObsEvent]:
+        """A snapshot of the recorded events, in emission order."""
+        with self._lock:
+            return list(self._events)
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        return [e.to_dict() for e in self.events]
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for e in self.events:
+            out[e.kind] = out.get(e.kind, 0) + 1
+        return out
+
+
+def kinds_per_slice(records: Iterable[Dict[str, object]]) -> Dict[int, Set[str]]:
+    """Map each slice key to the set of event kinds observed for it."""
+    out: Dict[int, Set[str]] = {}
+    for record in records:
+        if record["kind"] in SLICE_KINDS and record["key"] >= 0:
+            out.setdefault(int(record["key"]), set()).add(str(record["kind"]))
+    return out
+
+
+def normalize_timestamps(records: List[Dict[str, object]]
+                         ) -> List[Dict[str, object]]:
+    """Rebase a stream so its earliest event is at t=0 (live processes
+    record raw CLOCK_MONOTONIC values; rebasing makes them plottable and
+    comparable to a simulator timeline that starts at zero)."""
+    if not records:
+        return []
+    t0 = min(float(r["ts"]) for r in records)
+    out = []
+    for r in records:
+        r2 = dict(r)
+        r2["ts"] = float(r["ts"]) - t0
+        out.append(r2)
+    return out

@@ -1,0 +1,266 @@
+"""Exporters: one run, three comparable artifacts (repro.obs).
+
+Whatever produced the records — :func:`repro.sim.simulate` or a live
+:func:`repro.live.run_live` — the same three exporters apply:
+
+* :func:`export_chrome_trace` — ``chrome://tracing`` / Perfetto JSON
+  with compute/stall/network spans plus the shared
+  :mod:`repro.obs.events` stream as instant events.  This unifies and
+  supersedes the sim-only ``repro.sim.chrome_trace`` exporter (which now
+  delegates here).
+* :func:`export_metrics_summary` — a per-run JSON document carrying the
+  metrics registry snapshot (p50/p95/p99 and counters) and event counts.
+* :func:`ascii_timeline` — the NIC utilization timeline rendered with
+  :func:`repro.analysis.ascii_plot.ascii_plot`, for terminals and CI
+  logs.
+
+Inputs are duck-typed plain data (iteration records, transmission
+records, event dicts) so this module depends on nothing above it and
+both substrates can feed it without adapters.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from .events import EventKind
+from .registry import ObsSession
+
+#: Version tag stamped into every exported artifact.
+SCHEMA_VERSION = "repro.obs/v1"
+
+#: Chrome-trace lane layout per process (pid): compute and stalls on
+#: tid 0, NIC tx on tid 1, NIC rx on tid 2, obs instant events on tid 3.
+TID_COMPUTE = 0
+TID_TX = 1
+TID_RX = 2
+TID_EVENTS = 3
+
+#: pid offset for server nodes so "worker0" and "server0" (distinct
+#: processes in a live run) never collide in the trace viewer.
+SERVER_PID_BASE = 1000
+
+
+def node_pid(node: str) -> int:
+    """Map a node name ("worker3", "server1") to a stable trace pid."""
+    for prefix, base in (("worker", 0), ("server", SERVER_PID_BASE)):
+        if node.startswith(prefix) and node[len(prefix):].isdigit():
+            return base + int(node[len(prefix):])
+    return 2 * SERVER_PID_BASE + (hash(node) % SERVER_PID_BASE)
+
+
+def _complete(name: str, cat: str, start: float, end: float,
+              pid: int, tid: int, args: Optional[dict] = None) -> dict:
+    ev = {
+        "name": name,
+        "cat": cat,
+        "ph": "X",
+        "ts": start * 1e6,  # chrome traces are in microseconds
+        "dur": max(0.0, (end - start) * 1e6),
+        "pid": pid,
+        "tid": tid,
+    }
+    if args:
+        ev["args"] = args
+    return ev
+
+
+def _instant(record: Dict[str, object]) -> dict:
+    args = {k: record[k] for k in
+            ("key", "iteration", "priority", "layer", "nbytes",
+             "queue_s", "wire_s", "detail")
+            if record.get(k) not in (-1, 0, 0.0, "")}
+    return {
+        "name": str(record["kind"]),
+        "cat": "obs",
+        "ph": "i",
+        "s": "t",
+        "ts": float(record["ts"]) * 1e6,
+        "pid": node_pid(str(record["node"])),
+        "tid": TID_EVENTS,
+        "args": args,
+    }
+
+
+def build_chrome_events(
+    iteration_records: Optional[Iterable] = None,
+    transmissions: Optional[Iterable] = None,
+    events: Optional[Iterable[Dict[str, object]]] = None,
+) -> List[dict]:
+    """Assemble Chrome-trace events from any mix of record streams.
+
+    ``iteration_records`` need ``worker/iteration/forward_start/
+    backward_start/backward_end/end`` attributes (the simulator's
+    :class:`~repro.sim.trace.IterationRecord` schema), ``transmissions``
+    need ``machine/direction/start/end/wire_bytes``, and ``events`` are
+    shared-schema dicts (:mod:`repro.obs.events`).
+    """
+    out: List[dict] = []
+    for rec in iteration_records or ():
+        pid = rec.worker
+        out.append(_complete(f"forward[{rec.iteration}]", "compute",
+                             rec.forward_start, rec.backward_start, pid,
+                             TID_COMPUTE, {"iteration": rec.iteration}))
+        out.append(_complete(f"backward[{rec.iteration}]", "compute",
+                             rec.backward_start, rec.backward_end, pid,
+                             TID_COMPUTE, {"iteration": rec.iteration}))
+        if rec.end > rec.backward_end:
+            out.append(_complete(f"stall[{rec.iteration}]", "stall",
+                                 rec.backward_end, rec.end, pid, TID_COMPUTE))
+    tids = {"tx": TID_TX, "rx": TID_RX}
+    for t in transmissions or ():
+        out.append(_complete(f"{t.direction} {t.wire_bytes}B", "network",
+                             t.start, t.end, t.machine, tids[t.direction],
+                             {"bytes": t.wire_bytes}))
+    for record in events or ():
+        out.append(_instant(record))
+    return out
+
+
+def export_chrome_trace(
+    path: Union[str, Path],
+    iteration_records: Optional[Iterable] = None,
+    transmissions: Optional[Iterable] = None,
+    events: Optional[Iterable[Dict[str, object]]] = None,
+    metadata: Optional[Dict[str, object]] = None,
+) -> Path:
+    """Write a unified Chrome-tracing JSON file; return its path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    doc = {
+        "traceEvents": build_chrome_events(iteration_records, transmissions,
+                                           events),
+        "displayTimeUnit": "ms",
+        "otherData": dict(metadata or {}, schema=SCHEMA_VERSION),
+    }
+    with open(path, "w") as f:
+        json.dump(doc, f)
+    return path
+
+
+def canonicalize_trace(doc: dict, precision: int = 3) -> dict:
+    """Normalize a trace document for byte-stable comparison.
+
+    Events are sorted by (ts, pid, tid, name) and timestamps/durations
+    rounded to ``precision`` decimal microseconds, so a regenerated
+    golden file differs only when the run's *behaviour* differs (see
+    ``tests/obs/test_golden_trace.py``).
+    """
+    events = []
+    for ev in doc.get("traceEvents", []):
+        ev = dict(ev)
+        ev["ts"] = round(float(ev["ts"]), precision)
+        if "dur" in ev:
+            ev["dur"] = round(float(ev["dur"]), precision)
+        if "args" in ev:
+            ev["args"] = {
+                k: (round(v, 9) if isinstance(v, float) else v)
+                for k, v in sorted(ev["args"].items())
+            }
+        events.append(ev)
+    events.sort(key=lambda e: (e["ts"], e["pid"], e["tid"], e["name"]))
+    out = dict(doc)
+    out["traceEvents"] = events
+    return out
+
+
+# ----------------------------------------------------------------------
+# Metrics summary
+# ----------------------------------------------------------------------
+def session_from_events(events: Iterable[Dict[str, object]],
+                        source: str = "live") -> ObsSession:
+    """Fold a shared-schema event stream into a fresh :class:`ObsSession`.
+
+    Live processes record only events (cheap and mergeable across
+    process boundaries); the driver derives metrics from them afterwards
+    using the SAME instrument names the simulator adapters populate, so
+    a live :func:`metrics_summary` is field-for-field comparable with a
+    simulated one.
+    """
+    sess = ObsSession(source)
+    reg = sess.registry
+    for e in events:
+        kind = str(e["kind"])
+        if kind == EventKind.SLICE_SENT:
+            reg.histogram("net.queue_delay_s").observe(
+                float(e.get("queue_s", 0.0)))
+            reg.histogram("net.wire_s").observe(float(e.get("wire_s", 0.0)))
+            reg.counter("net.slices_sent").inc()
+            reg.counter("net.bytes_sent").inc(int(e.get("nbytes", 0)))
+        elif kind == EventKind.SLICE_PREEMPTED:
+            reg.counter("net.preemptions").inc()
+        elif kind == EventKind.FORWARD_GATE_OPEN:
+            reg.histogram("worker.gate_wait_s").observe(
+                float(e.get("queue_s", 0.0)))
+        elif kind == EventKind.SLICE_ENQUEUED:
+            reg.counter("worker.slices_enqueued").inc()
+        elif kind == EventKind.SLICE_APPLIED:
+            reg.counter("server.updates_applied").inc()
+        elif kind == EventKind.ROUND_APPLIED:
+            reg.counter("server.rounds_applied").inc()
+        sess.recorder.emit(
+            EventKind(kind), node=str(e["node"]), ts=float(e["ts"]),
+            key=int(e.get("key", -1)), iteration=int(e.get("iteration", -1)),
+            priority=int(e.get("priority", 0)), layer=int(e.get("layer", -1)),
+            nbytes=int(e.get("nbytes", 0)),
+            queue_s=float(e.get("queue_s", 0.0)),
+            wire_s=float(e.get("wire_s", 0.0)),
+            detail=str(e.get("detail", "")))
+    return sess
+
+
+def metrics_summary(session: ObsSession,
+                    metadata: Optional[Dict[str, object]] = None) -> dict:
+    """One JSON-ready document summarizing a run's metrics and events."""
+    events = session.events()
+    counts: Dict[str, int] = {}
+    for record in events:
+        kind = str(record["kind"])
+        counts[kind] = counts.get(kind, 0) + 1
+    return {
+        "schema": SCHEMA_VERSION,
+        "source": session.source,
+        "metadata": dict(metadata or {}),
+        "metrics": session.metrics(),
+        "event_counts": {k: counts[k] for k in sorted(counts)},
+        "n_events": len(events),
+    }
+
+
+def export_metrics_summary(session: ObsSession, path: Union[str, Path],
+                           metadata: Optional[Dict[str, object]] = None
+                           ) -> Path:
+    """Write :func:`metrics_summary` as pretty-printed JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as f:
+        json.dump(metrics_summary(session, metadata), f, indent=2,
+                  sort_keys=True)
+    return path
+
+
+# ----------------------------------------------------------------------
+# ASCII utilization timeline
+# ----------------------------------------------------------------------
+def ascii_timeline(trace, machines: Sequence[int], direction: str = "tx",
+                   bin_s: float = 0.01, width: int = 72, height: int = 16,
+                   title: str = "NIC utilization") -> str:
+    """Render per-machine NIC usage over time as a terminal plot.
+
+    ``trace`` is anything with the :class:`repro.sim.trace
+    .UtilizationTrace` ``series()`` API — which both simulated runs and
+    live chunk timelines (via ``timeline_utilization``) provide.
+    """
+    # Imported lazily: repro.analysis pulls in the full driver stack
+    # (including repro.live), which itself imports repro.obs.
+    from ..analysis.ascii_plot import ascii_plot
+    from ..analysis.series import FigureData
+
+    fig = FigureData(figure_id="obs-timeline", title=title,
+                     x_label="time (s)", y_label="Gbit/s")
+    for machine in machines:
+        times, gbps = trace.series(machine, direction, bin_s=bin_s)
+        fig.add(f"m{machine} {direction}", times, gbps)
+    return ascii_plot(fig, width=width, height=height)

@@ -5,6 +5,12 @@ compute segments and network transfers can be inspected visually — the
 closest equivalent to the timeline figures (4 and 6) the paper draws by
 hand.
 
+This module is a thin simulator-flavoured wrapper around the shared
+:mod:`repro.obs.exporters` (which serves live runs too): it adapts a
+:class:`~repro.sim.cluster.RunResult` into the duck-typed record streams
+the unified exporter consumes, and optionally folds in a
+:mod:`repro.obs.events` stream collected during the run.
+
 Usage::
 
     result = simulate(model, p3(), cfg, trace_utilization=True)
@@ -13,72 +19,49 @@ Usage::
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
-from typing import List, Union
+from typing import Dict, Iterable, List, Optional, Union
 
+from ..obs import exporters as obs_exporters
 from .cluster import RunResult
 
 
-def _complete_event(name: str, cat: str, start: float, end: float,
-                    pid: int, tid: int, args=None) -> dict:
-    ev = {
-        "name": name,
-        "cat": cat,
-        "ph": "X",
-        "ts": start * 1e6,            # microseconds
-        "dur": max(0.0, (end - start) * 1e6),
-        "pid": pid,
-        "tid": tid,
-    }
-    if args:
-        ev["args"] = args
-    return ev
-
-
-def build_trace_events(result: RunResult) -> List[dict]:
+def build_trace_events(
+    result: RunResult,
+    events: Optional[Iterable[Dict[str, object]]] = None,
+) -> List[dict]:
     """Assemble trace events from a run's iteration and channel records.
 
-    pid = machine; tid 0 = compute, tid 1 = NIC tx, tid 2 = NIC rx.
+    pid = machine; tid 0 = compute, tid 1 = NIC tx, tid 2 = NIC rx
+    (shared lane layout — see :mod:`repro.obs.exporters`).  Pass the
+    dict stream of an :class:`repro.obs.EventRecorder` as ``events`` to
+    interleave the shared slice/gate/round events as instants.
     """
-    events: List[dict] = []
-    for rec in result.iterations.records:
-        pid = rec.worker
-        events.append(_complete_event(
-            f"forward[{rec.iteration}]", "compute",
-            rec.forward_start, rec.backward_start, pid, 0,
-            {"iteration": rec.iteration}))
-        events.append(_complete_event(
-            f"backward[{rec.iteration}]", "compute",
-            rec.backward_start, rec.backward_end, pid, 0,
-            {"iteration": rec.iteration}))
-        if rec.end > rec.backward_end:
-            events.append(_complete_event(
-                f"stall[{rec.iteration}]", "stall",
-                rec.backward_end, rec.end, pid, 0))
-    if result.utilization is not None:
-        tids = {"tx": 1, "rx": 2}
-        for t in result.utilization.records:
-            events.append(_complete_event(
-                f"{t.direction} {t.wire_bytes}B", "network",
-                t.start, t.end, t.machine, tids[t.direction],
-                {"bytes": t.wire_bytes}))
-    return events
+    transmissions = (result.utilization.records
+                     if result.utilization is not None else None)
+    return obs_exporters.build_chrome_events(
+        iteration_records=result.iterations.records,
+        transmissions=transmissions,
+        events=events,
+    )
 
 
-def export_chrome_trace(result: RunResult, path: Union[str, Path]) -> Path:
+def export_chrome_trace(
+    result: RunResult,
+    path: Union[str, Path],
+    events: Optional[Iterable[Dict[str, object]]] = None,
+) -> Path:
     """Write the run as a Chrome-tracing JSON file; returns the path."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    doc = {
-        "traceEvents": build_trace_events(result),
-        "displayTimeUnit": "ms",
-        "otherData": {
+    transmissions = (result.utilization.records
+                     if result.utilization is not None else None)
+    return obs_exporters.export_chrome_trace(
+        path,
+        iteration_records=result.iterations.records,
+        transmissions=transmissions,
+        events=events,
+        metadata={
             "model": result.model_name,
             "strategy": result.strategy_name,
             "bandwidth_gbps": result.config.bandwidth_gbps,
         },
-    }
-    with open(path, "w") as f:
-        json.dump(doc, f)
-    return path
+    )

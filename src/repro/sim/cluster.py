@@ -15,12 +15,15 @@ import numpy as np
 
 from ..core.placement import PlacedKey
 from ..models.base import ModelSpec
+from ..obs.events import EventKind
+from ..obs.registry import ObsSession
 from ..strategies.base import PullPolicy, StrategyConfig
 from .background import BackgroundTraffic
 from .engine import SimulationError, Simulator
 from .faults import FaultInjector, FaultPlan
 from .network import (
     Channel,
+    ChannelObserver,
     Message,
     MsgKind,
     Role,
@@ -115,14 +118,103 @@ class RunResult:
         return self.throughput / other.throughput
 
 
+class _ChannelObsAdapter(ChannelObserver):
+    """Feeds TX-channel activity into a :class:`repro.obs.ObsSession`.
+
+    Emission is a list append plus histogram bucket increments with the
+    simulator's own clock as the timestamp — no events are scheduled and
+    no randomness is consumed, so an observed run stays bit-identical to
+    an unobserved one (tested in ``tests/obs/test_observation_only.py``).
+    """
+
+    #: Message kinds that correspond to parameter/gradient slices; control
+    #: traffic (ACK, NOTIFY, PULL_REQ, NOISE) is not part of the shared
+    #: event stream.
+    _SLICE_KINDS = (MsgKind.PUSH, MsgKind.PARAM)
+
+    def __init__(self, cluster: "ClusterSim", obs: ObsSession) -> None:
+        self.cluster = cluster
+        self.obs = obs
+        self._queue_delay = obs.registry.histogram("net.queue_delay_s")
+        self._wire = obs.registry.histogram("net.wire_s")
+        self._slices = obs.registry.counter("net.slices_sent")
+        self._bytes = obs.registry.counter("net.bytes_sent")
+        self._preempted = obs.registry.counter("net.preemptions")
+
+    def _node(self, channel: Channel, msg: Message) -> str:
+        """Name the logical sender: PUSHes leave workers, PARAMs leave
+        the PS shard hosted on ``channel.machine``."""
+        if msg.kind is MsgKind.PUSH:
+            return f"worker{msg.sender_worker}"
+        if self.cluster.config.colocate_servers:
+            return f"server{channel.machine}"
+        return f"server{channel.machine - self.cluster.n_workers}"
+
+    def _layer(self, msg: Message) -> int:
+        pk = self.cluster.keys.get(msg.key)
+        return pk.layer_index if pk is not None else -1
+
+    def on_pop(self, channel: Channel, msg: Message) -> None:
+        if msg.kind not in self._SLICE_KINDS:
+            return
+        # A priority queue "preempts" by overtaking: popping msg while an
+        # older slice still waits means that slice lost its turn.  The
+        # scan is O(queue) but runs only with an observer attached.
+        overtaken: Optional[Message] = None
+        for other in channel.queue.pending():
+            if other.kind not in self._SLICE_KINDS:
+                continue
+            if other.enqueue_time < msg.enqueue_time and (
+                    overtaken is None
+                    or other.enqueue_time < overtaken.enqueue_time):
+                overtaken = other
+        if overtaken is not None:
+            self._preempted.inc()
+            self.obs.recorder.emit(
+                EventKind.SLICE_PREEMPTED,
+                node=self._node(channel, overtaken),
+                ts=channel.sim.now,
+                key=overtaken.key,
+                priority=overtaken.priority,
+                layer=self._layer(overtaken),
+                nbytes=overtaken.payload_bytes,
+                detail=f"overtaken_by_key={msg.key}",
+            )
+
+    def on_sent(self, channel: Channel, msg: Message,
+                start: float, end: float) -> None:
+        if msg.kind not in self._SLICE_KINDS:
+            return
+        queue_s = max(0.0, start - msg.enqueue_time)
+        wire_s = end - start
+        self._queue_delay.observe(queue_s)
+        self._wire.observe(wire_s)
+        self._slices.inc()
+        self._bytes.inc(msg.payload_bytes)
+        self.obs.recorder.emit(
+            EventKind.SLICE_SENT,
+            node=self._node(channel, msg),
+            ts=end,
+            key=msg.key,
+            priority=msg.priority,
+            layer=self._layer(msg),
+            nbytes=msg.payload_bytes,
+            queue_s=queue_s,
+            wire_s=wire_s,
+            detail=msg.kind.value,
+        )
+
+
 class ClusterSim:
     """Wires machines, transport, workers and PS shards together."""
 
     def __init__(self, model: ModelSpec, strategy: StrategyConfig,
-                 config: ClusterConfig, trace_utilization: bool = False) -> None:
+                 config: ClusterConfig, trace_utilization: bool = False,
+                 obs: Optional[ObsSession] = None) -> None:
         self.model = model
         self.strategy = strategy
         self.config = config
+        self.obs = obs
         self.sim = Simulator()
         self.n_workers = config.n_workers
         self.n_servers = config.servers
@@ -175,6 +267,10 @@ class ClusterSim:
             self.tx_channels.append(tx)
             self.rx_channels.append(rx)
             self.transport.register(m, tx, rx, self._make_deliver(m))
+        if obs is not None:
+            adapter = _ChannelObsAdapter(self, obs)
+            for tx in self.tx_channels:
+                tx.observer = adapter
 
         self.workers = [SimWorker(self, w) for w in range(self.n_workers)]
         self.servers = [SimServerShard(self, s) for s in range(self.n_servers)]
@@ -239,6 +335,10 @@ class ClusterSim:
                 f"(strategy={self.strategy.name}, model={self.model.name}); "
                 f"likely a protocol deadlock"
             )
+        if self.obs is not None:
+            snap = self.sim.snapshot()
+            for name, value in snap.items():
+                self.obs.registry.gauge(f"engine.{name}").set(float(value))
         per_worker: Dict[int, float] = {}
         for w in range(self.n_workers):
             times = self.iterations.iteration_times(worker=w, skip=warmup)
@@ -271,6 +371,7 @@ def simulate(
     iterations: int = 6,
     warmup: int = 2,
     trace_utilization: bool = False,
+    obs: Optional[ObsSession] = None,
 ) -> RunResult:
     """Run one distributed-training simulation end to end.
 
@@ -280,7 +381,12 @@ def simulate(
         result = simulate(models.vgg19(), strategies.p3(),
                           ClusterConfig(bandwidth_gbps=15))
         print(result.throughput)
+
+    Pass an :class:`repro.obs.ObsSession` as ``obs`` to collect the
+    shared event stream and metrics; observation is guaranteed not to
+    perturb the simulated timeline.
     """
     cfg = config or ClusterConfig()
-    sim = ClusterSim(model, strategy, cfg, trace_utilization=trace_utilization)
+    sim = ClusterSim(model, strategy, cfg, trace_utilization=trace_utilization,
+                     obs=obs)
     return sim.run(iterations=iterations, warmup=warmup)

@@ -93,6 +93,15 @@ class Simulator:
     def events_processed(self) -> int:
         return self._events_processed
 
+    def snapshot(self) -> dict:
+        """Engine state for observability exports (:mod:`repro.obs`):
+        clock, events executed, and queue depth — read-only."""
+        return {
+            "now_s": self.now,
+            "events_processed": self._events_processed,
+            "pending_events": self.pending,
+        }
+
     def peek_time(self) -> Optional[float]:
         """Time of the next pending event, or ``None`` if the queue is empty."""
         while self._heap and self._heap[0].cancelled:

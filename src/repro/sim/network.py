@@ -26,7 +26,7 @@ import itertools
 from collections import deque
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Callable, Deque, List, Optional, Tuple
+from typing import Callable, Deque, Iterable, List, Optional, Tuple
 
 from .engine import EventHandle, SimulationError, Simulator
 
@@ -89,6 +89,14 @@ class TxQueue:
     def __len__(self) -> int:
         raise NotImplementedError
 
+    def pending(self) -> Iterable[Message]:
+        """Iterate the queued messages, in no particular order.
+
+        Observation-only (used by :mod:`repro.obs` to detect when a pop
+        overtakes older traffic); implementations must not mutate state.
+        """
+        raise NotImplementedError
+
 
 class FifoQueue(TxQueue):
     """First-come-first-served: the baseline's send order."""
@@ -104,6 +112,9 @@ class FifoQueue(TxQueue):
 
     def __len__(self) -> int:
         return len(self._q)
+
+    def pending(self) -> Iterable[Message]:
+        return iter(self._q)
 
 
 class PriorityQueue(TxQueue):
@@ -125,6 +136,9 @@ class PriorityQueue(TxQueue):
     def __len__(self) -> int:
         return len(self._heap)
 
+    def pending(self) -> Iterable[Message]:
+        return (entry[2] for entry in self._heap)
+
 
 def make_queue(discipline: str) -> TxQueue:
     """Factory for queue disciplines: ``"fifo"`` or ``"priority"``."""
@@ -140,6 +154,23 @@ def make_queue(discipline: str) -> TxQueue:
 # ----------------------------------------------------------------------
 TraceCallback = Callable[[int, str, float, float, int], None]
 """(machine, direction, start, end, wire_bytes) -> None"""
+
+
+class ChannelObserver:
+    """Observation-only hooks a channel calls when one is attached.
+
+    Implementations (see :mod:`repro.obs` wiring in
+    :class:`~repro.sim.cluster.ClusterSim`) must not schedule events,
+    mutate messages, or consume randomness: attaching an observer must
+    leave the simulated timeline bit-identical.
+    """
+
+    def on_pop(self, channel: "Channel", msg: Message) -> None:
+        """``msg`` was popped for transmission (queue not yet drained)."""
+
+    def on_sent(self, channel: "Channel", msg: Message,
+                start: float, end: float) -> None:
+        """``msg`` finished transmitting on ``channel``."""
 
 
 class Channel:
@@ -184,6 +215,8 @@ class Channel:
         self.overhead_bytes = overhead_bytes
         self.per_message_cpu_s = per_message_cpu_s
         self.trace = trace
+        # Optional repro.obs hook; None keeps the hot path branch-cheap.
+        self.observer: Optional[ChannelObserver] = None
         self.busy = False
         self.bytes_transferred = 0
         self.messages_transferred = 0
@@ -266,6 +299,8 @@ class Channel:
         if len(self.queue) == 0:
             return
         msg = self.queue.pop()
+        if self.observer is not None:
+            self.observer.on_pop(self, msg)
         self.busy = True
         wire_bytes = msg.payload_bytes + self.overhead_bytes
         self._seg_msg = msg
@@ -285,6 +320,8 @@ class Channel:
         if self.trace is not None:
             self.trace(self.machine, self.direction, self._seg_start,
                        self.sim.now, self._seg_wire_bytes)
+        if self.observer is not None:
+            self.observer.on_sent(self, msg, self._seg_start, self.sim.now)
         self.busy = False
         self._seg_msg = None
         self._finish_handle = None

@@ -19,6 +19,7 @@ import itertools
 from collections import deque
 from typing import TYPE_CHECKING, Deque, Dict, List, Set, Tuple
 
+from ..obs.events import EventKind
 from ..strategies.base import PullPolicy
 from .network import Message, MsgKind, Role
 
@@ -57,6 +58,14 @@ class SimServerShard:
         # when the stall begins finishes normally — the fault models a
         # wedged consumer thread, not a killed one.
         self._pause_count = 0
+        # Observability (repro.obs): pure emission, never scheduling.
+        self._obs = ctx.obs
+        if self._obs is not None:
+            self._update_hist = self._obs.registry.histogram("server.update_s")
+            self._applied_counter = self._obs.registry.counter(
+                "server.updates_applied")
+            self._rounds_counter = self._obs.registry.counter(
+                "server.rounds_applied")
 
     # ------------------------------------------------------------------
     # Fault hooks
@@ -158,11 +167,31 @@ class SimServerShard:
         dur = (pk.bytes * n_contribs / self.ctx.config.update_bytes_per_s
                + self.ctx.config.per_update_s)
         self.update_busy_time += dur
-        self.ctx.sim.schedule(dur, self._job_done, key, recipients)
+        self.ctx.sim.schedule(dur, self._job_done, key, recipients, n_contribs)
 
-    def _job_done(self, key: int, recipients: List[int]) -> None:
+    def _job_done(self, key: int, recipients: List[int],
+                  n_contribs: int) -> None:
         self.busy = False
         self.updates_done += 1
+        if self._obs is not None:
+            pk = self.keys[key]
+            now = self.ctx.sim.now
+            node = f"server{self.sid}"
+            dur = (pk.bytes * n_contribs / self.ctx.config.update_bytes_per_s
+                   + self.ctx.config.per_update_s)
+            self._update_hist.observe(dur)
+            self._applied_counter.inc()
+            self._obs.recorder.emit(
+                EventKind.SLICE_APPLIED, node=node, ts=now, key=key,
+                priority=pk.priority, layer=pk.layer_index, nbytes=pk.bytes,
+                wire_s=dur, detail=f"contribs={n_contribs}")
+            if n_contribs >= self.ctx.n_workers:
+                # A full synchronous round of this key is now applied.
+                self._rounds_counter.inc()
+                self._obs.recorder.emit(
+                    EventKind.ROUND_APPLIED, node=node, ts=now, key=key,
+                    priority=pk.priority, layer=pk.layer_index,
+                    detail=f"contribs={n_contribs}")
         self._dispatch(key, recipients)
         if self._queue_len() > 0 and not self.paused:
             self._next_job()

@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..obs.events import EventKind
 from .network import Message, MsgKind, Role
 from .trace import IterationRecord
 
@@ -71,6 +72,14 @@ class SimWorker:
         self.fault_slowdown = 1.0
         self._rng = np.random.default_rng(ctx.config.seed * 7919 + worker_id + 1)
         self._record: IterationRecord | None = None
+        # Observability (repro.obs): pure emission, never scheduling.
+        self._obs = ctx.obs
+        self._gate_block_start = 0.0
+        if self._obs is not None:
+            self._gate_wait_hist = self._obs.registry.histogram(
+                "worker.gate_wait_s")
+            self._enqueued_counter = self._obs.registry.counter(
+                "worker.slices_enqueued")
 
     # ------------------------------------------------------------------
     # Iteration lifecycle
@@ -104,8 +113,17 @@ class SimWorker:
     def _try_forward_layer(self) -> None:
         i = self.fwd_layer
         if self.params_arrived[i] < self.keys_per_layer[i]:
+            if not self.waiting_forward:
+                self._gate_block_start = self.ctx.sim.now
             self.waiting_forward = True
             return
+        if self._obs is not None:
+            now = self.ctx.sim.now
+            waited = now - self._gate_block_start if self.waiting_forward else 0.0
+            self._gate_wait_hist.observe(waited)
+            self._obs.recorder.emit(
+                EventKind.FORWARD_GATE_OPEN, node=f"worker{self.wid}",
+                ts=now, iteration=self.iteration, layer=i, queue_s=waited)
         self.waiting_forward = False
         dur = self.fwd_times[i] * self._jitter_mult * self.fault_slowdown
         self.ctx.sim.schedule(dur, self._forward_layer_done)
@@ -175,6 +193,12 @@ class SimWorker:
     def _send_push(self, pk) -> None:
         cfg = self.ctx.strategy
         payload = max(1, int(pk.bytes * cfg.gradient_scale))
+        if self._obs is not None:
+            self._enqueued_counter.inc()
+            self._obs.recorder.emit(
+                EventKind.SLICE_ENQUEUED, node=f"worker{self.wid}",
+                ts=self.ctx.sim.now, key=pk.key, iteration=self.iteration,
+                priority=pk.priority, layer=pk.layer_index, nbytes=payload)
         self.ctx.transport.send(Message(
             kind=MsgKind.PUSH, key=pk.key, payload_bytes=payload,
             priority=pk.priority, src=self.machine,

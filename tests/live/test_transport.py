@@ -1,4 +1,5 @@
-"""Transport tests: token-bucket shaping math (fake clock) and genuine
+"""Transport tests: token-bucket shaping math (fake clock), property
+tests of the pure scheduling core (:class:`ChunkScheduler`), and genuine
 priority preemption on a rate-shaped loopback socket pair."""
 
 from __future__ import annotations
@@ -7,9 +8,12 @@ import socket
 import time
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.live.transport import (
     CONTROL_PRIORITY,
+    ChunkScheduler,
     PrioritySender,
     TokenBucket,
     goodput_bytes_per_s,
@@ -64,6 +68,143 @@ def test_bucket_validates_args():
         TokenBucket(0.0)
     with pytest.raises(ValueError):
         TokenBucket(100.0).reserve(-1)
+
+
+# ----------------------------------------------------------------------
+# ChunkScheduler property tests (hypothesis): the sender's scheduling
+# core with no sockets, threads, or clocks.
+# ----------------------------------------------------------------------
+#: One message spec: (priority, payload size in bytes).
+message_specs = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=3),
+              st.integers(min_value=0, max_value=300)),
+    min_size=1, max_size=20)
+
+
+class SchedulerModel:
+    """Reference model mirrored against the real scheduler.
+
+    Tracks, per message key, the expected next offset and collected
+    chunk bytes, and computes which message *must* come out of the next
+    pop: the minimal ``(priority, enqueue order)`` among those pending.
+    """
+
+    def __init__(self):
+        self.pending = {}   # key -> (priority, enqueue_seq, payload, offset)
+        self.collected = {}  # key -> bytearray of chunk bytes, in order
+        self.done_keys = []
+        self._seq = 0
+
+    def push(self, key, priority, payload):
+        self.pending[key] = (priority, self._seq, payload, 0)
+        self.collected[key] = bytearray()
+        self._seq += 1
+
+    def expected_next(self):
+        return min(self.pending, key=lambda k: self.pending[k][:2])
+
+    def take_chunk(self, key, chunk, offset, done, chunk_bytes):
+        priority, seq, payload, model_offset = self.pending[key]
+        assert offset == model_offset, \
+            f"key {key}: chunk at offset {offset}, expected {model_offset}"
+        assert chunk == payload[offset:offset + chunk_bytes]
+        assert len(chunk) <= chunk_bytes
+        self.collected[key] += chunk
+        new_offset = offset + len(chunk)
+        if done:
+            assert new_offset >= len(payload)
+            assert bytes(self.collected[key]) == payload, \
+                f"key {key}: reassembled payload differs (drop/duplicate)"
+            del self.pending[key]
+            self.done_keys.append(key)
+        else:
+            assert new_offset < len(payload)
+            self.pending[key] = (priority, seq, payload, new_offset)
+
+
+def drive(sched, model):
+    """Drain the scheduler, checking every pop against the model."""
+    while len(sched):
+        expected_key = model.expected_next()
+        item, chunk, offset, done, preempted = sched.pop_chunk()
+        assert item.key == expected_key, (
+            f"popped key {item.key}, but most urgent pending message is "
+            f"{expected_key}: (priority, FIFO) order violated")
+        if preempted is not None:
+            assert preempted.key in model.pending, \
+                "a preempted message must stay queued, never be dropped"
+            assert preempted is not item
+        model.take_chunk(item.key, chunk, offset, done, sched.chunk_bytes)
+    assert sched.pop_chunk() is None
+
+
+@given(specs=message_specs, chunk_bytes=st.sampled_from([1, 7, 64, 512]))
+@settings(max_examples=150, deadline=None)
+def test_scheduler_orders_by_priority_then_fifo(specs, chunk_bytes):
+    """Fully drain a batch of pushes: every pop yields a chunk of the
+    most urgent pending message, chunks arrive in offset order, and
+    every payload is reassembled exactly once with no gaps."""
+    sched = ChunkScheduler(chunk_bytes=chunk_bytes)
+    model = SchedulerModel()
+    for key, (priority, size) in enumerate(specs):
+        payload = bytes([key % 251]) * size
+        sched.push(WireKind.PUSH, key, 0, priority, payload)
+        model.push(key, priority, payload)
+    drive(sched, model)
+    assert sorted(model.done_keys) == list(range(len(specs)))
+
+
+@given(specs=message_specs,
+       pops_between=st.lists(st.integers(min_value=0, max_value=4),
+                             min_size=1, max_size=20),
+       chunk_bytes=st.sampled_from([1, 7, 64]))
+@settings(max_examples=150, deadline=None)
+def test_scheduler_preemption_never_loses_chunks(specs, pops_between,
+                                                 chunk_bytes):
+    """Interleave pushes with pops so late urgent messages preempt
+    in-flight bulk ones: no chunk is ever dropped or duplicated, and a
+    preempted message always resumes from its exact offset."""
+    sched = ChunkScheduler(chunk_bytes=chunk_bytes)
+    model = SchedulerModel()
+    for key, (priority, size) in enumerate(specs):
+        payload = bytes([key % 251]) * size
+        sched.push(WireKind.PUSH, key, 0, priority, payload)
+        model.push(key, priority, payload)
+        n_pops = pops_between[key % len(pops_between)]
+        for _ in range(n_pops):
+            if not len(sched):
+                break
+            expected_key = model.expected_next()
+            item, chunk, offset, done, preempted = sched.pop_chunk()
+            assert item.key == expected_key
+            if preempted is not None:
+                assert preempted.key in model.pending
+            model.take_chunk(item.key, chunk, offset, done, chunk_bytes)
+    drive(sched, model)  # drain whatever the interleaving left behind
+    assert sorted(model.done_keys) == list(range(len(specs)))
+    assert not model.pending
+
+
+def test_scheduler_reports_preemption_of_in_flight_message():
+    sched = ChunkScheduler(chunk_bytes=4)
+    sched.push(WireKind.PUSH, key=1, iteration=0, priority=5,
+               payload=b"bulkbulk")
+    item, _, _, done, preempted = sched.pop_chunk()
+    assert item.key == 1 and not done and preempted is None
+    sched.push(WireKind.PUSH, key=2, iteration=0, priority=0,
+               payload=b"hi")
+    item, chunk, _, done, preempted = sched.pop_chunk()
+    assert item.key == 2 and done and chunk == b"hi"
+    assert preempted is not None and preempted.key == 1
+    # The interrupted bulk message resumes from byte 4, untouched.
+    item, chunk, offset, done, preempted = sched.pop_chunk()
+    assert (item.key, chunk, offset, done) == (1, b"bulk", 4, True)
+    assert preempted is None
+
+
+def test_scheduler_validates_chunk_bytes():
+    with pytest.raises(ValueError):
+        ChunkScheduler(chunk_bytes=0)
 
 
 # ----------------------------------------------------------------------

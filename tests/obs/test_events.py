@@ -1,0 +1,85 @@
+"""Unit tests for the shared event-record schema (repro.obs.events)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    EventKind,
+    EventRecorder,
+    SchemaError,
+    kinds_per_slice,
+    normalize_timestamps,
+    validate_event,
+    validate_events,
+)
+
+
+def _record(**overrides):
+    rec = EventRecorder("sim")
+    rec.emit(EventKind.SLICE_SENT, node="worker0", ts=1.0, key=3,
+             iteration=0, priority=2, nbytes=100, queue_s=0.5, wire_s=0.1)
+    d = rec.to_dicts()[0]
+    d.update(overrides)
+    return d
+
+
+def test_recorder_round_trip_validates():
+    assert validate_events([_record()]) == 1
+
+
+def test_recorder_needs_clock_or_explicit_ts():
+    rec = EventRecorder("live", clock=lambda: 7.0)
+    rec.emit(EventKind.FORWARD_GATE_OPEN, node="worker1", layer=2)
+    assert rec.to_dicts()[0]["ts"] == 7.0
+    with pytest.raises(ValueError):
+        EventRecorder("sim").emit(EventKind.FORWARD_GATE_OPEN, node="w")
+    with pytest.raises(ValueError):
+        EventRecorder("martian")
+
+
+def test_counts_by_kind_and_len():
+    rec = EventRecorder("sim")
+    for key in range(3):
+        rec.emit(EventKind.SLICE_ENQUEUED, node="worker0", ts=float(key),
+                 key=key)
+    rec.emit(EventKind.ROUND_APPLIED, node="server0", ts=9.0, key=0)
+    assert len(rec) == 4
+    assert rec.counts_by_kind() == {"slice_enqueued": 3, "round_applied": 1}
+
+
+@pytest.mark.parametrize("mutation, message", [
+    (lambda d: d.pop("ts"), "missing required"),
+    (lambda d: d.update(ts=-1.0), "negative timestamp"),
+    (lambda d: d.update(kind="teleport"), "unknown event kind"),
+    (lambda d: d.update(source="dream"), "source must be one of"),
+    (lambda d: d.update(key="three"), "has type"),
+    (lambda d: d.update(key=True), "has type"),
+    (lambda d: d.update(extra=1), "unknown fields"),
+    (lambda d: d.update(key=-1), "slice event without a key"),
+])
+def test_validator_rejects_malformed_records(mutation, message):
+    d = _record()
+    mutation(d)
+    with pytest.raises(SchemaError, match=message):
+        validate_event(d)
+
+
+def test_kinds_per_slice_groups_by_key():
+    rec = EventRecorder("sim")
+    rec.emit(EventKind.SLICE_ENQUEUED, node="worker0", ts=0.0, key=1)
+    rec.emit(EventKind.SLICE_SENT, node="worker0", ts=1.0, key=1)
+    rec.emit(EventKind.SLICE_APPLIED, node="server0", ts=2.0, key=1)
+    rec.emit(EventKind.FORWARD_GATE_OPEN, node="worker0", ts=3.0, layer=0)
+    by_key = kinds_per_slice(rec.to_dicts())
+    assert by_key == {1: {"slice_enqueued", "slice_sent", "slice_applied"}}
+
+
+def test_normalize_timestamps_rebases_without_reordering():
+    rec = EventRecorder("live", clock=None)
+    rec.emit(EventKind.SLICE_ENQUEUED, node="worker0", ts=100.5, key=0)
+    rec.emit(EventKind.SLICE_SENT, node="worker0", ts=100.25, key=0)
+    out = normalize_timestamps(rec.to_dicts())
+    assert [e["ts"] for e in out] == [0.25, 0.0]
+    assert normalize_timestamps([]) == []
+    assert validate_events(out) == 2  # rebased records stay valid

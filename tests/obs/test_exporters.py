@@ -1,0 +1,117 @@
+"""Unit tests for the repro.obs exporters (trace, metrics, ASCII)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.models import toy_model
+from repro.obs import (
+    EventKind,
+    SCHEMA_VERSION,
+    ascii_timeline,
+    build_chrome_events,
+    canonicalize_trace,
+    export_chrome_trace,
+    export_metrics_summary,
+    metrics_summary,
+    node_pid,
+    session_from_events,
+    sim_session,
+)
+from repro.sim import ClusterConfig, simulate
+from repro.strategies import p3
+
+
+def _observed_run():
+    sess = sim_session()
+    result = simulate(toy_model(), p3(),
+                      ClusterConfig(n_workers=2, bandwidth_gbps=1.0, seed=0),
+                      iterations=3, warmup=1, trace_utilization=True,
+                      obs=sess)
+    return result, sess
+
+
+def test_node_pid_separates_workers_and_servers():
+    assert node_pid("worker0") == 0
+    assert node_pid("worker3") == 3
+    assert node_pid("server0") == 1000
+    assert node_pid("server1") == 1001
+    assert node_pid("mystery") >= 2000  # unknown nodes never collide
+
+
+def test_build_chrome_events_covers_all_streams():
+    result, sess = _observed_run()
+    events = build_chrome_events(result.iterations.records,
+                                 result.utilization.records,
+                                 sess.events())
+    phases = {e["ph"] for e in events}
+    assert phases == {"X", "i"}
+    cats = {e["cat"] for e in events}
+    assert {"compute", "network", "obs"} <= cats
+    names = {e["name"] for e in events}
+    assert any(n.startswith("forward[") for n in names)
+    assert EventKind.SLICE_SENT.value in names
+
+
+def test_export_chrome_trace_writes_valid_json(tmp_path):
+    result, sess = _observed_run()
+    path = export_chrome_trace(tmp_path / "sub" / "trace.json",
+                               result.iterations.records,
+                               result.utilization.records,
+                               sess.events(),
+                               metadata={"model": "toy3"})
+    doc = json.loads(path.read_text())
+    assert doc["otherData"] == {"model": "toy3", "schema": SCHEMA_VERSION}
+    assert doc["traceEvents"]
+
+
+def test_canonicalize_sorts_and_rounds():
+    doc = {"traceEvents": [
+        {"name": "b", "ts": 2.00049, "dur": 1.0004, "pid": 0, "tid": 0,
+         "args": {"z": 1, "a": 0.123456789012}},
+        {"name": "a", "ts": 1.0, "pid": 0, "tid": 0},
+    ]}
+    out = canonicalize_trace(doc, precision=3)
+    assert [e["name"] for e in out["traceEvents"]] == ["a", "b"]
+    assert out["traceEvents"][1]["ts"] == 2.0
+    assert out["traceEvents"][1]["dur"] == 1.0
+    assert list(out["traceEvents"][1]["args"]) == ["a", "z"]
+    assert doc["traceEvents"][0]["name"] == "b"  # input left untouched
+
+
+def test_metrics_summary_and_export(tmp_path):
+    _, sess = _observed_run()
+    doc = metrics_summary(sess, metadata={"model": "toy3"})
+    assert doc["schema"] == SCHEMA_VERSION
+    assert doc["source"] == "sim"
+    assert doc["n_events"] == sum(doc["event_counts"].values()) > 0
+    assert doc["metrics"]["net.slices_sent"]["value"] == \
+        doc["event_counts"]["slice_sent"]
+    path = export_metrics_summary(sess, tmp_path / "m.json",
+                                  metadata={"model": "toy3"})
+    assert json.loads(path.read_text()) == doc
+
+
+def test_session_from_events_round_trips_instruments():
+    _, sess = _observed_run()
+    rebuilt = session_from_events(sess.events(), source="sim")
+    orig = sess.metrics()
+    derived = rebuilt.metrics()
+    # Event-derivable instruments agree exactly with the originals.
+    # (net.preemptions only exists when a run actually preempts.)
+    for name in ("net.slices_sent", "net.bytes_sent",
+                 "worker.slices_enqueued", "server.updates_applied",
+                 "server.rounds_applied"):
+        assert derived[name]["value"] == orig[name]["value"], name
+    assert derived["net.wire_s"]["count"] == orig["net.wire_s"]["count"]
+    assert len(rebuilt.events()) == len(sess.events())
+
+
+def test_ascii_timeline_renders(tmp_path):
+    result, _ = _observed_run()
+    art = ascii_timeline(result.utilization, machines=[0, 1],
+                         title="toy3 NIC")
+    assert "toy3 NIC" in art
+    assert "time (s)" in art
+    assert "m0 tx" in art and "m1 tx" in art
+    assert len(art.splitlines()) > 5

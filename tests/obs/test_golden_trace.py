@@ -1,0 +1,87 @@
+"""Golden-trace regression test for the unified Chrome-trace exporter.
+
+A fixed-seed simulation is fully deterministic, so its exported trace —
+canonicalized by :func:`repro.obs.canonicalize_trace` (sorted events,
+rounded timestamps) — must match the checked-in golden file byte for
+byte.  Any diff means observable *behaviour* changed: scheduling order,
+timing, event emission, or the export format itself.
+
+Regenerating the golden file (after an intentional behaviour change)::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/obs/test_golden_trace.py
+
+then commit the updated ``tests/obs/golden/sim_toy3_p3.trace.json``
+together with the change that motivated it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.models import toy_model
+from repro.obs import (
+    SCHEMA_VERSION,
+    build_chrome_events,
+    canonicalize_trace,
+    sim_session,
+    validate_events,
+)
+from repro.sim import ClusterConfig, simulate
+from repro.strategies import p3
+
+GOLDEN = Path(__file__).parent / "golden" / "sim_toy3_p3.trace.json"
+
+
+def build_canonical_trace() -> dict:
+    """The reference workload: toy3, P3, 2 workers, seed 0."""
+    sess = sim_session()
+    result = simulate(toy_model(), p3(),
+                      ClusterConfig(n_workers=2, bandwidth_gbps=1.0, seed=0),
+                      iterations=4, warmup=1, trace_utilization=True,
+                      obs=sess)
+    events = sess.events()
+    assert validate_events(events) == len(events)
+    doc = {
+        "traceEvents": build_chrome_events(result.iterations.records,
+                                           result.utilization.records,
+                                           events),
+        "displayTimeUnit": "ms",
+        "otherData": {"schema": SCHEMA_VERSION, "model": "toy3",
+                      "strategy": "p3"},
+    }
+    # JSON round-trip so the in-memory doc and the file compare on the
+    # exact same value domain (tuples -> lists, float formatting).
+    return json.loads(json.dumps(canonicalize_trace(doc)))
+
+
+def test_trace_matches_golden_file():
+    doc = build_canonical_trace()
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+        pytest.skip(f"regenerated {GOLDEN}")
+    assert GOLDEN.exists(), (
+        f"golden file missing; regenerate with REPRO_REGEN_GOLDEN=1 "
+        f"(see module docstring): {GOLDEN}")
+    golden = json.loads(GOLDEN.read_text())
+    assert doc["otherData"] == golden["otherData"]
+    assert len(doc["traceEvents"]) == len(golden["traceEvents"]), \
+        "event count changed — scheduling behaviour differs from golden"
+    for i, (got, want) in enumerate(zip(doc["traceEvents"],
+                                        golden["traceEvents"])):
+        assert got == want, (
+            f"trace event {i} diverged from golden:\n"
+            f"  got:  {got}\n  want: {want}\n"
+            f"If this change is intentional, regenerate with "
+            f"REPRO_REGEN_GOLDEN=1 and commit the diff.")
+
+
+def test_canonical_trace_is_deterministic():
+    """Two builds of the reference workload are identical — the property
+    the golden comparison relies on."""
+    assert build_canonical_trace() == build_canonical_trace()

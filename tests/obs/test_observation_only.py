@@ -1,0 +1,66 @@
+"""The overhead guarantee: observing a run must not change the run.
+
+``repro.obs`` instruments only append to Python lists and accumulate
+numbers — they never schedule simulator events, sleep, or touch an RNG.
+This test pins the contract end to end: a monitored ``simulate()`` is
+bit-identical (iteration timeline, event count, throughput) to an
+unmonitored one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.obs import sim_session, validate_events
+from repro.sim import ClusterConfig, simulate
+from repro.strategies import baseline, p3
+
+
+def _run(tiny_model, strategy, obs=None):
+    cfg = ClusterConfig(n_workers=2, bandwidth_gbps=1.0, seed=0)
+    return simulate(tiny_model, strategy, cfg, iterations=5, warmup=1,
+                    trace_utilization=True, obs=obs)
+
+
+def test_observed_run_is_bit_identical(tiny_model):
+    for strategy_factory in (baseline, p3):
+        plain = _run(tiny_model, strategy_factory())
+        sess = sim_session()
+        watched = _run(tiny_model, strategy_factory(), obs=sess)
+
+        assert watched.mean_iteration_time == plain.mean_iteration_time
+        assert watched.throughput == plain.throughput
+        assert watched.events_processed == plain.events_processed
+        np.testing.assert_array_equal(watched.iteration_times,
+                                      plain.iteration_times)
+        assert watched.iterations.records == plain.iterations.records
+        assert (watched.utilization.records ==
+                plain.utilization.records), \
+            "observation must not add, drop, or move any transmission"
+        assert len(sess.events()) > 0, "the watched run must record events"
+
+
+def test_observed_events_conform_and_cover_the_run(tiny_model):
+    sess = sim_session()
+    result = _run(tiny_model, p3(), obs=sess)
+    events = sess.events()
+    assert validate_events(events) == len(events)
+    counts = sess.recorder.counts_by_kind()
+    n_layers = len(tiny_model.layers)
+    n_iters = 5
+    # Every worker opens every forward gate every iteration.
+    assert counts["forward_gate_open"] == 2 * n_layers * n_iters
+    assert counts["slice_enqueued"] == counts["slice_sent"]
+    assert counts["round_applied"] >= 1
+    assert result.events_processed > 0
+
+
+def test_metrics_registry_populated_only_when_attached(tiny_model):
+    sess = sim_session()
+    _run(tiny_model, p3(), obs=sess)
+    names = sess.registry.names()
+    for expected in ("engine.now_s", "net.wire_s", "net.slices_sent",
+                     "server.update_s", "worker.gate_wait_s"):
+        assert expected in names, f"missing instrument {expected}"
+    assert sess.registry.counter("net.slices_sent").value == \
+        sess.registry.histogram("net.wire_s").count

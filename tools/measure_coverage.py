@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""Measure line coverage of src/repro with the stdlib only.
+
+CI enforces a coverage floor through ``pytest-cov`` (see
+``.github/workflows/ci.yml``), but that plugin is not part of the local
+dev environment.  This tool reproduces the measurement with
+``sys.settrace``/``threading.settrace`` so the floor baked into CI can
+be derived — and sanity-checked — on any machine::
+
+    python tools/measure_coverage.py                 # fast subset
+    python tools/measure_coverage.py -- -q tests/    # full tier-1 suite
+    python tools/measure_coverage.py --min 60        # exit 1 below 60%
+
+The denominator is every executable line (``co_lines`` of each compiled
+code object, nested ones included) of every module under ``src/repro``;
+the numerator is the lines the traced pytest run actually executed.
+Forked child processes (the live cluster tests) are not traced, so this
+underestimates what CI's pytest-cov reports — which is the safe
+direction for picking ``--cov-fail-under``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+from pathlib import Path
+from typing import Dict, Set
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+PKG = SRC / "repro"
+
+_executed: Dict[str, Set[int]] = {}
+_prefix = str(PKG) + "/"
+
+
+def _local_trace(frame, event, arg):
+    if event == "line":
+        _executed[frame.f_code.co_filename].add(frame.f_lineno)
+    return _local_trace
+
+
+def _global_trace(frame, event, arg):
+    if event == "call":
+        fname = frame.f_code.co_filename
+        if fname.startswith(_prefix):
+            _executed.setdefault(fname, set())
+            return _local_trace
+    return None
+
+
+def executable_lines(path: Path) -> Set[int]:
+    """All line numbers the compiler marks executable, nested code
+    objects (functions, comprehensions, classes) included."""
+    code = compile(path.read_text(), str(path), "exec")
+    lines: Set[int] = set()
+    stack = [code]
+    while stack:
+        co = stack.pop()
+        lines.update(ln for _, _, ln in co.co_lines() if ln is not None)
+        stack.extend(c for c in co.co_consts if hasattr(c, "co_lines"))
+    return lines
+
+
+def run(pytest_args, min_percent=None, json_out=None) -> int:
+    sys.path.insert(0, str(SRC))
+    import pytest
+
+    threading.settrace(_global_trace)
+    sys.settrace(_global_trace)
+    try:
+        exit_code = pytest.main(pytest_args)
+    finally:
+        sys.settrace(None)
+        threading.settrace(None)
+    if exit_code != 0:
+        print(f"pytest failed (exit {exit_code}); coverage not meaningful",
+              file=sys.stderr)
+        return int(exit_code)
+
+    per_file = {}
+    total_exec = total_hit = 0
+    for path in sorted(PKG.rglob("*.py")):
+        lines = executable_lines(path)
+        hit = _executed.get(str(path), set()) & lines
+        total_exec += len(lines)
+        total_hit += len(hit)
+        rel = str(path.relative_to(REPO))
+        pct = 100.0 * len(hit) / len(lines) if lines else 100.0
+        per_file[rel] = {"lines": len(lines), "hit": len(hit),
+                         "percent": round(pct, 1)}
+
+    percent = 100.0 * total_hit / total_exec if total_exec else 100.0
+    width = max(len(f) for f in per_file)
+    for rel, stats in per_file.items():
+        print(f"{rel:<{width}}  {stats['hit']:>5}/{stats['lines']:<5} "
+              f"{stats['percent']:>5.1f}%")
+    print(f"{'TOTAL':<{width}}  {total_hit:>5}/{total_exec:<5} "
+          f"{percent:>5.1f}%")
+    if json_out:
+        Path(json_out).write_text(json.dumps(
+            {"percent": round(percent, 2), "files": per_file}, indent=1))
+        print(f"wrote {json_out}")
+    if min_percent is not None and percent < min_percent:
+        print(f"FAIL: coverage {percent:.1f}% is below the floor "
+              f"{min_percent:.1f}%", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--min", type=float, default=None,
+                        help="exit non-zero if total coverage falls below "
+                             "this percentage")
+    parser.add_argument("--json", dest="json_out", default=None,
+                        help="also write a JSON report here")
+    parser.add_argument("pytest_args", nargs="*",
+                        help="arguments after `--` go to pytest verbatim "
+                             '(default: -q -p no:randomly -m "not slow")')
+    args = parser.parse_args()
+    pytest_args = args.pytest_args or ["-q", "-p", "no:randomly",
+                                       "-m", "not slow"]
+    return run(pytest_args, args.min, args.json_out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
