@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast coverage bench bench-snapshot live-demo report quick-report figures clean
+.PHONY: install test test-fast coverage bench bench-snapshot perf-smoke live-demo report quick-report figures clean
 
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
@@ -24,6 +24,10 @@ bench:
 
 bench-snapshot:
 	$(PYTHON) tools/bench_snapshot.py
+
+# advisory regression check vs the latest committed BENCH_*.json
+perf-smoke:
+	$(PYTHON) tools/bench_snapshot.py --check
 
 live-demo:
 	$(PYTHON) examples/live_cluster.py

@@ -41,7 +41,9 @@ from .calibration import (
     run_inprocess,
     sim_bandwidth_gbps,
 )
+from .cache import SimCache, code_salt
 from .robustness import degradation_report, fault_plan_for, robustness_sweep
+from .runner import PointResult, SimPoint, effective_jobs, run_grid
 from .sensitivity import sensitivity_scan, speedup_at
 from .series import FigureData, Series, speedup
 from .stats import SeedStats, speedup_stats, summarize, throughput_stats
@@ -105,6 +107,12 @@ __all__ = [
     "peak_speedups",
     "robustness_sweep",
     "SeedStats",
+    "SimCache",
+    "SimPoint",
+    "PointResult",
+    "code_salt",
+    "effective_jobs",
+    "run_grid",
     "iteration_time_percentiles",
     "save_figure",
     "server_count_sweep",

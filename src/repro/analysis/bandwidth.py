@@ -11,8 +11,10 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence
 
 from ..models import get_model
-from ..sim import ClusterConfig, simulate
+from ..sim import ClusterConfig
 from ..strategies import StrategyConfig, baseline, p3, slicing_only
+from .cache import SimCache
+from .runner import SimPoint, run_grid
 from .series import FigureData, speedup
 
 # Bandwidth grids used by the paper's sub-figures.
@@ -39,8 +41,15 @@ def fig7_bandwidth_sweep(
     iterations: int = 5,
     warmup: int = 2,
     seed: int = 0,
+    jobs: int = 1,
+    cache: Optional[SimCache] = None,
 ) -> FigureData:
-    """Throughput-vs-bandwidth series for one model (one Fig 7 panel)."""
+    """Throughput-vs-bandwidth series for one model (one Fig 7 panel).
+
+    ``jobs`` fans the grid across worker processes; ``cache`` reuses
+    previously simulated points (see :mod:`repro.analysis.runner`).
+    Both leave the figure byte-identical to a serial, uncached run.
+    """
     model = get_model(model_name)
     if bandwidths is None:
         # Models outside the paper's four panels get the wide grid.
@@ -52,12 +61,16 @@ def fig7_bandwidth_sweep(
         x_label="bandwidth (Gbps)",
         y_label=f"throughput ({model.sample_unit}/s per worker)",
     )
+    points = [
+        SimPoint(model_name, strat,
+                 ClusterConfig(n_workers=n_workers, bandwidth_gbps=float(bw),
+                               seed=seed),
+                 iterations, warmup)
+        for strat in strategies for bw in bandwidths
+    ]
+    results = iter(run_grid(points, jobs=jobs, cache=cache))
     for strat in strategies:
-        ys = []
-        for bw in bandwidths:
-            cfg = ClusterConfig(n_workers=n_workers, bandwidth_gbps=float(bw), seed=seed)
-            result = simulate(model, strat, cfg, iterations=iterations, warmup=warmup)
-            ys.append(result.throughput / n_workers)
+        ys = [next(results).throughput / n_workers for _ in bandwidths]
         fig.add(strat.name, list(bandwidths), ys)
     if {"baseline", "p3"} <= set(fig.labels):
         ratios = speedup(fig, over="baseline", of="p3")

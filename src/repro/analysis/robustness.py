@@ -33,7 +33,7 @@ numbers, bit for bit.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 from ..models import get_model
 from ..sim import (
@@ -42,9 +42,10 @@ from ..sim import (
     LinkFault,
     ServerStallFault,
     StragglerFault,
-    simulate,
 )
 from ..strategies import get_strategy
+from .cache import SimCache
+from .runner import SimPoint, run_grid
 from .series import FigureData
 
 DEFAULT_STRATEGIES = ("baseline", "slicing", "p3")
@@ -111,6 +112,8 @@ def robustness_sweep(
     iterations: int = 5,
     warmup: int = 2,
     seed: int = 0,
+    jobs: int = 1,
+    cache: Optional[SimCache] = None,
 ) -> FigureData:
     """Throughput retention per strategy across a fault-severity grid.
 
@@ -121,25 +124,30 @@ def robustness_sweep(
     retention at the harshest severity, the P3-vs-baseline retention
     margin, and the *absolute* P3-over-baseline throughput ratio under
     the harshest plan — the numbers the integration test asserts on.
-    """
-    model = get_model(model_name)
 
-    def run(strategy_name: str, plan: FaultPlan):
+    Execution is two-phase because the grid is data-dependent: the
+    clean reference runs must finish first (the first strategy's
+    iteration time scales every fault plan), then the full
+    severity × strategy grid fans out through
+    :func:`repro.analysis.runner.run_grid` (``jobs`` processes,
+    optional ``cache``) with results identical to a serial run.
+    """
+    get_model(model_name)  # fail fast on unknown models
+
+    def point(strategy_name: str, plan: FaultPlan) -> SimPoint:
         cfg = ClusterConfig(n_workers=n_workers, bandwidth_gbps=bandwidth_gbps,
                             fault_plan=plan if plan else None, seed=seed)
-        return simulate(model, get_strategy(strategy_name), cfg,
-                        iterations=iterations, warmup=warmup)
+        return SimPoint(model_name, get_strategy(strategy_name), cfg,
+                        iterations, warmup)
 
     # Fault-free reference runs; the first strategy's iteration time is
     # the timescale for the dimensionless plan, shared by every
     # strategy so all see the same absolute fault schedule.
-    clean: Dict[str, float] = {}
-    iter_t = 0.0
-    for name in strategies:
-        result = run(name, FaultPlan())
-        clean[name] = result.throughput
-        if name == strategies[0]:
-            iter_t = result.mean_iteration_time
+    clean_results = run_grid([point(name, FaultPlan()) for name in strategies],
+                             jobs=jobs, cache=cache)
+    clean: Dict[str, float] = {
+        name: r.throughput for name, r in zip(strategies, clean_results)}
+    iter_t = clean_results[0].mean_iteration_time
     fig = FigureData(
         figure_id="robustness",
         title=(f"Fault robustness: {model_name} @ {bandwidth_gbps:g} Gbps, "
@@ -149,13 +157,16 @@ def robustness_sweep(
     )
     absolute: Dict[str, list] = {name: [] for name in strategies}
     retention: Dict[str, list] = {name: [] for name in strategies}
+    grid = []
     for severity in severities:
         plan = fault_plan_for(severity, iter_t, n_workers=n_workers,
                               kinds=kinds, seed=seed)
         for name in strategies:
-            result = run(name, plan)
-            absolute[name].append(result.throughput)
-            retention[name].append(result.throughput / clean[name])
+            grid.append((name, point(name, plan)))
+    grid_results = run_grid([p for _, p in grid], jobs=jobs, cache=cache)
+    for (name, _), result in zip(grid, grid_results):
+        absolute[name].append(result.throughput)
+        retention[name].append(result.throughput / clean[name])
     for name in strategies:
         fig.add(name, list(severities), retention[name])
         fig.notes[f"{name}_retention_at_{severities[-1]:g}"] = round(

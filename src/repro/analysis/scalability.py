@@ -11,8 +11,10 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from ..models import get_model
-from ..sim import ClusterConfig, simulate
+from ..sim import ClusterConfig
 from ..strategies import StrategyConfig, baseline, p3
+from .cache import SimCache
+from .runner import SimPoint, run_grid
 from .series import FigureData
 
 FIG10_SIZES = (2, 4, 8, 16)
@@ -29,8 +31,14 @@ def fig10_scalability(
     iterations: int = 5,
     warmup: int = 2,
     seed: int = 0,
+    jobs: int = 1,
+    cache: Optional[SimCache] = None,
 ) -> FigureData:
-    """Cluster-total throughput at each cluster size, baseline vs P3."""
+    """Cluster-total throughput at each cluster size, baseline vs P3.
+
+    ``jobs``/``cache`` parallelize and memoize the grid without
+    changing a digit of the output (:mod:`repro.analysis.runner`).
+    """
     model = get_model(model_name)
     strategies = strategies if strategies is not None else (baseline(), p3())
     fig = FigureData(
@@ -39,13 +47,16 @@ def fig10_scalability(
         x_label="cluster size",
         y_label=f"throughput ({model.sample_unit}/s)",
     )
+    points = [
+        SimPoint(model_name, strat,
+                 ClusterConfig(n_workers=int(n), bandwidth_gbps=bandwidth_gbps,
+                               compute_scale=compute_scale, seed=seed),
+                 iterations, warmup)
+        for strat in strategies for n in cluster_sizes
+    ]
+    results = iter(run_grid(points, jobs=jobs, cache=cache))
     for strat in strategies:
-        ys = []
-        for n in cluster_sizes:
-            cfg = ClusterConfig(n_workers=int(n), bandwidth_gbps=bandwidth_gbps,
-                                compute_scale=compute_scale, seed=seed)
-            result = simulate(model, strat, cfg, iterations=iterations, warmup=warmup)
-            ys.append(result.throughput)
+        ys = [next(results).throughput for _ in cluster_sizes]
         fig.add(strat.name, list(cluster_sizes), ys)
     base = fig.get("baseline")
     new = fig.get("p3")

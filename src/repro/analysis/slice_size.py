@@ -7,11 +7,13 @@ above it, pipelining/preemption granularity degrades.  The paper finds
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from ..models import get_model
-from ..sim import ClusterConfig, simulate
+from ..sim import ClusterConfig
 from ..strategies import p3
+from .cache import SimCache
+from .runner import SimPoint, run_grid
 from .series import FigureData
 
 FIG12_SLICES = (1_000, 3_000, 10_000, 30_000, 50_000, 100_000, 300_000, 1_000_000)
@@ -28,8 +30,14 @@ def fig12_slice_size_sweep(
     iterations: int = 4,
     warmup: int = 1,
     seed: int = 0,
+    jobs: int = 1,
+    cache: Optional[SimCache] = None,
 ) -> FigureData:
-    """P3 throughput per worker at each slice size for one model."""
+    """P3 throughput per worker at each slice size for one model.
+
+    ``jobs``/``cache`` parallelize and memoize the grid without
+    changing a digit of the output (:mod:`repro.analysis.runner`).
+    """
     model = get_model(model_name)
     bw = bandwidth_gbps if bandwidth_gbps is not None else FIG12_BANDWIDTH.get(model_name, 4.0)
     fig = FigureData(
@@ -38,12 +46,15 @@ def fig12_slice_size_sweep(
         x_label="slice size (parameters)",
         y_label=f"throughput ({model.sample_unit}/s per worker)",
     )
-    ys = []
-    for size in slice_sizes:
-        cfg = ClusterConfig(n_workers=n_workers, bandwidth_gbps=bw, seed=seed)
-        result = simulate(model, p3(slice_params=int(size)), cfg,
-                          iterations=iterations, warmup=warmup)
-        ys.append(result.throughput / n_workers)
+    points = [
+        SimPoint(model_name, p3(slice_params=int(size)),
+                 ClusterConfig(n_workers=n_workers, bandwidth_gbps=bw,
+                               seed=seed),
+                 iterations, warmup)
+        for size in slice_sizes
+    ]
+    results = run_grid(points, jobs=jobs, cache=cache)
+    ys = [r.throughput / n_workers for r in results]
     fig.add("p3", [float(s) for s in slice_sizes], ys)
     s = fig.get("p3")
     fig.notes["best_slice_size"] = int(s.x[s.y.argmax()])

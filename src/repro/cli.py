@@ -16,7 +16,7 @@ import sys
 from typing import List, Optional
 
 from . import analysis
-from .analysis import FigureData, ascii_plot
+from .analysis import FigureData, SimCache, ascii_plot
 from .models import available_models, get_model
 
 
@@ -28,6 +28,20 @@ def _emit(fig: FigureData, args: argparse.Namespace, logx: bool = False) -> None
     if getattr(args, "csv", None):
         path = fig.to_csv(args.csv)
         print(f"\nwrote {path}")
+
+
+def _sweep_kwargs(args: argparse.Namespace) -> dict:
+    """``jobs``/``cache`` keyword arguments for grid-based sweeps."""
+    cache = SimCache() if getattr(args, "cache", False) else None
+    return {"jobs": getattr(args, "jobs", 1), "cache": cache}
+
+
+def _report_cache(kwargs: dict) -> None:
+    cache = kwargs.get("cache")
+    if cache is not None:
+        stats = cache.stats()
+        print(f"cache: {stats['hits']} hits, {stats['misses']} misses "
+              f"({cache.root})")
 
 
 def cmd_models(args: argparse.Namespace) -> None:
@@ -66,9 +80,11 @@ def cmd_fig6(args: argparse.Namespace) -> None:
 
 
 def cmd_fig7(args: argparse.Namespace) -> None:
+    kwargs = _sweep_kwargs(args)
     fig = analysis.fig7_bandwidth_sweep(args.model, n_workers=args.workers,
-                                        iterations=args.iterations)
+                                        iterations=args.iterations, **kwargs)
     _emit(fig, args)
+    _report_cache(kwargs)
 
 
 def cmd_fig8(args: argparse.Namespace) -> None:
@@ -82,8 +98,11 @@ def cmd_fig9(args: argparse.Namespace) -> None:
 
 
 def cmd_fig10(args: argparse.Namespace) -> None:
-    fig = analysis.fig10_scalability(args.model, iterations=args.iterations)
+    kwargs = _sweep_kwargs(args)
+    fig = analysis.fig10_scalability(args.model, iterations=args.iterations,
+                                     **kwargs)
     _emit(fig, args)
+    _report_cache(kwargs)
 
 
 def cmd_fig11(args: argparse.Namespace) -> None:
@@ -92,8 +111,11 @@ def cmd_fig11(args: argparse.Namespace) -> None:
 
 
 def cmd_fig12(args: argparse.Namespace) -> None:
-    fig = analysis.fig12_slice_size_sweep(args.model, iterations=args.iterations)
+    kwargs = _sweep_kwargs(args)
+    fig = analysis.fig12_slice_size_sweep(args.model,
+                                          iterations=args.iterations, **kwargs)
     _emit(fig, args, logx=True)
+    _report_cache(kwargs)
 
 
 def cmd_fig13(args: argparse.Namespace) -> None:
@@ -247,19 +269,24 @@ def cmd_metrics(args: argparse.Namespace) -> None:
 def cmd_robustness(args: argparse.Namespace) -> None:
     """Extension: per-strategy throughput degradation under faults."""
     from .analysis.robustness import degradation_report, robustness_sweep
+    kwargs = _sweep_kwargs(args)
     fig = robustness_sweep(args.model, bandwidth_gbps=args.bandwidth,
                            kinds=tuple(args.kinds.split(",")),
                            n_workers=args.workers, iterations=args.iterations,
-                           seed=args.seed)
+                           seed=args.seed, **kwargs)
     _emit(fig, args)
+    _report_cache(kwargs)
     print()
     print(degradation_report(fig))
 
 
 def cmd_sensitivity(args: argparse.Namespace) -> None:
     """Robustness scan of the headline speedup across cost constants."""
-    fig = analysis.sensitivity_scan(args.model, iterations=args.iterations)
+    kwargs = _sweep_kwargs(args)
+    fig = analysis.sensitivity_scan(args.model, iterations=args.iterations,
+                                    **kwargs)
     _emit(fig, args)
+    _report_cache(kwargs)
     print(f"P3 speedup stays within "
           f"[{fig.notes['min_speedup']:.2f}x, {fig.notes['max_speedup']:.2f}x] "
           f"across all knob sweeps")
@@ -315,15 +342,19 @@ def cmd_live(args: argparse.Namespace) -> None:
 def cmd_report(args: argparse.Namespace) -> None:
     """Run the full evaluation and write a markdown report."""
     from .analysis.report import generate_report
-    text = generate_report(quick=args.quick, progress=print)
+    kwargs = _sweep_kwargs(args)
+    text = generate_report(quick=args.quick, progress=print, **kwargs)
     with open(args.out, "w") as f:
         f.write(text)
+    _report_cache(kwargs)
     print(f"wrote {args.out}")
 
 
 def cmd_summary(args: argparse.Namespace) -> None:
     """Headline numbers: peak P3 speedups (the abstract's 25/38/66%)."""
-    speedups = analysis.peak_speedups(iterations=args.iterations)
+    kwargs = _sweep_kwargs(args)
+    speedups = analysis.peak_speedups(iterations=args.iterations, **kwargs)
+    _report_cache(kwargs)
     paper = {"resnet50": 1.25, "inceptionv3": 1.18, "vgg19": 1.66, "sockeye": 1.38}
     print(f"{'model':>12}  {'P3 peak speedup':>16}  {'paper':>8}")
     for model, s in speedups.items():
@@ -350,6 +381,13 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--epochs", type=int, default=16)
         p.add_argument("--csv", help="write the series to this CSV path")
         p.add_argument("--plot", action="store_true", help="ASCII plot")
+        p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for simulation grids "
+                            "(clamped to available CPUs)")
+        p.add_argument("--cache", action=argparse.BooleanOptionalAction,
+                       default=False,
+                       help="reuse simulation results from the on-disk "
+                            "cache ($REPRO_CACHE_DIR or .repro-cache)")
         return p
 
     add("models", cmd_models, "describe the model zoo")

@@ -229,6 +229,18 @@ class ClusterSim:
             if not keys:
                 raise SimulationError(f"layer {idx} has no synchronization keys")
 
+        # Per-key lookup tables shared by every worker (payloads, shard
+        # machines, owning layer).  These are identical across workers,
+        # so building them once here instead of per-SimWorker removes
+        # O(workers * keys) setup work from every simulated config.
+        gs = strategy.gradient_scale
+        self.push_payload: Dict[int, int] = {
+            pk.key: max(1, int(pk.bytes * gs)) for pk in self.placed}
+        self.key_server_machine: Dict[int, int] = {
+            pk.key: self.server_machine(pk.server) for pk in self.placed}
+        self.key_layer: Dict[int, int] = {
+            k: pk.layer_index for k, pk in self.keys.items()}
+
         self.deferred_pull = strategy.pull_policy is PullPolicy.DEFERRED_PULL
         self.utilization = UtilizationTrace() if trace_utilization else None
         self.iterations = IterationTrace()
@@ -236,6 +248,10 @@ class ClusterSim:
         rate = gbps_to_bytes_per_s(config.bandwidth_gbps)
         discipline = strategy.queue_discipline
         self.n_machines = self.n_workers + (0 if config.colocate_servers else self.n_servers)
+        # Link faults reschedule in-flight completions via set_rate;
+        # without a fault plan every channel is static, which unlocks
+        # the handle-free completion fast path (see network.Channel).
+        dynamic_links = config.fault_plan is not None and bool(config.fault_plan)
         fabric = None
         if config.oversubscription > 1.0:
             # Shared core switch: aggregate edge bandwidth divided by the
@@ -245,7 +261,8 @@ class ClusterSim:
                              rate * self.n_machines / config.oversubscription,
                              make_queue("fifo"), on_complete=lambda _m: None,
                              overhead_bytes=config.overhead_bytes,
-                             per_message_cpu_s=0.0)
+                             per_message_cpu_s=0.0,
+                             cancellable=dynamic_links)
         self.transport = Transport(self.sim, latency_s=config.latency_s,
                                    loopback_latency_s=config.loopback_latency_s,
                                    fabric=fabric)
@@ -256,24 +273,32 @@ class ClusterSim:
                          on_complete=lambda _m: None,
                          overhead_bytes=config.overhead_bytes,
                          per_message_cpu_s=config.per_message_cpu_s,
-                         trace=self.utilization)
+                         trace=self.utilization,
+                         cancellable=dynamic_links)
             # Receive order is arrival order regardless of strategy; P3's
             # receiver-side prioritization lives in the server work queue.
             rx = Channel(self.sim, m, "rx", rate, make_queue("fifo"),
                          on_complete=lambda _m: None,
                          overhead_bytes=config.overhead_bytes,
                          per_message_cpu_s=config.per_message_cpu_s,
-                         trace=self.utilization)
+                         trace=self.utilization,
+                         cancellable=dynamic_links)
             self.tx_channels.append(tx)
             self.rx_channels.append(rx)
-            self.transport.register(m, tx, rx, self._make_deliver(m))
+
+        self.workers = [SimWorker(self, w) for w in range(self.n_workers)]
+        self.servers = [SimServerShard(self, s) for s in range(self.n_servers)]
+        # Registration happens after the endpoints exist so each
+        # machine's deliver closure binds its worker/shard `on_message`
+        # directly instead of re-resolving them per message.
+        for m in range(self.n_machines):
+            self.transport.register(m, self.tx_channels[m],
+                                    self.rx_channels[m],
+                                    self._make_deliver(m))
         if obs is not None:
             adapter = _ChannelObsAdapter(self, obs)
             for tx in self.tx_channels:
                 tx.observer = adapter
-
-        self.workers = [SimWorker(self, w) for w in range(self.n_workers)]
-        self.servers = [SimServerShard(self, s) for s in range(self.n_servers)]
         self._done_count = 0
         self.background: Optional[BackgroundTraffic] = None
         if config.background_load > 0:
@@ -295,14 +320,34 @@ class ClusterSim:
         return self.n_workers + server_id
 
     def _make_deliver(self, machine: int):
-        def deliver(msg: Message) -> None:
-            if msg.kind is MsgKind.NOISE:
-                return  # background tenant traffic terminates here
-            if msg.dst_role is Role.WORKER:
-                self.workers[machine].on_message(msg)
-            else:
-                sid = machine if self.config.colocate_servers else machine - self.n_workers
-                self.servers[sid].on_message(msg)
+        # Resolve this machine's endpoints once (workers/servers exist
+        # by registration time).  `on_message` stays a per-delivery
+        # attribute lookup — tests and the fault tooling patch it on
+        # live endpoints, and a pre-bound method would bypass them.
+        worker = self.workers[machine] if machine < self.n_workers else None
+        if self.config.colocate_servers:
+            sid = machine if machine < self.n_servers else None
+        else:
+            sid = machine - self.n_workers if machine >= self.n_workers else None
+        server = self.servers[sid] if sid is not None else None
+        noise = MsgKind.NOISE
+        worker_role = Role.WORKER
+        if self.config.background_load > 0:
+            def deliver(msg: Message) -> None:
+                if msg.kind is noise:
+                    return  # background tenant traffic terminates here
+                if msg.dst_role is worker_role:
+                    worker.on_message(msg)
+                else:
+                    server.on_message(msg)
+        else:
+            # No background tenants configured: NOISE can never reach a
+            # deliver endpoint, so skip the per-message kind check.
+            def deliver(msg: Message) -> None:
+                if msg.dst_role is worker_role:
+                    worker.on_message(msg)
+                else:
+                    server.on_message(msg)
         return deliver
 
     def on_worker_done(self, worker_id: int) -> None:

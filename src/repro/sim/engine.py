@@ -7,12 +7,36 @@ are exactly reproducible regardless of heap internals.
 
 The engine is deliberately free of any networking or ML concepts; the
 cluster model in :mod:`repro.sim.cluster` builds on top of it.
+
+Hot-path design (this loop dominates every sweep's wall time, see
+``docs/performance.md``):
+
+* heap entries are plain ``(time, seq, fn, args, handle)`` tuples, so
+  ordering is resolved by C-level tuple comparison on ``(time, seq)``
+  instead of a Python ``__lt__`` — the sequence number is unique, so the
+  comparison never reaches ``fn``;
+* :meth:`Simulator.after` is the fire-and-forget fast path: it skips
+  allocating an :class:`EventHandle` entirely (``handle`` is ``None``)
+  for the vast majority of events that are never cancelled;
+* :meth:`Simulator.run` pops each entry exactly once (no
+  ``peek_time()``+``step()`` double touch) and runs with the cyclic
+  garbage collector paused — per-event garbage is acyclic and freed by
+  refcounting, so collection passes only add jitter;
+* ``pending`` is a live O(1) counter maintained by ``schedule`` /
+  ``cancel`` / the pop loop, so :meth:`snapshot` no longer scans the
+  heap on every observability export.
+
+None of this changes a single simulated timestamp: entries keep the
+exact ``(time, seq)`` ordering, and cancellation stays lazy (the heap
+entry is skipped when popped, keeping :meth:`Simulator.cancel` O(1)).
 """
 
 from __future__ import annotations
 
-import heapq
+import gc
 import itertools
+import sys
+from heapq import heappop, heappush
 from typing import Any, Callable, List, Optional, Tuple
 
 
@@ -24,21 +48,29 @@ class EventHandle:
     """Cancellable reference to a scheduled callback.
 
     Cancellation is lazy: the heap entry stays in place and is skipped
-    when popped, which keeps :meth:`Simulator.cancel` O(1).
+    when popped, which keeps :meth:`Simulator.cancel` O(1).  The handle
+    keeps a back-reference to its simulator so cancelling it directly
+    (``handle.cancel()``) maintains the live pending-event counter.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., None], args: Tuple[Any, ...]):
+    def __init__(self, time: float, seq: int, fn: Callable[..., None],
+                 args: Tuple[Any, ...],
+                 sim: Optional["Simulator"] = None):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the callback from firing.  Idempotent."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._sim is not None:
+                self._sim._pending -= 1
 
     def __lt__(self, other: "EventHandle") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -52,10 +84,12 @@ class Simulator:
     """Binary-heap event loop with a floating-point clock in seconds."""
 
     def __init__(self) -> None:
-        self._heap: List[EventHandle] = []
+        # Entries: (time, seq, fn, args, handle-or-None).
+        self._heap: List[tuple] = []
         self._seq = itertools.count()
         self.now: float = 0.0
         self._events_processed = 0
+        self._pending = 0
         self._running = False
 
     # ------------------------------------------------------------------
@@ -65,7 +99,12 @@ class Simulator:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self.now + delay, fn, *args)
+        time = self.now + delay
+        seq = next(self._seq)
+        handle = EventHandle(time, seq, fn, args, self)
+        heappush(self._heap, (time, seq, fn, args, handle))
+        self._pending += 1
+        return handle
 
     def schedule_at(self, time: float, fn: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` at the absolute simulated ``time``."""
@@ -73,9 +112,24 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} before current time t={self.now}"
             )
-        handle = EventHandle(time, next(self._seq), fn, args)
-        heapq.heappush(self._heap, handle)
+        seq = next(self._seq)
+        handle = EventHandle(time, seq, fn, args, self)
+        heappush(self._heap, (time, seq, fn, args, handle))
+        self._pending += 1
         return handle
+
+    def after(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule`: no :class:`EventHandle`.
+
+        The hot path for events that are never cancelled (message
+        delivery hops, compute-segment completions): skipping the handle
+        allocation saves an object per event.  Semantics are otherwise
+        identical to ``schedule`` — same ordering, same validation.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heappush(self._heap, (self.now + delay, next(self._seq), fn, args, None))
+        self._pending += 1
 
     def cancel(self, handle: EventHandle) -> None:
         """Cancel a previously scheduled event."""
@@ -86,8 +140,8 @@ class Simulator:
     # ------------------------------------------------------------------
     @property
     def pending(self) -> int:
-        """Number of not-yet-cancelled events still in the queue."""
-        return sum(1 for h in self._heap if not h.cancelled)
+        """Number of not-yet-cancelled events still in the queue (O(1))."""
+        return self._pending
 
     @property
     def events_processed(self) -> int:
@@ -99,24 +153,30 @@ class Simulator:
         return {
             "now_s": self.now,
             "events_processed": self._events_processed,
-            "pending_events": self.pending,
+            "pending_events": self._pending,
         }
 
     def peek_time(self) -> Optional[float]:
         """Time of the next pending event, or ``None`` if the queue is empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap:
+            handle = heap[0][4]
+            if handle is None or not handle.cancelled:
+                return heap[0][0]
+            heappop(heap)
+        return None
 
     def step(self) -> bool:
         """Execute the single next event.  Returns False when none remain."""
-        while self._heap:
-            handle = heapq.heappop(self._heap)
-            if handle.cancelled:
+        heap = self._heap
+        while heap:
+            time, _seq, fn, args, handle = heappop(heap)
+            if handle is not None and handle.cancelled:
                 continue
-            self.now = handle.time
+            self.now = time
             self._events_processed += 1
-            handle.fn(*handle.args)
+            self._pending -= 1
+            fn(*args)
             return True
         return False
 
@@ -127,7 +187,46 @@ class Simulator:
         if self._running:
             raise SimulationError("Simulator.run is not reentrant")
         self._running = True
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            # Per-event garbage (tuples, messages, handles) is acyclic
+            # and freed by refcounting; collector passes only cost time.
+            gc.disable()
+        # The event loop is single-threaded; widening the bytecode
+        # switch interval removes periodic GIL-check overhead.
+        old_switch = sys.getswitchinterval()
+        sys.setswitchinterval(0.5)
         try:
+            # Instrumentation (e.g. the invariant monitor) may wrap
+            # ``step`` per instance; dispatch through it in that case so
+            # wrappers observe every event.
+            plain_step = "step" not in self.__dict__
+            if until is None and max_events is None:
+                if plain_step:
+                    # Fast path: tight single-pop loop, everything bound
+                    # to locals.  Callbacks may heappush onto the list.
+                    # Counters accumulate locally and sync on exit (the
+                    # write-back runs even if a callback raises);
+                    # ``self.now`` must update per event because
+                    # callbacks read it.
+                    heap = self._heap
+                    pop = heappop
+                    processed = 0
+                    try:
+                        while heap:
+                            time, _seq, fn, args, handle = pop(heap)
+                            if handle is not None and handle.cancelled:
+                                continue
+                            self.now = time
+                            processed += 1
+                            fn(*args)
+                    finally:
+                        self._events_processed += processed
+                        self._pending -= processed
+                else:
+                    while self.step():
+                        pass
+                return self.now
             processed = 0
             while True:
                 if max_events is not None and processed >= max_events:
@@ -142,4 +241,7 @@ class Simulator:
                 processed += 1
         finally:
             self._running = False
+            sys.setswitchinterval(old_switch)
+            if gc_was_enabled:
+                gc.enable()
         return self.now

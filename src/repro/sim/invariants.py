@@ -103,21 +103,31 @@ class InvariantMonitor:
     def _wrap_transport(self) -> None:
         transport = self.cluster.transport
         orig_send = transport.send
-        orig_deliver = transport._local_deliver
 
         def send(msg: Message) -> None:
             self.sent[(msg.src, msg.dst, msg.kind.value)][0] += 1
             self.sent[(msg.src, msg.dst, msg.kind.value)][1] += msg.payload_bytes
             orig_send(msg)
 
-        def deliver(msg: Message) -> None:
-            if msg.kind is not MsgKind.NOISE:
-                self.delivered[(msg.src, msg.dst, msg.kind.value)][0] += 1
-                self.delivered[(msg.src, msg.dst, msg.kind.value)][1] += msg.payload_bytes
-            orig_deliver(msg)
-
         transport.send = send  # type: ignore[method-assign]
-        transport._local_deliver = deliver  # type: ignore[method-assign]
+
+        # Every delivery — remote RX completion or loopback — terminates
+        # in the per-machine endpoint registered with the transport, so
+        # the delivered ledger wraps those.  RX completions bind their
+        # machine's endpoint at register time, so re-register to rebuild
+        # the completion closures around the counting wrappers (must
+        # precede ``_wrap_channels``, which wraps ``on_complete`` last).
+        for machine in list(transport._deliver):
+            endpoint = transport._deliver[machine]
+
+            def deliver(msg: Message, _endpoint=endpoint) -> None:
+                if msg.kind is not MsgKind.NOISE:
+                    self.delivered[(msg.src, msg.dst, msg.kind.value)][0] += 1
+                    self.delivered[(msg.src, msg.dst, msg.kind.value)][1] += msg.payload_bytes
+                _endpoint(msg)
+
+            transport.register(machine, transport._tx[machine],
+                               transport._rx[machine], deliver)
 
     def _wrap_channels(self) -> None:
         for ch in self.cluster.tx_channels + self.cluster.rx_channels:

@@ -21,11 +21,11 @@ the paper's Figure 12 slice-size sweep.
 
 from __future__ import annotations
 
-import heapq
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
 from enum import Enum
+from heapq import heappop, heappush
 from typing import Callable, Deque, Iterable, List, Optional, Tuple
 
 from .engine import EventHandle, SimulationError, Simulator
@@ -47,13 +47,17 @@ class Role(Enum):
     SERVER = "server"
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """One transfer unit on the simulated network.
 
     ``priority`` follows the paper's convention: the forward-pass index of
     the owning layer, so *lower is more urgent* (layer 0 is consumed first
     in the next iteration).
+
+    Slotted because sweeps create hundreds of thousands of these per
+    simulated run; the per-instance ``__dict__`` was measurable in both
+    time and memory.
     """
 
     kind: MsgKind
@@ -78,7 +82,16 @@ class Message:
 # Queue disciplines
 # ----------------------------------------------------------------------
 class TxQueue:
-    """Interface for a channel's pending-message queue."""
+    """Interface for a channel's pending-message queue.
+
+    Implementations may expose a ``backing`` attribute referencing their
+    underlying container (deque / heap list); :class:`Channel` uses it
+    for C-level emptiness checks instead of calling ``__len__`` through
+    a Python frame on every message.  It is optional — channels fall
+    back to ``len(queue)`` when absent.
+    """
+
+    __slots__ = ()
 
     def push(self, msg: Message) -> None:
         raise NotImplementedError
@@ -99,16 +112,19 @@ class TxQueue:
 
 
 class FifoQueue(TxQueue):
-    """First-come-first-served: the baseline's send order."""
+    """First-come-first-served: the baseline's send order.
+
+    ``push``/``pop`` are rebound per instance to the underlying deque's
+    C methods, removing a Python frame from every channel operation.
+    """
+
+    __slots__ = ("_q", "push", "pop", "backing")
 
     def __init__(self) -> None:
         self._q: Deque[Message] = deque()
-
-    def push(self, msg: Message) -> None:
-        self._q.append(msg)
-
-    def pop(self) -> Message:
-        return self._q.popleft()
+        self.push = self._q.append
+        self.pop = self._q.popleft
+        self.backing = self._q
 
     def __len__(self) -> int:
         return len(self._q)
@@ -121,17 +137,29 @@ class PriorityQueue(TxQueue):
     """Priority order (lower value first); FIFO among equal priorities.
 
     This is the P3Worker/P3Server producer-consumer queue of Section 4.2.
+    Entries are ``(priority, seq, msg)`` tuples: the unique sequence
+    number both breaks ties FIFO and guarantees the heap never has to
+    compare two :class:`Message` objects — ordering stays entirely in
+    C-level int comparisons.
     """
 
+    __slots__ = ("_heap", "_seq", "push", "pop", "backing")
+
     def __init__(self) -> None:
-        self._heap: List[Tuple[int, int, Message]] = []
+        heap: List[Tuple[int, int, Message]] = []
+        self._heap = heap
         self._seq = itertools.count()
+        self.backing = heap
+        nxt = self._seq.__next__
 
-    def push(self, msg: Message) -> None:
-        heapq.heappush(self._heap, (msg.priority, next(self._seq), msg))
+        def push(msg: Message, _push=heappush, _heap=heap, _next=nxt) -> None:
+            _push(_heap, (msg.priority, _next(), msg))
 
-    def pop(self) -> Message:
-        return heapq.heappop(self._heap)[2]
+        def pop(_pop=heappop, _heap=heap) -> Message:
+            return _pop(_heap)[2]
+
+        self.push = push
+        self.pop = pop
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -202,6 +230,7 @@ class Channel:
         overhead_bytes: int = 64,
         per_message_cpu_s: float = 0.0,
         trace: Optional[TraceCallback] = None,
+        cancellable: bool = True,
     ) -> None:
         if rate_bytes_per_s is not None and rate_bytes_per_s <= 0:
             raise ValueError("rate_bytes_per_s must be positive (or None for infinite)")
@@ -231,6 +260,23 @@ class Channel:
         self._seg_cpu_left = 0.0
         self._seg_bytes_left = 0.0
         self._finish_handle: Optional[EventHandle] = None
+        # Hot-path bindings: the engine methods, the queue's C-level
+        # push/pop, and the queue's backing container (emptiness checks
+        # without a __len__ frame; None falls back to len(queue)).
+        self._sched = sim.schedule
+        self._finish_cb = self._finish
+        self._q_push = queue.push
+        self._q_pop = queue.pop
+        self._backing = getattr(queue, "backing", None)
+        # ``cancellable=False`` declares that ``set_rate`` will never be
+        # called mid-transmission (no link faults target this channel),
+        # which unlocks the handle-free fast path: completions are
+        # fire-and-forget ``after`` events carrying their own state, and
+        # no per-segment debt bookkeeping is maintained.  Timestamps are
+        # identical either way — only allocations differ.
+        self.cancellable = cancellable
+        if not cancellable and self._backing is not None:
+            self._bind_static_path()
 
     def occupancy(self, msg: Message) -> float:
         """Seconds this channel is occupied transmitting ``msg`` at the
@@ -243,7 +289,7 @@ class Channel:
         return wire_bytes / self.rate + self.per_message_cpu_s
 
     def enqueue(self, msg: Message) -> None:
-        self.queue.push(msg)
+        self._q_push(msg)
         if not self.busy:
             self._start_next()
 
@@ -252,9 +298,15 @@ class Channel:
 
         ``0.0`` models a fully-down link: the in-flight message keeps
         its remaining bytes and resumes when the rate recovers.
+        Requires a ``cancellable`` channel — static channels have no
+        completion handle to reschedule.
         """
         if rate_bytes_per_s is not None and rate_bytes_per_s < 0:
             raise ValueError("rate_bytes_per_s must be >= 0 (or None for infinite)")
+        if not self.cancellable:
+            raise SimulationError(
+                "set_rate on a static channel; construct with "
+                "cancellable=True for fault-injectable links")
         if self.busy:
             self._sync_progress()
             self.rate = rate_bytes_per_s
@@ -296,38 +348,138 @@ class Channel:
     def _start_next(self) -> None:
         if self.busy:
             raise SimulationError("channel started while busy")
-        if len(self.queue) == 0:
+        backing = self._backing
+        if backing is not None:
+            if not backing:
+                return
+        elif len(self.queue) == 0:
             return
-        msg = self.queue.pop()
+        msg = self._q_pop()
         if self.observer is not None:
             self.observer.on_pop(self, msg)
         self.busy = True
+        now = self.sim.now
+        rate = self.rate
+        cpu = self.per_message_cpu_s
         wire_bytes = msg.payload_bytes + self.overhead_bytes
         self._seg_msg = msg
         self._seg_wire_bytes = wire_bytes
-        self._seg_start = self.sim.now
-        self._seg_last = self.sim.now
-        self._seg_cpu_left = self.per_message_cpu_s
-        self._seg_bytes_left = 0.0 if self.rate is None else float(wire_bytes)
+        self._seg_start = now
+        self._seg_last = now
+        self._seg_cpu_left = cpu
         self.bytes_transferred += wire_bytes
         self.messages_transferred += 1
-        self._schedule_finish()
+        # Fast path for the overwhelmingly common case of a healthy
+        # link: the occupancy is fully determined here, so schedule the
+        # completion directly.  The arithmetic matches `_remaining()`
+        # term for term (cpu + bytes/rate), keeping timestamps
+        # bit-identical; the segment state above stays valid in case a
+        # mid-flight `set_rate` needs to resync.
+        if rate is None:
+            self._seg_bytes_left = 0.0
+            self._finish_handle = self._sched(cpu, self._finish_cb)
+        elif rate > 0:
+            self._seg_bytes_left = float(wire_bytes)
+            self._finish_handle = self._sched(
+                cpu + wire_bytes / rate, self._finish_cb)
+        else:
+            self._seg_bytes_left = float(wire_bytes)
+            self._schedule_finish()
 
     def _finish(self) -> None:
         msg = self._seg_msg
-        assert msg is not None
-        self.busy_time += self.sim.now - self._seg_start
+        now = self.sim.now
+        self.busy_time += now - self._seg_start
         if self.trace is not None:
             self.trace(self.machine, self.direction, self._seg_start,
-                       self.sim.now, self._seg_wire_bytes)
+                       now, self._seg_wire_bytes)
         if self.observer is not None:
-            self.observer.on_sent(self, msg, self._seg_start, self.sim.now)
+            self.observer.on_sent(self, msg, self._seg_start, now)
         self.busy = False
         self._seg_msg = None
         self._finish_handle = None
         self.on_complete(msg)
-        if len(self.queue) > 0:
+        backing = self._backing
+        if backing is not None:
+            if backing:
+                self._start_next()
+        elif len(self.queue) > 0:
             self._start_next()
+
+    # ------------------------------------------------------------------
+    # Static-channel fast path (cancellable=False): the occupancy is
+    # fully determined at start, so the completion is a fire-and-forget
+    # event carrying (msg, start, wire_bytes) as arguments — no
+    # EventHandle, no per-segment debt attributes.  Scheduling order and
+    # timestamps are identical to the generic path.
+    # ------------------------------------------------------------------
+    def _bind_static_path(self) -> None:
+        """Close the transmit loop over this channel's immutable state.
+
+        ``cancellable=False`` guarantees ``set_rate`` never runs, so the
+        rate, overhead, CPU cost, queue, and trace sink are all fixed for
+        the channel's lifetime and can be captured as closure cells —
+        no ``self.`` lookups on the per-message path.  Completion events
+        push directly onto the engine heap with the exact arithmetic of
+        :meth:`Simulator.after` (``now + delay``, same sequence counter),
+        so timestamps and tie-breaks are bit-identical; only the Python
+        frame and EventHandle disappear.  Mutable state (``busy``,
+        transfer counters, ``observer``, ``on_complete``) stays on
+        ``self`` because faults, observability wiring, and the invariant
+        harness rebind or read it dynamically.
+        """
+        sim = self.sim
+        heap = sim._heap
+        seq_next = sim._seq.__next__
+        q_push = self._q_push
+        q_pop = self._q_pop
+        backing = self._backing
+        overhead = self.overhead_bytes
+        cpu = self.per_message_cpu_s
+        rate = self.rate
+        trace = self.trace
+        machine = self.machine
+        direction = self.direction
+        push = heappush
+
+        def finish_fast(msg: Message, start: float, wire_bytes: int) -> None:
+            now = sim.now
+            self.busy_time += now - start
+            if trace is not None:
+                trace(machine, direction, start, now, wire_bytes)
+            obs = self.observer
+            if obs is not None:
+                obs.on_sent(self, msg, start, now)
+            self.busy = False
+            self.on_complete(msg)
+            if backing:
+                start_next()
+
+        def start_next() -> None:
+            if not backing:
+                return
+            msg = q_pop()
+            obs = self.observer
+            if obs is not None:
+                obs.on_pop(self, msg)
+            self.busy = True
+            wire_bytes = msg.payload_bytes + overhead
+            self.bytes_transferred += wire_bytes
+            self.messages_transferred += 1
+            now = sim.now
+            push(heap, (now + (cpu if rate is None
+                               else cpu + wire_bytes / rate),
+                        seq_next(), finish_fast,
+                        (msg, now, wire_bytes), None))
+            sim._pending += 1
+
+        def enqueue(msg: Message) -> None:
+            q_push(msg)
+            if not self.busy:
+                start_next()
+
+        self._start_next = start_next  # type: ignore[method-assign]
+        self.enqueue = enqueue  # type: ignore[method-assign]
 
 
 # ----------------------------------------------------------------------
@@ -354,6 +506,17 @@ class Transport:
         self._tx: dict = {}
         self._rx: dict = {}
         self._deliver: dict = {}
+        # Hot-path bindings: per-machine ``rx.enqueue`` bound methods
+        # (creating a bound method per forwarded message is an
+        # allocation), the engine's fire-and-forget scheduler, and the
+        # raw heap/sequence pair for the inlined forwarding push (the
+        # per-hop event rate makes even the ``after`` frame measurable;
+        # the inline site repeats its exact arithmetic).
+        self._rx_enq: dict = {}
+        self._after = sim.after
+        self._heap = sim._heap
+        self._seq_next = sim._seq.__next__
+        self._local_cb = self._local_deliver
         # Optional shared core fabric: when set, all inter-machine
         # traffic serializes through it (oversubscribed switch model).
         self.fabric = fabric
@@ -370,13 +533,31 @@ class Transport:
         self._tx[machine] = tx
         self._rx[machine] = rx
         self._deliver[machine] = deliver
+        self._rx_enq[machine] = rx.enqueue
         tx.on_complete = self._on_tx_done
-        rx.on_complete = self._on_rx_done
+        # RX completion delivers straight to the endpoint: a closure
+        # over this machine's deliver callback skips the generic
+        # `_on_rx_done` -> `_local_deliver` -> dict-lookup chain on
+        # every received message.
+        sim = self.sim
+
+        def _rx_done(msg: Message, _sim=sim, _deliver=deliver) -> None:
+            msg.deliver_time = _sim.now
+            _deliver(msg)
+
+        rx.on_complete = _rx_done
 
     def send(self, msg: Message) -> None:
-        msg.enqueue_time = self.sim.now
+        sim = self.sim
+        now = sim.now
+        msg.enqueue_time = now
         if msg.src == msg.dst:
-            self.sim.schedule(self.loopback_latency_s, self._local_deliver, msg)
+            # Inlined Simulator.after (same arithmetic, same sequence
+            # counter): loopback delivery fires per local message.
+            heappush(self._heap, (now + self.loopback_latency_s,
+                                  self._seq_next(), self._local_cb,
+                                  (msg,), None))
+            sim._pending += 1
         else:
             self._tx[msg.src].enqueue(msg)
 
@@ -386,10 +567,16 @@ class Transport:
         if self.fabric is not None:
             self.fabric.enqueue(msg)
         else:
-            self.sim.schedule(self.latency_s, self._rx[msg.dst].enqueue, msg)
+            # Inlined Simulator.after: one link-latency hop per
+            # forwarded message, the hottest transport event.
+            sim = self.sim
+            heappush(self._heap, (sim.now + self.latency_s,
+                                  self._seq_next(), self._rx_enq[msg.dst],
+                                  (msg,), None))
+            sim._pending += 1
 
     def _on_fabric_done(self, msg: Message) -> None:
-        self.sim.schedule(self.latency_s, self._rx[msg.dst].enqueue, msg)
+        self._after(self.latency_s, self._rx_enq[msg.dst], msg)
 
     def _on_rx_done(self, msg: Message) -> None:
         self._local_deliver(msg)

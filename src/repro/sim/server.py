@@ -27,6 +27,11 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..core.placement import PlacedKey
     from .cluster import ClusterSim
 
+# Hot-path dispatch constants: module-level bindings skip the
+# ``MsgKind.<member>`` attribute lookup on every delivered message.
+_PUSH = MsgKind.PUSH
+_PULL_REQ = MsgKind.PULL_REQ
+
 
 class SimServerShard:
     """State machine for one PS shard's aggregation/update pipeline."""
@@ -50,6 +55,57 @@ class SimServerShard:
         self._heap: List[Tuple[int, int, int, List[int]]] = []
         self._seq = itertools.count()
         self.busy = False
+        # ------------------------------------------------------------------
+        # Hot-path bindings and precomputation.  Everything below is
+        # derived once from immutable strategy/config state; per-message
+        # handlers then run on local lookups only.
+        # ------------------------------------------------------------------
+        self._after = ctx.sim.after
+        self._transport = ctx.transport
+        self._job_done_cb = self._job_done
+        self._credit = ctx.strategy.credit_slices is not None
+        self._async = ctx.strategy.async_updates
+        self._n_workers = ctx.n_workers
+        # Shared recipients list for full synchronous rounds: dispatch
+        # only ever iterates it, so one list serves every round.
+        self._all_recipients = list(range(ctx.n_workers))
+        self._update_rate = ctx.config.update_bytes_per_s
+        self._per_update = ctx.config.per_update_s
+        ps = ctx.strategy.param_scale
+        self._param_payload = {k: max(1, int(pk.bytes * ps))
+                               for k, pk in self.keys.items()}
+        self._key_priority = {k: pk.priority for k, pk in self.keys.items()}
+        self._key_bytes = {k: pk.bytes for k, pk in self.keys.items()}
+        self._worker_machine = [ctx.worker_machine(w)
+                                for w in range(ctx.n_workers)]
+        # Queue discipline resolved once: `_queue_pop` stays an instance
+        # attribute (the invariant harness wraps it per instance).
+        if self.prioritized:
+            heap = self._heap
+            seq = self._seq
+            prio = self._key_priority
+
+            def _qpush(key: int, recipients: List[int], n_contribs: int,
+                       _push=heapq.heappush, _heap=heap, _prio=prio,
+                       _next=seq.__next__) -> None:
+                _push(_heap, (_prio[key], _next(), key, recipients, n_contribs))
+
+            def _qpop(_pop=heapq.heappop, _heap=heap):
+                return _pop(_heap)[2:]
+
+            self._queue_push = _qpush
+            self._queue_pop = _qpop
+            self._queue_backing: object = heap
+        else:
+            fifo = self._fifo
+
+            def _qpush_fifo(key: int, recipients: List[int],
+                            n_contribs: int, _append=fifo.append) -> None:
+                _append((key, recipients, n_contribs))
+
+            self._queue_push = _qpush_fifo
+            self._queue_pop = fifo.popleft
+            self._queue_backing = fifo
         self.updates_done = 0
         self.update_busy_time = 0.0
         # Stall-fault support (repro.sim.faults): while the pause count
@@ -90,9 +146,10 @@ class SimServerShard:
     # Message handling
     # ------------------------------------------------------------------
     def on_message(self, msg: Message) -> None:
-        if msg.kind is MsgKind.PUSH:
+        kind = msg.kind
+        if kind is _PUSH:
             self._on_push(msg)
-        elif msg.kind is MsgKind.PULL_REQ:
+        elif kind is _PULL_REQ:
             self._on_pull(msg)
         else:  # pragma: no cover - protocol violation
             raise RuntimeError(f"server received unexpected {msg}")
@@ -101,26 +158,29 @@ class SimServerShard:
         key = msg.key
         if key not in self.keys:  # pragma: no cover - placement bug guard
             raise RuntimeError(f"key {key} pushed to wrong shard {self.sid}")
-        if self.ctx.strategy.credit_slices is not None:
+        if self._credit:
             # Credit flow control acknowledges *receipt* (transport
             # level), never aggregation: an update-level ack would
             # deadlock — a worker's credit window can fill with keys its
             # peers have reprioritized behind their own windows.
             self._send_control(MsgKind.ACK, key, msg.sender_worker)
-        if self.ctx.strategy.async_updates:
+        if self._async:
             # ASGD: apply this worker's gradient immediately; only the
             # pushing worker gets fresh parameters back.
             self._enqueue_job(key, [msg.sender_worker], n_contribs=1)
             return
-        self.push_count[key] += 1
-        if self.push_count[key] == 1:
+        counts = self.push_count
+        n = counts[key] + 1
+        if n == 1:
             # First push of a new round invalidates last round's values.
             self.params_available[key] = False
             self.replies_sent[key] = 0
-        if self.push_count[key] == self.ctx.n_workers:
-            self.push_count[key] = 0
-            self._enqueue_job(key, list(range(self.ctx.n_workers)),
-                              n_contribs=self.ctx.n_workers)
+        if n == self._n_workers:
+            counts[key] = 0
+            self._enqueue_job(key, self._all_recipients,
+                              n_contribs=self._n_workers)
+        else:
+            counts[key] = n
 
     def _on_pull(self, msg: Message) -> None:
         policy = self.ctx.strategy.pull_policy
@@ -141,33 +201,19 @@ class SimServerShard:
     # ------------------------------------------------------------------
     def _enqueue_job(self, key: int, recipients: List[int], n_contribs: int) -> None:
         self._queue_push(key, recipients, n_contribs)
-        if not self.busy and not self.paused:
+        if not self.busy and not self._pause_count:
             self._next_job()
 
-    def _queue_push(self, key: int, recipients: List[int], n_contribs: int) -> None:
-        if self.prioritized:
-            heapq.heappush(self._heap, (self.keys[key].priority, next(self._seq),
-                                        key, recipients, n_contribs))
-        else:
-            self._fifo.append((key, recipients, n_contribs))
-
-    def _queue_pop(self) -> Tuple[int, List[int], int]:
-        if self.prioritized:
-            _, _, key, recipients, n_contribs = heapq.heappop(self._heap)
-            return key, recipients, n_contribs
-        return self._fifo.popleft()
-
     def _queue_len(self) -> int:
-        return len(self._heap) if self.prioritized else len(self._fifo)
+        return len(self._queue_backing)
 
     def _next_job(self) -> None:
         key, recipients, n_contribs = self._queue_pop()
         self.busy = True
-        pk = self.keys[key]
-        dur = (pk.bytes * n_contribs / self.ctx.config.update_bytes_per_s
-               + self.ctx.config.per_update_s)
+        dur = (self._key_bytes[key] * n_contribs / self._update_rate
+               + self._per_update)
         self.update_busy_time += dur
-        self.ctx.sim.schedule(dur, self._job_done, key, recipients, n_contribs)
+        self._after(dur, self._job_done_cb, key, recipients, n_contribs)
 
     def _job_done(self, key: int, recipients: List[int],
                   n_contribs: int) -> None:
@@ -193,7 +239,7 @@ class SimServerShard:
                     priority=pk.priority, layer=pk.layer_index,
                     detail=f"contribs={n_contribs}")
         self._dispatch(key, recipients)
-        if self._queue_len() > 0 and not self.paused:
+        if self._queue_backing and not self._pause_count:
             self._next_job()
 
     # ------------------------------------------------------------------
@@ -227,18 +273,16 @@ class SimServerShard:
             self.replies_sent[key] = 0
 
     def _send_param(self, key: int, worker: int) -> None:
-        pk = self.keys[key]
-        payload = max(1, int(pk.bytes * self.ctx.strategy.param_scale))
-        self.ctx.transport.send(Message(
-            kind=MsgKind.PARAM, key=key, payload_bytes=payload,
-            priority=pk.priority, src=self.machine,
-            dst=self.ctx.worker_machine(worker), dst_role=Role.WORKER,
+        # Positional Message construction: the dataclass __init__ binds
+        # positional args measurably faster than keywords on this path.
+        self._transport.send(Message(
+            MsgKind.PARAM, key, self._param_payload[key],
+            self._key_priority[key], self.machine,
+            self._worker_machine[worker], Role.WORKER,
         ))
 
     def _send_control(self, kind: MsgKind, key: int, worker: int) -> None:
-        pk = self.keys[key]
-        self.ctx.transport.send(Message(
-            kind=kind, key=key, payload_bytes=0,
-            priority=pk.priority, src=self.machine,
-            dst=self.ctx.worker_machine(worker), dst_role=Role.WORKER,
+        self._transport.send(Message(
+            kind, key, 0, self._key_priority[key], self.machine,
+            self._worker_machine[worker], Role.WORKER,
         ))

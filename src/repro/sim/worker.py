@@ -28,6 +28,12 @@ from .trace import IterationRecord
 if TYPE_CHECKING:  # pragma: no cover
     from .cluster import ClusterSim
 
+# Hot-path dispatch constants: module-level bindings skip the
+# ``MsgKind.<member>`` attribute lookup on every delivered message.
+_PARAM = MsgKind.PARAM
+_NOTIFY = MsgKind.NOTIFY
+_ACK = MsgKind.ACK
+
 
 class SimWorker:
     """State machine for one worker's compute/communication timeline."""
@@ -38,11 +44,24 @@ class SimWorker:
         self.machine = worker_id
         model = ctx.model
         scale = ctx.config.compute_scale
-        self.fwd_times = model.forward_times(scale)
-        self.bwd_times = model.backward_times(scale)
+        # Plain lists of floats, not numpy arrays: these are indexed one
+        # element at a time per compute segment / PARAM / NOTIFY event,
+        # where ndarray scalar access costs several times a list index.
+        # float() of a float64 is exact, so durations are bit-identical.
+        self.fwd_times = [float(t) for t in model.forward_times(scale)]
+        self.bwd_times = [float(t) for t in model.backward_times(scale)]
         self.n_layers = model.n_layers
         self.keys_by_layer = ctx.keys_by_layer
-        self.keys_per_layer = np.array([len(k) for k in self.keys_by_layer])
+        self.keys_per_layer = [len(k) for k in self.keys_by_layer]
+        # Hot-path bindings and per-key precomputation (immutable
+        # strategy/placement state resolved once).
+        self._after = ctx.sim.after
+        self._transport = ctx.transport
+        self._fwd_cb = self._forward_layer_done
+        self._bwd_cb = self._backward_layer_done
+        self._push_payload = ctx.push_payload
+        self._server_machine = ctx.key_server_machine
+        self._key_layer = ctx.key_layer
 
         self.iteration = 0
         self.target_iterations = 0
@@ -50,11 +69,11 @@ class SimWorker:
         # Keys received for the in-flight sync round of each layer.  The
         # first forward pass consumes the initial parameter broadcast,
         # which we treat as already complete.
-        self.params_arrived = self.keys_per_layer.copy()
+        self.params_arrived = list(self.keys_per_layer)
         # MXNet only issues a layer's pull requests once notifications
         # for ALL of its keys arrived (Section 4.2 — the behaviour P3
         # removed); track notify counts per layer.
-        self.notifies_arrived = np.zeros(self.n_layers, dtype=int)
+        self.notifies_arrived = [0] * self.n_layers
         # ByteScheduler-style credit flow control: at most
         # ``credit_slices`` pushed-but-unacknowledged keys in flight.
         self.credit = ctx.strategy.credit_slices
@@ -126,7 +145,7 @@ class SimWorker:
                 ts=now, iteration=self.iteration, layer=i, queue_s=waited)
         self.waiting_forward = False
         dur = self.fwd_times[i] * self._jitter_mult * self.fault_slowdown
-        self.ctx.sim.schedule(dur, self._forward_layer_done)
+        self._after(dur, self._fwd_cb)
 
     def _forward_layer_done(self) -> None:
         self.fwd_layer += 1
@@ -143,7 +162,7 @@ class SimWorker:
         self._record.backward_start = self.ctx.sim.now
         self.bwd_layer = self.n_layers - 1
         dur = self.bwd_times[self.bwd_layer] * self._jitter_mult * self.fault_slowdown
-        self.ctx.sim.schedule(dur, self._backward_layer_done)
+        self._after(dur, self._bwd_cb)
 
     def _backward_layer_done(self) -> None:
         i = self.bwd_layer
@@ -154,7 +173,7 @@ class SimWorker:
         self.bwd_layer -= 1
         if self.bwd_layer >= 0:
             dur = self.bwd_times[self.bwd_layer] * self._jitter_mult * self.fault_slowdown
-            self.ctx.sim.schedule(dur, self._backward_layer_done)
+            self._after(dur, self._bwd_cb)
         else:
             self._finish_backward()
 
@@ -191,35 +210,33 @@ class SimWorker:
             self._send_push(pk)
 
     def _send_push(self, pk) -> None:
-        cfg = self.ctx.strategy
-        payload = max(1, int(pk.bytes * cfg.gradient_scale))
+        key = pk.key
+        payload = self._push_payload[key]
         if self._obs is not None:
             self._enqueued_counter.inc()
             self._obs.recorder.emit(
                 EventKind.SLICE_ENQUEUED, node=f"worker{self.wid}",
-                ts=self.ctx.sim.now, key=pk.key, iteration=self.iteration,
+                ts=self.ctx.sim.now, key=key, iteration=self.iteration,
                 priority=pk.priority, layer=pk.layer_index, nbytes=payload)
-        self.ctx.transport.send(Message(
-            kind=MsgKind.PUSH, key=pk.key, payload_bytes=payload,
-            priority=pk.priority, src=self.machine,
-            dst=self.ctx.server_machine(pk.server), dst_role=Role.SERVER,
-            sender_worker=self.wid,
+        self._transport.send(Message(
+            MsgKind.PUSH, key, payload, pk.priority, self.machine,
+            self._server_machine[key], Role.SERVER, self.wid,
         ))
 
     def _send_pull(self, pk) -> None:
-        self.ctx.transport.send(Message(
-            kind=MsgKind.PULL_REQ, key=pk.key, payload_bytes=0,
-            priority=pk.priority, src=self.machine,
-            dst=self.ctx.server_machine(pk.server), dst_role=Role.SERVER,
-            sender_worker=self.wid,
+        key = pk.key
+        self._transport.send(Message(
+            MsgKind.PULL_REQ, key, 0, pk.priority, self.machine,
+            self._server_machine[key], Role.SERVER, self.wid,
         ))
 
     def on_message(self, msg: Message) -> None:
-        if msg.kind is MsgKind.PARAM:
+        kind = msg.kind
+        if kind is _PARAM:
             self._on_param(msg)
-        elif msg.kind is MsgKind.NOTIFY:
+        elif kind is _NOTIFY:
             self._on_notify(msg)
-        elif msg.kind is MsgKind.ACK:
+        elif kind is _ACK:
             # Credit flow control: the server received our push.
             self._outstanding -= 1
             self._drain_credit()
@@ -229,20 +246,25 @@ class SimWorker:
     def _on_notify(self, msg: Message) -> None:
         """Baseline KVStore: pull a layer only once every one of its
         keys has been notified (the coupling P3's broadcast removes)."""
-        layer = self.ctx.keys[msg.key].layer_index
-        self.notifies_arrived[layer] += 1
-        if self.notifies_arrived[layer] >= self.keys_per_layer[layer]:
-            self.notifies_arrived[layer] = 0
+        layer = self._key_layer[msg.key]
+        arrived = self.notifies_arrived
+        n = arrived[layer] + 1
+        if n >= self.keys_per_layer[layer]:
+            arrived[layer] = 0
             for pk in self.keys_by_layer[layer]:
                 self._send_pull(pk)
+        else:
+            arrived[layer] = n
 
     def _on_param(self, msg: Message) -> None:
-        layer = self.ctx.keys[msg.key].layer_index
-        self.params_arrived[layer] += 1
+        layer = self._key_layer[msg.key]
+        arrived = self.params_arrived
+        n = arrived[layer] + 1
+        arrived[layer] = n
         if (
             self.waiting_forward
             and not self.done
             and self.fwd_layer == layer
-            and self.params_arrived[layer] >= self.keys_per_layer[layer]
+            and n >= self.keys_per_layer[layer]
         ):
             self._try_forward_layer()

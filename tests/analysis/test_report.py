@@ -35,15 +35,17 @@ def stubbed(monkeypatch):
                         lambda name: {"n_layers": 10, "total_mparams": 1.0,
                                       "max_share": 0.5, "top_decile_share": 0.6})
     monkeypatch.setattr(report_mod, "fig7_bandwidth_sweep",
-                        lambda name, iterations: _fig("fig7", {
-                            "max_p3_speedup": 1.3, "max_p3_speedup_at_gbps": 4.0}))
+                        lambda name, iterations, jobs=1, cache=None: _fig(
+                            "fig7", {"max_p3_speedup": 1.3,
+                                     "max_p3_speedup_at_gbps": 4.0}))
     monkeypatch.setattr(report_mod, "burstiness_comparison",
                         lambda name: {"baseline": {"idle_frac": 0.4,
                                                    "iteration_time_s": 0.5},
                                       "p3": {"idle_frac": 0.1,
                                              "iteration_time_s": 0.4}})
     monkeypatch.setattr(report_mod, "fig10_scalability",
-                        lambda name, cluster_sizes, iterations: _fig("fig10", {
+                        lambda name, cluster_sizes, iterations, jobs=1,
+                        cache=None: _fig("fig10", {
                             "max_p3_speedup": 1.4, "max_p3_speedup_at_size": 8,
                             "scaling_efficiency_p3": 0.95}))
     monkeypatch.setattr(report_mod, "fig11_p3_vs_dgc",
@@ -51,7 +53,8 @@ def stubbed(monkeypatch):
                             "p3_final_mean": 0.93, "dgc_final_mean": 0.91,
                             "mean_accuracy_drop": 0.02}))
     monkeypatch.setattr(report_mod, "fig12_slice_size_sweep",
-                        lambda name, slice_sizes, iterations: _fig("fig12", {
+                        lambda name, slice_sizes, iterations, jobs=1,
+                        cache=None: _fig("fig12", {
                             "best_slice_size": 50000}))
     monkeypatch.setattr(report_mod, "fig13_tensorflow_utilization",
                         lambda: _fig("fig13", {"outbound_peak_gbps": 4.0,

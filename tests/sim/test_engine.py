@@ -106,6 +106,38 @@ def test_run_max_events():
     assert sim.pending == 7
 
 
+def test_pending_counter_tracks_cancellations():
+    sim = Simulator()
+    handles = [sim.schedule(float(i + 1), lambda: None) for i in range(5)]
+    assert sim.pending == 5
+    handles[0].cancel()
+    handles[3].cancel()
+    assert sim.pending == 3
+    handles[3].cancel()  # idempotent: must not double-decrement
+    assert sim.pending == 3
+    sim.run()
+    assert sim.pending == 0
+    assert sim.events_processed == 3
+
+
+def test_after_fires_without_handle():
+    sim = Simulator()
+    fired = []
+    assert sim.after(1.0, fired.append, "x") is None
+    sim.run()
+    assert fired == ["x"] and sim.now == 1.0
+
+
+def test_after_interleaves_with_schedule_in_seq_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(1.0, order.append, "a")
+    sim.after(1.0, order.append, "b")
+    sim.schedule(1.0, order.append, "c")
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
 def test_peek_time_skips_cancelled():
     sim = Simulator()
     h = sim.schedule(1.0, lambda: None)

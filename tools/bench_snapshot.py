@@ -1,11 +1,18 @@
 """Emit a versioned performance snapshot: ``BENCH_<n>.json``.
 
-Tracks the repo's perf trajectory across PRs with two kinds of numbers:
+Tracks the repo's perf trajectory across PRs with four kinds of numbers:
 
+* **Engine microbench** — raw events/second through the discrete-event
+  loop on a synthetic schedule/cancel/fire mix, isolating the hot loop
+  from model/protocol behaviour.
 * **Simulated training throughput** per strategy (baseline / slicing /
   p3) for the paper's heavyweight models at two bandwidths — the
   headline quantity every optimization PR should move (or at least not
-  regress).
+  regress) — with the wall time each simulation took.
+* **Sweep wall times** — end-to-end wall clock of the fig7 vgg19
+  bandwidth sweep (the acceptance workload for the simulator fast
+  path): serial cold, ``--jobs 4`` cold, and warm-cache, against the
+  committed pre-optimization reference.
 * **Live-transport goodput microbench** — bytes/s actually achieved by
   the priority sender through its token-bucket shaper over a localhost
   socket pair, plus the shaping error vs the configured rate.  This
@@ -17,9 +24,12 @@ Usage::
     python tools/bench_snapshot.py                  # writes BENCH_<n>.json
     python tools/bench_snapshot.py --quick          # tiny models, CI-sized
     python tools/bench_snapshot.py --out-dir /tmp   # elsewhere
+    python tools/bench_snapshot.py --check          # warn vs latest snapshot
 
 ``<n>`` auto-increments over existing snapshots so history accumulates
-in-repo; compare two snapshots with a plain diff.
+in-repo; compare two snapshots with a plain diff.  ``--check`` measures
+a CI-sized subset and *warns* (never fails) when wall times regress
+more than 25% against the most recent committed snapshot.
 """
 
 from __future__ import annotations
@@ -28,18 +38,118 @@ import argparse
 import json
 import pathlib
 import platform
+import shutil
 import socket as socket_mod
 import sys
+import tempfile
 import time
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 SIM_MODELS = ("vgg19", "resnet50", "sockeye")
 SIM_BANDWIDTHS = (4.0, 16.0)
 SIM_STRATEGIES = ("baseline", "slicing", "p3")
+
+#: Wall seconds of ``fig7_bandwidth_sweep("vgg19", iterations=5)`` on the
+#: pre-optimization engine (commit 561f99e), measured on the same host
+#: that produced BENCH_2.json.  The sweep-wall-time section reports its
+#: speedups against this fixed reference.
+PRE_CHANGE_FIG7_VGG19_WALL_S = 21.829
+PRE_CHANGE_COMMIT = "561f99e"
+
+#: --check warns when a wall time exceeds the reference by this factor
+#: plus the absolute slack — the slack keeps sub-second rows from
+#: warning on scheduler jitter alone.
+CHECK_TOLERANCE = 1.25
+CHECK_ABS_SLACK_S = 0.25
+
+
+def engine_microbench(n_events: int = 300_000) -> Dict:
+    """Events/second through the bare event loop.
+
+    A self-feeding chain: every event schedules the next with the
+    handle-free ``after`` fast path, and every tenth also exercises the
+    handled ``schedule`` + ``cancel`` path (whose lazily-skipped heap
+    entries are the loop's other branch).  No messages, no channels —
+    this isolates the engine's per-event constant.
+    """
+    from repro.sim.engine import Simulator
+
+    sim = Simulator()
+    remaining = [n_events]
+
+    def noop() -> None:  # pragma: no cover - target of cancelled events
+        pass
+
+    def tick() -> None:
+        r = remaining[0]
+        if r <= 0:
+            return
+        remaining[0] = r - 1
+        if r % 10 == 0:
+            sim.schedule(2e-6, noop).cancel()
+        sim.after(1e-6, tick)
+
+    sim.after(0.0, tick)
+    t0 = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - t0
+    processed = sim.events_processed
+    return {
+        "synthetic_events": n_events,
+        "events_processed": processed,
+        "wall_s": round(wall, 4),
+        "events_per_s": round(processed / wall, 1),
+    }
+
+
+def sweep_wall_times(jobs: int = 4, iterations: int = 5) -> Dict:
+    """Wall clock of the fig7 vgg19 sweep: serial cold, jobs cold, warm.
+
+    The three figures are byte-compared so the numbers can never come
+    from divergent computations, and the requested vs effective job
+    count is recorded — on a box with fewer CPUs the runner clamps, and
+    the honest number is the clamped one.
+    """
+    from repro.analysis import SimCache, fig7_bandwidth_sweep, save_figure
+    from repro.analysis.runner import effective_jobs
+
+    def wall(**kwargs) -> tuple:
+        t0 = time.perf_counter()
+        fig = fig7_bandwidth_sweep("vgg19", iterations=iterations, **kwargs)
+        return time.perf_counter() - t0, fig
+
+    serial_s, fig_serial = wall()
+    cache_dir = tempfile.mkdtemp(prefix="bench-cache-")
+    try:
+        cold_s, fig_cold = wall(jobs=jobs, cache=SimCache(cache_dir))
+        warm_s, fig_warm = wall(jobs=jobs, cache=SimCache(cache_dir))
+        out = pathlib.Path(cache_dir)
+        paths = [save_figure(f, out / f"{i}.json")
+                 for i, f in enumerate((fig_serial, fig_cold, fig_warm))]
+        blobs = [p.read_bytes() for p in paths]
+        identical = blobs[0] == blobs[1] == blobs[2]
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    ref = PRE_CHANGE_FIG7_VGG19_WALL_S
+    return {
+        "sweep": f"fig7_bandwidth_sweep('vgg19', iterations={iterations}) "
+                 "— 7 bandwidths x 3 strategies",
+        "pre_change_reference": {"commit": PRE_CHANGE_COMMIT,
+                                 "wall_s": ref},
+        "serial_cold_wall_s": round(serial_s, 3),
+        "jobs_requested": jobs,
+        "jobs_effective": effective_jobs(jobs),
+        "jobs_cold_wall_s": round(cold_s, 3),
+        "warm_cache_wall_s": round(warm_s, 3),
+        "speedup_serial_cold_vs_reference": round(ref / serial_s, 2),
+        "speedup_jobs_cold_vs_reference": round(ref / cold_s, 2),
+        "speedup_warm_vs_reference": round(ref / warm_s, 2),
+        "figures_byte_identical": identical,
+    }
 
 
 def sim_throughputs(models: List[str], bandwidths: List[float],
@@ -117,20 +227,83 @@ def next_snapshot_path(out_dir: pathlib.Path) -> pathlib.Path:
     return out_dir / f"BENCH_{max(taken, default=0) + 1}.json"
 
 
+def latest_snapshot_path(out_dir: pathlib.Path) -> Optional[pathlib.Path]:
+    best, best_n = None, -1
+    for p in out_dir.glob("BENCH_*.json"):
+        stem = p.stem.split("_", 1)[-1]
+        if stem.isdigit() and int(stem) > best_n:
+            best, best_n = p, int(stem)
+    return best
+
+
 def build_snapshot(models: List[str], bandwidths: List[float],
-                   iterations: int) -> Dict:
+                   iterations: int, include_sweeps: bool = True,
+                   sweep_jobs: int = 4) -> Dict:
     import numpy
 
-    return {
+    snapshot = {
         "schema": SCHEMA_VERSION,
         "environment": {
             "python": platform.python_version(),
             "numpy": numpy.__version__,
             "platform": platform.platform(),
         },
+        "engine_microbench": engine_microbench(),
         "sim_throughput": sim_throughputs(models, bandwidths, iterations),
-        "live_microbench": live_goodput_microbench(),
     }
+    if include_sweeps:
+        snapshot["sweep_wall_times"] = sweep_wall_times(jobs=sweep_jobs)
+    snapshot["live_microbench"] = live_goodput_microbench()
+    return snapshot
+
+
+def check_regressions(out_dir: pathlib.Path) -> int:
+    """Compare a CI-sized measurement against the latest snapshot.
+
+    Prints one WARNING line per wall-time metric that regressed more
+    than ``CHECK_TOLERANCE``.  Always returns 0: perf smoke is advisory
+    (shared CI runners are too noisy to gate merges on), the warnings
+    exist so a human looks before the trend compounds.
+    """
+    ref_path = latest_snapshot_path(out_dir)
+    if ref_path is None:
+        print(f"no BENCH_*.json under {out_dir}; nothing to check against")
+        return 0
+    ref = json.loads(ref_path.read_text())
+    warnings = 0
+
+    engine = engine_microbench()
+    print(f"engine: {engine['events_per_s']:,.0f} events/s "
+          f"({engine['events_processed']} events in {engine['wall_s']}s)")
+    ref_engine = ref.get("engine_microbench")
+    if ref_engine:
+        floor = ref_engine["events_per_s"] / CHECK_TOLERANCE
+        if engine["events_per_s"] < floor:
+            warnings += 1
+            print(f"WARNING: engine events/s {engine['events_per_s']:,.0f} "
+                  f"is >{(CHECK_TOLERANCE - 1) * 100:.0f}% below "
+                  f"{ref_path.name}'s {ref_engine['events_per_s']:,.0f}")
+
+    rows = sim_throughputs(["resnet50"], [4.0], iterations=4)
+    ref_rows = {(r["model"], r["bandwidth_gbps"], r["strategy"]): r
+                for r in ref.get("sim_throughput", [])}
+    for row in rows:
+        key = (row["model"], row["bandwidth_gbps"], row["strategy"])
+        ref_row = ref_rows.get(key)
+        print(f"sim {key[0]}@{key[1]:g}Gbps/{key[2]}: "
+              f"{row['bench_wall_s']}s wall")
+        if ref_row and row["bench_wall_s"] > \
+                ref_row["bench_wall_s"] * CHECK_TOLERANCE + CHECK_ABS_SLACK_S:
+            warnings += 1
+            print(f"WARNING: {key} wall {row['bench_wall_s']}s is "
+                  f">{(CHECK_TOLERANCE - 1) * 100:.0f}% above "
+                  f"{ref_path.name}'s {ref_row['bench_wall_s']}s")
+    if warnings:
+        print(f"{warnings} perf warning(s) vs {ref_path.name} "
+              "(advisory only)")
+    else:
+        print(f"no perf regressions vs {ref_path.name}")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -141,20 +314,41 @@ def main(argv=None) -> int:
     parser.add_argument("--bandwidths", nargs="+", type=float,
                         default=list(SIM_BANDWIDTHS))
     parser.add_argument("--iterations", type=int, default=4)
+    parser.add_argument("--sweep-jobs", type=int, default=4,
+                        help="--jobs value for the sweep wall-time section")
     parser.add_argument("--quick", action="store_true",
-                        help="resnet50-only, one bandwidth (CI-sized)")
+                        help="resnet50-only, one bandwidth, no sweep "
+                             "section (CI-sized)")
+    parser.add_argument("--check", action="store_true",
+                        help="measure a CI-sized subset and warn (exit 0 "
+                             "regardless) on >25%% regressions vs the "
+                             "latest committed snapshot")
     args = parser.parse_args(argv)
+    if args.check:
+        return check_regressions(pathlib.Path(args.out_dir))
     models = ["resnet50"] if args.quick else args.models
     bandwidths = [args.bandwidths[0]] if args.quick else args.bandwidths
 
-    snapshot = build_snapshot(models, bandwidths, args.iterations)
+    snapshot = build_snapshot(models, bandwidths, args.iterations,
+                              include_sweeps=not args.quick,
+                              sweep_jobs=args.sweep_jobs)
     out_dir = pathlib.Path(args.out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     path = next_snapshot_path(out_dir)
     path.write_text(json.dumps(snapshot, indent=2) + "\n")
     n_rows = len(snapshot["sim_throughput"])
-    print(f"wrote {path} ({n_rows} sim rows, live goodput "
+    print(f"wrote {path} ({n_rows} sim rows, engine "
+          f"{snapshot['engine_microbench']['events_per_s']:,.0f} events/s, "
+          f"live goodput "
           f"{snapshot['live_microbench']['goodput_bytes_per_s']:.0f} B/s)")
+    sweeps = snapshot.get("sweep_wall_times")
+    if sweeps:
+        print(f"fig7 vgg19 sweep: serial {sweeps['serial_cold_wall_s']}s "
+              f"({sweeps['speedup_serial_cold_vs_reference']}x vs "
+              f"{PRE_CHANGE_COMMIT}), jobs={sweeps['jobs_effective']} cold "
+              f"{sweeps['jobs_cold_wall_s']}s, warm cache "
+              f"{sweeps['warm_cache_wall_s']}s "
+              f"({sweeps['speedup_warm_vs_reference']}x)")
     return 0
 
 
