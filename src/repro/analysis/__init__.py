@@ -35,7 +35,9 @@ from .bounds import (
 )
 from .calibration import (
     CalibrationReport,
+    FaultCalibrationReport,
     calibrate,
+    calibrate_faults,
     live_model_spec,
     predict_sim,
     run_inprocess,
@@ -78,9 +80,11 @@ __all__ = [
     "ScheduleOutcome",
     "Series",
     "CalibrationReport",
+    "FaultCalibrationReport",
     "ascii_plot",
     "burstiness_comparison",
     "calibrate",
+    "calibrate_faults",
     "live_model_spec",
     "predict_sim",
     "run_inprocess",

@@ -42,6 +42,7 @@ from ..live.wire import WIRE_BYTES_PER_PARAM
 from ..models.base import BYTES_PER_PARAM, LayerSpec, ModelSpec
 from ..obs import ObsSession, sim_session
 from ..sim.cluster import ClusterConfig, simulate
+from ..sim.faults import FaultPlan
 from ..strategies import base as strategies
 
 #: Documented default tolerance for sign agreement: live and simulated
@@ -251,6 +252,119 @@ def _identical(a: Dict[str, np.ndarray], b: Dict[str, np.ndarray]) -> bool:
     return all(np.array_equal(np.asarray(a[name], dtype=np.float64),
                               np.asarray(b[name], dtype=np.float64))
                for name in a)
+
+
+@dataclass
+class FaultCalibrationReport:
+    """Calibration under a shared :class:`FaultPlan` (tentpole claim 3).
+
+    The same plan runs through both substrates — literally on the live
+    stack (:mod:`repro.live.chaos` + retransmission), as its goodput
+    interpretation in the simulator — and the report checks that both
+    agree on the *sign* of the degradation, and that recovery preserved
+    the live stack's bit-identity guarantee.
+    """
+
+    strategy: str
+    plan: FaultPlan
+    live_clean_s: float
+    live_faulty_s: float
+    sim_clean_s: float
+    sim_faulty_s: float
+    bit_identical_under_faults: bool
+    max_abs_diff: float
+    tolerance: float = DEFAULT_TOLERANCE
+    #: Per-worker recovery counters from the faulty live run
+    #: (retransmits, CRC failures, dropped/duplicated frames, ...).
+    live_transport_stats: Optional[Dict[int, Dict[str, int]]] = None
+
+    @property
+    def live_degradation(self) -> float:
+        """Faulty-over-clean mean iteration time, live (>1 = slower)."""
+        return self.live_faulty_s / self.live_clean_s
+
+    @property
+    def sim_degradation(self) -> float:
+        return self.sim_faulty_s / self.sim_clean_s
+
+    def agrees(self, tolerance: Optional[float] = None) -> bool:
+        """Both substrates degrade (or both shrug) under the plan."""
+        tol = self.tolerance if tolerance is None else tolerance
+        live, sim = self.live_degradation, self.sim_degradation
+        same_side = (live - 1.0) * (sim - 1.0) > 0
+        both_flat = abs(live - 1.0) <= tol and abs(sim - 1.0) <= tol
+        return bool(same_side or both_flat)
+
+    def summary(self) -> str:
+        return "\n".join([
+            f"fault calibration ({self.strategy}, "
+            f"{len(self.plan.faults)} fault(s), seed={self.plan.seed})",
+            f"  {'':14s}{'clean':>12s}{'faulty':>12s}{'degradation':>13s}",
+            (f"  {'live (s)':14s}{self.live_clean_s:12.4f}"
+             f"{self.live_faulty_s:12.4f}{self.live_degradation:12.2f}x"),
+            (f"  {'sim  (s)':14s}{self.sim_clean_s:12.4f}"
+             f"{self.sim_faulty_s:12.4f}{self.sim_degradation:12.2f}x"),
+            (f"  bit-identical under faults: "
+             f"{'YES' if self.bit_identical_under_faults else 'NO'} "
+             f"(max |diff| = {self.max_abs_diff:.2e})"),
+            (f"  degradation sign agreement (tolerance "
+             f"±{self.tolerance:.2f}): {'YES' if self.agrees() else 'NO'}"),
+        ])
+
+
+def _simulate_live_equivalent(cfg: LiveClusterConfig, strategy: str,
+                              plan: Optional[FaultPlan]) -> float:
+    """Mean simulated iteration time for the live config's twin cluster."""
+    spec = live_model_spec(cfg)
+    sim_cfg = ClusterConfig(
+        n_workers=cfg.n_workers,
+        n_servers=cfg.n_servers,
+        bandwidth_gbps=sim_bandwidth_gbps(cfg),
+        colocate_servers=False,
+        seed=cfg.store_seed,
+        fault_plan=plan,
+    )
+    strat = (strategies.baseline() if strategy == "baseline"
+             else strategies.p3(cfg.slice_params))
+    iters = max(cfg.iterations, cfg.warmup + 2)
+    result = simulate(spec, strat, sim_cfg, iterations=iters,
+                      warmup=cfg.warmup)
+    return result.mean_iteration_time
+
+
+def calibrate_faults(cfg: LiveClusterConfig,
+                     plan: Optional[FaultPlan] = None,
+                     strategy: str = "p3",
+                     tolerance: float = DEFAULT_TOLERANCE,
+                     ) -> FaultCalibrationReport:
+    """Run one strategy clean and under ``plan``, on both substrates.
+
+    ``plan`` defaults to ``cfg.fault_plan``; the clean runs strip it.
+    Live chaos and its sim goodput interpretation share the plan's
+    timing vocabulary because :func:`predict_sim`'s mapping equates the
+    two substrates' time axes, so no rescaling is needed.
+    """
+    plan = plan if plan is not None else cfg.fault_plan
+    if plan is None or not plan:
+        raise ValueError("calibrate_faults needs a non-empty FaultPlan")
+    clean_cfg = dc_replace(cfg, fault_plan=None)
+    faulty_cfg = dc_replace(cfg, fault_plan=plan)
+
+    live_clean = run_live(clean_cfg, strategy=strategy)
+    live_faulty = run_live(faulty_cfg, strategy=strategy)
+    ref = run_inprocess(cfg, strategy)
+    return FaultCalibrationReport(
+        strategy=strategy,
+        plan=plan,
+        live_clean_s=live_clean.mean_iteration_time,
+        live_faulty_s=live_faulty.mean_iteration_time,
+        sim_clean_s=_simulate_live_equivalent(clean_cfg, strategy, None),
+        sim_faulty_s=_simulate_live_equivalent(faulty_cfg, strategy, plan),
+        bit_identical_under_faults=_identical(live_faulty.final_params, ref),
+        max_abs_diff=_max_diff(live_faulty.final_params, ref),
+        tolerance=tolerance,
+        live_transport_stats=live_faulty.transport_stats,
+    )
 
 
 def calibrate(cfg: LiveClusterConfig,

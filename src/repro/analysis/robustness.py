@@ -37,6 +37,7 @@ from typing import Dict, Optional, Sequence
 
 from ..models import get_model
 from ..sim import (
+    ChaosFault,
     ClusterConfig,
     FaultPlan,
     LinkFault,
@@ -70,16 +71,21 @@ def fault_plan_for(
       rate (floored at 5%) for the rest of the run, a sustained
       degradation that pulls the cluster into bandwidth scarcity;
     * **stall** — PS shard 0 pauses for ``0.4 * severity`` iterations
-      out of every 1.3.
+      out of every 1.3;
+    * **chaos** — every link loses ``0.2 * severity`` of its frames and
+      duplicates ``0.1 * severity`` more, modelled in the simulator as
+      the goodput left after retransmission (the live stack injects the
+      same spec literally, see :mod:`repro.live.chaos`).
 
     Schedule times are expressed in units of ``iteration_time`` (use
     the fault-free baseline's) so one dimensionless recipe fits any
     model.  Severity 0 returns an empty plan.
     """
-    unknown = set(kinds) - {"straggler", "link", "stall"}
+    known = {"straggler", "link", "stall", "chaos"}
+    unknown = set(kinds) - known
     if unknown:
         raise ValueError(f"unknown fault kind(s): {sorted(unknown)}; "
-                         f"choose from straggler, link, stall")
+                         f"choose from {', '.join(sorted(known))}")
     if not (0.0 <= severity <= 1.0):
         raise ValueError("severity must be in [0, 1]")
     if iteration_time <= 0:
@@ -98,6 +104,10 @@ def fault_plan_for(
         faults.append(ServerStallFault(
             server=0, start=0.7, duration=max(1e-3, 0.4 * severity),
             period=1.3))
+    if "chaos" in kinds:
+        faults.append(ChaosFault(
+            machine=-1, drop_rate=0.2 * severity,
+            dup_rate=0.1 * severity, start=0.25))
     plan = FaultPlan(tuple(faults), seed=seed)
     return plan.scaled(iteration_time)
 

@@ -40,7 +40,13 @@ from typing import Dict, List, Optional, Sequence
 
 from ..models import get_model
 from ..sim import ClusterConfig, simulate
-from ..sim.faults import FaultPlan, LinkFault, ServerStallFault, StragglerFault
+from ..sim.faults import (
+    ChaosFault,
+    FaultPlan,
+    LinkFault,
+    ServerStallFault,
+    StragglerFault,
+)
 from ..strategies import StrategyConfig
 from ..strategies.base import PullPolicy
 from .cache import SimCache
@@ -61,6 +67,7 @@ _FAULT_TAGS = {
     StragglerFault: "straggler",
     LinkFault: "link",
     ServerStallFault: "stall",
+    ChaosFault: "chaos",
 }
 _FAULT_TYPES = {tag: cls for cls, tag in _FAULT_TAGS.items()}
 

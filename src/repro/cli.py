@@ -292,12 +292,39 @@ def cmd_sensitivity(args: argparse.Namespace) -> None:
           f"across all knob sweeps")
 
 
+def _parse_faults(spec: str, seed: int):
+    """``--faults drop=0.05,dup=0.02,corrupt=0.01,delay=0.1:0.02`` →
+    a one-ChaosFault :class:`FaultPlan` hitting every connection."""
+    from .sim.faults import ChaosFault, FaultPlan
+
+    rates = {"drop": 0.0, "dup": 0.0, "corrupt": 0.0}
+    delay_rate, delay_s = 0.0, 0.0
+    for part in spec.split(","):
+        name, _, value = part.partition("=")
+        name = name.strip()
+        if name == "delay":
+            rate_s, _, bound_s = value.partition(":")
+            delay_rate = float(rate_s)
+            delay_s = float(bound_s) if bound_s else 0.01
+        elif name in rates:
+            rates[name] = float(value)
+        else:
+            raise SystemExit(f"unknown fault knob {name!r} in --faults "
+                             f"(choose from drop, dup, corrupt, delay)")
+    fault = ChaosFault(machine=-1, drop_rate=rates["drop"],
+                       dup_rate=rates["dup"], corrupt_rate=rates["corrupt"],
+                       delay_rate=delay_rate, delay_s=delay_s)
+    return FaultPlan((fault,), seed=seed)
+
+
 def cmd_live(args: argparse.Namespace) -> None:
     """Run the live (real-socket) transport and calibrate it vs the sim."""
-    from .analysis.calibration import calibrate
+    from .analysis.calibration import calibrate, calibrate_faults
     from .live import LiveClusterConfig, run_live
 
     observe = bool(args.trace or args.metrics)
+    plan = (_parse_faults(args.faults, args.fault_seed)
+            if args.faults else None)
     cfg = LiveClusterConfig(
         n_workers=args.workers,
         n_servers=args.shards,
@@ -307,9 +334,23 @@ def cmd_live(args: argparse.Namespace) -> None:
         rate_bytes_per_s=args.rate_mbps * 1e6 / 8.0,
         batch_size=args.batch,
         observe=observe,
+        fault_plan=plan,
     )
     print(f"live cluster: {cfg.n_workers} workers + {cfg.n_servers} shards "
           f"on {cfg.host}, link shaped to {args.rate_mbps:.0f} Mbit/s")
+    if plan is not None:
+        # Calibration-under-faults mode: same plan through both
+        # substrates, report recovery counters + degradation agreement.
+        print(f"  chaos plan: {args.faults} (seed {args.fault_seed})")
+        report = calibrate_faults(cfg, plan=plan, strategy="p3")
+        print(report.summary())
+        totals: dict = {}
+        for stats in (report.live_transport_stats or {}).values():
+            for name, value in stats.items():
+                totals[name] = totals.get(name, 0) + value
+        print("  recovery counters (all workers): " +
+              ", ".join(f"{k}={v}" for k, v in sorted(totals.items())))
+        return
     results = {}
     for strategy in ("baseline", "p3"):
         print(f"  running live {strategy} ({cfg.iterations} iterations) ...")
@@ -450,6 +491,13 @@ def build_parser() -> argparse.ArgumentParser:
     live_p.add_argument("--slice-params", type=int, default=5_000)
     live_p.add_argument("--rate-mbps", type=float, default=20.0,
                         help="token-bucket link rate (software tc qdisc)")
+    live_p.add_argument("--faults", metavar="SPEC",
+                        help="inject a lossy channel on every connection and "
+                             "calibrate degradation sim-vs-live; SPEC is "
+                             "comma-separated knobs, e.g. "
+                             "drop=0.05,dup=0.02,corrupt=0.01,delay=0.1:0.02")
+    live_p.add_argument("--fault-seed", type=int, default=0,
+                        help="FaultPlan seed (chaos determinism)")
     live_p.add_argument("--trace", help="record repro.obs events and write "
                                         "a chrome://tracing JSON here")
     live_p.add_argument("--metrics", help="record repro.obs events and "

@@ -8,6 +8,7 @@ shaping — the software analogue of the paper's ``tc qdisc``-throttled
 testbed.  See ``docs/live.md``.
 """
 
+from .chaos import ChaosChannel, maybe_wrap
 from .config import KeyPlan, LiveClusterConfig, make_plan
 from .driver import LiveRunError, LiveRunResult, run_live
 from .server import LiveServerShard, serve_shard
@@ -15,6 +16,10 @@ from .transport import (
     CONTROL_PRIORITY,
     ChunkRecord,
     PrioritySender,
+    ReliableInbox,
+    ReliableOutbox,
+    ReliableReceiver,
+    RetryPolicy,
     TokenBucket,
     TransportError,
     connect_with_retry,
@@ -36,6 +41,7 @@ from .worker import LiveWorker, LiveWorkerError, run_worker
 
 __all__ = [
     "CONTROL_PRIORITY",
+    "ChaosChannel",
     "ChunkRecord",
     "Frame",
     "FrameDecoder",
@@ -48,6 +54,10 @@ __all__ = [
     "LiveWorkerError",
     "PrioritySender",
     "Reassembler",
+    "ReliableInbox",
+    "ReliableOutbox",
+    "ReliableReceiver",
+    "RetryPolicy",
     "TokenBucket",
     "TransportError",
     "WireError",
@@ -58,6 +68,7 @@ __all__ = [
     "encode_frame",
     "goodput_bytes_per_s",
     "make_plan",
+    "maybe_wrap",
     "run_live",
     "run_worker",
     "serve_shard",

@@ -18,9 +18,11 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..kvstore.store import BaselineKVStore, DistributedStore, KeyMeta, P3Store
+from ..sim.faults import FaultPlan
 from ..training.data import Dataset, SyntheticSpec, make_dataset
 from ..training.model import Network
 from ..training.zoo import mlp
+from .transport import RetryPolicy
 
 STRATEGIES = ("baseline", "p3")
 
@@ -77,6 +79,19 @@ class LiveClusterConfig:
     connect_timeout_s: float = 15.0
     round_timeout_s: float = 60.0
 
+    # Fault tolerance (reliable transport + chaos injection).  The
+    # fault plan is the same substrate-neutral vocabulary the simulator
+    # consumes (:mod:`repro.sim.faults`); its ChaosFaults become live
+    # :class:`~repro.live.chaos.ChaosChannel` wrappers while timing
+    # faults are ignored by the live stack (no tc/cgroup control yet).
+    fault_plan: Optional[FaultPlan] = None
+    ack_timeout_s: float = 0.25        # Go-Back-N retransmit timer
+    retry_backoff: float = 1.6
+    retry_max_backoff_s: float = 2.0
+    retry_jitter: float = 0.2
+    max_retries: int = 12
+    peer_timeout_s: float = 10.0       # no frames/acks for this long = dead
+
     # Observability (repro.obs): when True every process records the
     # shared event stream (slice enqueued/sent/preempted/applied, gate
     # opens, round applies) and the driver merges it into
@@ -97,6 +112,35 @@ class LiveClusterConfig:
             raise ValueError("rate_bytes_per_s must be positive or None")
         if self.chunk_bytes <= 0:
             raise ValueError("chunk_bytes must be positive")
+        if self.peer_timeout_s <= 0:
+            raise ValueError("peer_timeout_s must be positive")
+        # Fail fast on bad retry knobs (RetryPolicy revalidates).
+        self.retry_policy(0)
+
+    # ------------------------------------------------------------------
+    # Fault tolerance
+    # ------------------------------------------------------------------
+    def retry_policy(self, machine: int) -> RetryPolicy:
+        """The reliable-transport policy for one machine's senders.
+
+        Seeded per machine so concurrent connections don't jitter their
+        retransmissions in lockstep, yet deterministically per run.
+        """
+        seed = self.fault_plan.seed if self.fault_plan is not None else 0
+        return RetryPolicy(ack_timeout_s=self.ack_timeout_s,
+                           backoff=self.retry_backoff,
+                           max_backoff_s=self.retry_max_backoff_s,
+                           max_retries=self.max_retries,
+                           jitter=self.retry_jitter,
+                           seed=(seed << 8) ^ machine)
+
+    def worker_machine(self, worker_id: int) -> int:
+        """Machine id of a worker (sim layout: workers first)."""
+        return worker_id
+
+    def server_machine(self, server_id: int) -> int:
+        """Machine id of a server shard (after all workers)."""
+        return self.n_workers + server_id
 
     # ------------------------------------------------------------------
     # Deterministic world building (identical in every process)

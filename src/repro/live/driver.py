@@ -13,12 +13,14 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import queue as queue_mod
+import time
 from dataclasses import dataclass, field, replace as dc_replace
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..obs.events import normalize_timestamps
+from ..obs.events import EventRecorder, normalize_timestamps
+from ..sim.faults import fault_node, fault_tag, occurrences
 from ..sim.trace import UtilizationTrace
 from .config import LiveClusterConfig
 from .server import serve_shard
@@ -40,6 +42,9 @@ class LiveRunResult:
     iteration_times: Dict[int, np.ndarray]  # per worker, seconds
     timelines: Dict[int, List[ChunkRecord]] = field(default_factory=dict)
     heartbeat_acks: Dict[int, int] = field(default_factory=dict)
+    #: Per-worker reliability/chaos counters (retransmits, acks, CRC
+    #: failures, dropped/duplicated/corrupted frames, ...).
+    transport_stats: Dict[int, Dict[str, int]] = field(default_factory=dict)
     #: Merged repro.obs event stream from every process (populated only
     #: when ``config.observe`` is set), timestamps rebased to t=0 and
     #: sorted; validates against :data:`repro.obs.EVENT_SCHEMA`.
@@ -76,6 +81,58 @@ def _context() -> mp.context.BaseContext:
     return mp.get_context("fork" if "fork" in methods else "spawn")
 
 
+def _dead_children(procs: Sequence[mp.Process]) -> List[str]:
+    """Children that exited abnormally, with their exit codes."""
+    return [f"{p.name} (exit code {p.exitcode})"
+            for p in procs if not p.is_alive() and p.exitcode not in (0, None)]
+
+
+def _get_failfast(q, timeout_s: float, procs: Sequence[mp.Process],
+                  what: str):
+    """``q.get`` that polls child liveness instead of blocking blind.
+
+    A queue item only ever arrives from a live child, so a child that
+    died abnormally means the item never comes: surface its exit code
+    immediately (satellite fix: a shard killed before ``accept`` used to
+    hang the driver for the full timeout).
+    """
+    deadline = time.monotonic() + timeout_s
+    while True:
+        try:
+            return q.get(timeout=0.2)
+        except queue_mod.Empty:
+            dead = _dead_children(procs)
+            if dead:
+                raise LiveRunError(
+                    f"{what}: child process died: {', '.join(dead)}")
+            if time.monotonic() >= deadline:
+                raise LiveRunError(f"{what}: timed out after {timeout_s:.1f}s")
+
+
+def _fault_events(cfg: LiveClusterConfig, epoch: float,
+                  horizon_s: float) -> List[dict]:
+    """The driver's FAULT_ON/FAULT_OFF stream for a live run.
+
+    Live fault windows are wall-clock intervals computed by every
+    process from the shared plan + epoch, not discrete events, so the
+    driver synthesizes the same records the simulator's injector emits —
+    from the *same* :func:`repro.sim.faults.occurrences` expansion —
+    keeping the cross-substrate event streams comparable.
+    """
+    if cfg.fault_plan is None or not cfg.fault_plan:
+        return []
+    recorder = EventRecorder("live")
+    from ..obs.events import EventKind
+    for occ in occurrences(cfg.fault_plan, max(horizon_s, 1e-6)):
+        if occ.start <= horizon_s:
+            recorder.emit(EventKind.FAULT_ON, node=fault_node(occ.spec),
+                          ts=epoch + occ.start, detail=fault_tag(occ.spec))
+        if occ.end is not None and occ.end <= horizon_s:
+            recorder.emit(EventKind.FAULT_OFF, node=fault_node(occ.spec),
+                          ts=epoch + occ.end, detail=fault_tag(occ.spec))
+    return recorder.to_dicts()
+
+
 def run_live(cfg: LiveClusterConfig, strategy: Optional[str] = None,
              launch_timeout_s: float = 30.0) -> LiveRunResult:
     """Run one full live training job; block until it completes."""
@@ -84,9 +141,12 @@ def run_live(cfg: LiveClusterConfig, strategy: Optional[str] = None,
     port_q = ctx.Queue()
     result_q = ctx.Queue()
     events_q = ctx.Queue() if cfg.observe else None
+    # One CLOCK_MONOTONIC origin for the whole run: every process
+    # measures fault windows (repro.live.chaos) against it.
+    epoch = time.monotonic()
     servers = [
         ctx.Process(target=serve_shard,
-                    args=(s, cfg, strategy, port_q, events_q),
+                    args=(s, cfg, strategy, port_q, events_q, epoch),
                     daemon=True, name=f"live-shard-{s}")
         for s in range(cfg.n_servers)
     ]
@@ -96,16 +156,14 @@ def run_live(cfg: LiveClusterConfig, strategy: Optional[str] = None,
             proc.start()
         ports: Dict[int, int] = {}
         for _ in range(cfg.n_servers):
-            try:
-                sid, port = port_q.get(timeout=launch_timeout_s)
-            except queue_mod.Empty:
-                raise LiveRunError("server shards failed to bind in time")
+            sid, port = _get_failfast(port_q, launch_timeout_s, servers,
+                                      "server shards failed to bind")
             ports[sid] = port
         addresses: List[Tuple[str, int]] = [
             (cfg.host, ports[s]) for s in range(cfg.n_servers)]
         workers = [
             ctx.Process(target=run_worker,
-                        args=(w, cfg, strategy, addresses, result_q),
+                        args=(w, cfg, strategy, addresses, result_q, epoch),
                         daemon=True, name=f"live-worker-{w}")
             for w in range(cfg.n_workers)
         ]
@@ -114,20 +172,25 @@ def run_live(cfg: LiveClusterConfig, strategy: Optional[str] = None,
         deadline = cfg.round_timeout_s * cfg.iterations
         results: Dict[int, dict] = {}
         for _ in range(cfg.n_workers):
-            try:
-                res = result_q.get(timeout=deadline)
-            except queue_mod.Empty:
-                raise LiveRunError(
-                    f"live run timed out: got results from "
-                    f"{sorted(results)} of {cfg.n_workers} workers")
+            # Workers report errors through the queue; a *shard* death
+            # surfaces via its exit code (workers then fail on their
+            # peer timeout, but the child's code is the better story).
+            res = _get_failfast(
+                result_q, deadline, list(servers) + list(workers),
+                f"live run (results from {sorted(results)} of "
+                f"{cfg.n_workers} workers so far)")
             results[res["worker"]] = res
         errors = {w: r["error"] for w, r in results.items() if "error" in r}
         if errors:
-            raise LiveRunError(f"worker failures: {errors}")
+            dead = _dead_children(list(servers) + list(workers))
+            detail = f" (dead children: {', '.join(dead)})" if dead else ""
+            raise LiveRunError(f"worker failures: {errors}{detail}")
+        run_end = time.monotonic()
         events: List[dict] = []
         if events_q is not None:
             for r in results.values():
                 events.extend(r.get("events", []))
+            events.extend(_fault_events(cfg, epoch, run_end - epoch))
             # Shard streams arrive after clean shutdown; observability is
             # best-effort, so a missing stream degrades, never fails.
             for _ in range(cfg.n_servers):
@@ -172,5 +235,7 @@ def run_live(cfg: LiveClusterConfig, strategy: Optional[str] = None,
         timelines={w: list(r["timeline"]) for w, r in results.items()},
         heartbeat_acks={w: int(r["heartbeat_acks"])
                         for w, r in results.items()},
+        transport_stats={w: dict(r.get("transport", {}))
+                         for w, r in results.items()},
         events=events,
     )

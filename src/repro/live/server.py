@@ -29,18 +29,26 @@ import numpy as np
 import time
 
 from ..obs.events import EventKind, EventRecorder
+from .chaos import ChaosChannel, maybe_wrap
 from .config import LiveClusterConfig, make_plan
-from .transport import CONTROL_PRIORITY, PrioritySender, TokenBucket
-from .wire import FrameDecoder, Reassembler, WireKind, WireMessage, encode_array
+from .transport import (
+    CONTROL_PRIORITY,
+    PrioritySender,
+    ReliableReceiver,
+    TokenBucket,
+)
+from .wire import WireKind, WireMessage, encode_array
 
 
 class LiveServerShard:
     """One live shard: sockets + round staging around a ServerShard."""
 
     def __init__(self, shard_id: int, cfg: LiveClusterConfig,
-                 strategy: Optional[str] = None) -> None:
+                 strategy: Optional[str] = None,
+                 epoch: Optional[float] = None) -> None:
         self.sid = shard_id
         self.cfg = cfg
+        self.epoch = epoch if epoch is not None else time.monotonic()
         self.strategy = strategy or cfg.strategy
         store = cfg.build_initialized_store(self.strategy)
         self.shard = store.shards[shard_id]
@@ -54,8 +62,10 @@ class LiveServerShard:
         self._waiting: Dict[int, List[Tuple[int, int, int]]] = {
             k: [] for k in self.my_keys}
         self._senders: Dict[int, PrioritySender] = {}
+        self._receivers: List[ReliableReceiver] = []
         self._lock = threading.Lock()
         self._done = threading.Event()
+        self._error: Optional[str] = None
         self._byes = 0
         self.pushes_received = 0
         self.heartbeats_seen = 0
@@ -98,6 +108,8 @@ class LiveServerShard:
             self._threads.append(thread)
         if not self._done.wait(self.cfg.round_timeout_s * self.cfg.iterations):
             raise TimeoutError(f"shard {self.sid}: workers never completed")
+        if self._error is not None:
+            raise RuntimeError(f"shard {self.sid}: {self._error}")
         for sender in self._senders.values():
             sender.close()
         for conn in self._conns:
@@ -111,33 +123,53 @@ class LiveServerShard:
             thread.join(timeout=5.0)
 
     def _sender_for(self, conn: socket.socket, worker: int) -> PrioritySender:
+        machine = self.cfg.server_machine(self.sid)
         with self._lock:
             if worker not in self._senders:
+                # The server's TX path gets its own chaos wrapper, so a
+                # plan's lossiness hits both directions symmetrically.
+                sock = maybe_wrap(conn, self.cfg.fault_plan, machine,
+                                  peer=self.cfg.worker_machine(worker),
+                                  epoch=self.epoch)
                 self._senders[worker] = PrioritySender(
-                    conn, sender_id=self.sid, shaper=self._shaper,
+                    sock, sender_id=self.sid, shaper=self._shaper,
                     chunk_bytes=self.cfg.chunk_bytes,
-                    recorder=self.recorder, node=f"server{self.sid}")
+                    recorder=self.recorder, node=f"server{self.sid}",
+                    retry=self.cfg.retry_policy(machine))
             return self._senders[worker]
 
     def _reader(self, conn: socket.socket) -> None:
-        decoder = FrameDecoder()
-        reassembler = Reassembler()
-        sender: Optional[PrioritySender] = None
-        while True:
-            try:
-                data = conn.recv(65536)
-            except OSError:
-                return
-            if not data:
-                return
-            decoder.feed(data)
-            for frame in decoder.frames():
-                msg = reassembler.add(frame)
-                if msg is None:
-                    continue
-                if sender is None:
-                    sender = self._sender_for(conn, msg.sender)
-                self._handle(msg, sender)
+        receiver = ReliableReceiver(
+            sender_for=lambda frame: self._sender_for(conn, frame.sender))
+        with self._lock:
+            self._receivers.append(receiver)
+        saw_bye = False
+        try:
+            while True:
+                try:
+                    data = conn.recv(65536)
+                except OSError:
+                    return
+                if not data:
+                    # EOF without a BYE = the worker died mid-protocol.
+                    # Fail the shard loudly (nonzero exit) instead of
+                    # waiting out the full round timeout.
+                    if not saw_bye:
+                        self._fail("worker connection closed without BYE "
+                                   "— worker process died?")
+                    return
+                for msg in receiver.feed(data):
+                    if msg.kind is WireKind.BYE:
+                        saw_bye = True
+                    self._handle(msg, self._sender_for(conn, msg.sender))
+        except BaseException as exc:  # noqa: BLE001 - surfaced via serve()
+            self._fail(f"reader failed: {type(exc).__name__}: {exc}")
+
+    def _fail(self, reason: str) -> None:
+        with self._lock:
+            if self._error is None:
+                self._error = reason
+        self._done.set()
 
     # ------------------------------------------------------------------
     # Protocol
@@ -224,9 +256,27 @@ class LiveServerShard:
         sender.send(WireKind.PULL_RESP, msg.key, msg.iteration, msg.priority,
                     value)
 
+    def transport_stats(self) -> Dict[str, int]:
+        """Aggregated reliability/chaos counters across connections."""
+        totals: Dict[str, int] = {}
+        with self._lock:
+            senders = list(self._senders.values())
+            receivers = list(self._receivers)
+        for sender in senders:
+            for name, value in sender.stats().items():
+                totals[name] = totals.get(name, 0) + value
+            if isinstance(sender.sock, ChaosChannel):
+                for name, value in sender.sock.stats().items():
+                    totals[name] = totals.get(name, 0) + value
+        for receiver in receivers:
+            for name, value in receiver.stats().items():
+                totals[name] = totals.get(name, 0) + value
+        return totals
+
 
 def serve_shard(shard_id: int, cfg: LiveClusterConfig, strategy: str,
-                port_queue, events_queue=None) -> None:
+                port_queue, events_queue=None,
+                epoch: Optional[float] = None) -> None:
     """``multiprocessing`` entry point for one shard process.
 
     With ``cfg.observe`` set and an ``events_queue`` provided, the
@@ -235,7 +285,7 @@ def serve_shard(shard_id: int, cfg: LiveClusterConfig, strategy: str,
     directly comparable with the workers').
     """
     try:
-        server = LiveServerShard(shard_id, cfg, strategy)
+        server = LiveServerShard(shard_id, cfg, strategy, epoch=epoch)
         port = server.bind()
         port_queue.put((shard_id, port))
         server.serve()

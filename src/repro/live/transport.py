@@ -24,21 +24,37 @@ live and simulated timelines can be analysed by the same code
 from __future__ import annotations
 
 import heapq
+import random
 import socket
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..obs.events import EventKind, EventRecorder
 from ..sim.trace import UtilizationTrace
-from .wire import WireKind, encode_frame
+from .wire import (
+    SEQ_NONE,
+    Frame,
+    FrameDecoder,
+    Reassembler,
+    WireKind,
+    WireMessage,
+    encode_frame,
+)
 
 #: Priority used for control traffic (heartbeats, byes): more urgent
 #: than any data priority so liveness never queues behind gradients.
 CONTROL_PRIORITY = -(1 << 30)
 
 DEFAULT_CHUNK_BYTES = 16_384
+
+#: Wire kinds that are *sequenced*: numbered per connection, tracked in
+#: the retransmit outbox, and duplicate-suppressed at the receiver.
+#: Control traffic (heartbeats, heartbeat ACKs, CHUNK_ACKs) is bare —
+#: periodic or cumulative, so a lost one is repaired by the next.
+RELIABLE_KINDS = frozenset(
+    (WireKind.PUSH, WireKind.PULL_REQ, WireKind.PULL_RESP, WireKind.BYE))
 
 
 class TransportError(Exception):
@@ -140,6 +156,7 @@ class _Pending:
     offset: int = field(compare=False, default=0)
     enqueue_ts: float = field(compare=False, default=0.0)
     wire_s: float = field(compare=False, default=0.0)
+    ack_seq: int = field(compare=False, default=SEQ_NONE)
 
 
 #: Wire kinds that carry gradient/parameter slices and therefore appear
@@ -175,9 +192,10 @@ class ChunkScheduler:
         return len(self._heap)
 
     def push(self, kind: WireKind, key: int, iteration: int, priority: int,
-             payload: bytes = b"", enqueue_ts: float = 0.0) -> _Pending:
+             payload: bytes = b"", enqueue_ts: float = 0.0,
+             ack_seq: int = SEQ_NONE) -> _Pending:
         item = _Pending(priority, self._seq, kind, key, iteration, payload,
-                        enqueue_ts=enqueue_ts)
+                        enqueue_ts=enqueue_ts, ack_seq=ack_seq)
         self._seq += 1
         heapq.heappush(self._heap, item)
         return item
@@ -210,6 +228,225 @@ class ChunkScheduler:
         return item, chunk, offset, done, preempted
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retransmission knobs of the reliable transport.
+
+    The ack timer is Go-Back-N per connection: when the *oldest*
+    unacknowledged frame exceeds its deadline, every unacked frame is
+    retransmitted in order and the deadline backs off exponentially
+    (``ack_timeout_s * backoff**retries``, capped at ``max_backoff_s``)
+    with a seeded multiplicative jitter in ``[0, jitter]`` so competing
+    connections don't retransmit in lockstep.  ``max_retries`` timer
+    expiries without progress fail the sender with a diagnostic
+    :class:`TransportError` instead of retrying forever.
+    """
+
+    ack_timeout_s: float = 0.25
+    backoff: float = 1.6
+    max_backoff_s: float = 2.0
+    max_retries: int = 12
+    jitter: float = 0.2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.ack_timeout_s <= 0:
+            raise ValueError("ack_timeout_s must be positive")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be >= 1")
+        if self.max_backoff_s < self.ack_timeout_s:
+            raise ValueError("max_backoff_s must be >= ack_timeout_s")
+        if self.max_retries < 1:
+            raise ValueError("max_retries must be >= 1")
+        if self.jitter < 0:
+            raise ValueError("jitter must be >= 0")
+
+    def deadline_after(self, retries: int, rng: random.Random) -> float:
+        """Seconds until the next retransmission after ``retries`` expiries."""
+        base = min(self.ack_timeout_s * self.backoff ** retries,
+                   self.max_backoff_s)
+        return base * (1.0 + self.jitter * rng.random())
+
+
+class ReliableOutbox:
+    """Sender-side Go-Back-N state: unacked frames awaiting CHUNK_ACKs.
+
+    Pure bookkeeping — no sockets, no threads, injectable clock values —
+    so retry/backoff arithmetic is unit-testable deterministically
+    (``tests/live/test_chaos.py``).  Not thread-safe; the owning
+    :class:`PrioritySender` serializes access under its own lock.
+    """
+
+    def __init__(self, policy: RetryPolicy) -> None:
+        self.policy = policy
+        self._rng = random.Random(policy.seed)
+        self._pending: "Dict[int, bytes]" = {}   # seq -> frame bytes, ordered
+        self._retries = 0
+        self._deadline: Optional[float] = None
+        self.retransmits = 0
+        self.acks_received = 0
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def retries(self) -> int:
+        return self._retries
+
+    def record(self, seq: int, frame: bytes, now: float) -> None:
+        """Track one sent sequenced frame until its ack arrives."""
+        self._pending[seq] = frame
+        if self._deadline is None:
+            self._deadline = now + self.policy.deadline_after(0, self._rng)
+
+    def ack(self, upto: int) -> int:
+        """Cumulative ack: drop every tracked seq <= ``upto``."""
+        acked = [s for s in self._pending if s <= upto]
+        for s in acked:
+            del self._pending[s]
+        if acked:
+            self.acks_received += 1
+            self._retries = 0       # progress: reset the backoff ladder
+            self._deadline = None   # re-armed on the next due() / record()
+        return len(acked)
+
+    def next_deadline(self, now: float) -> Optional[float]:
+        """When the retransmit timer next fires (None = nothing pending)."""
+        if not self._pending:
+            return None
+        if self._deadline is None:
+            self._deadline = now + self.policy.deadline_after(
+                self._retries, self._rng)
+        return self._deadline
+
+    def due(self, now: float) -> List[Tuple[int, bytes]]:
+        """Frames to retransmit now, in seq order (empty = timer not due).
+
+        Raises :class:`TransportError` once ``max_retries`` timer
+        expiries have passed without an ack.
+        """
+        deadline = self.next_deadline(now)
+        if deadline is None or now < deadline:
+            return []
+        self._retries += 1
+        if self._retries > self.policy.max_retries:
+            oldest = min(self._pending)
+            raise TransportError(
+                f"no ack for frame seq={oldest} after "
+                f"{self.policy.max_retries} retransmissions "
+                f"({len(self._pending)} frames unacked) — peer dead?")
+        self._deadline = now + self.policy.deadline_after(
+            self._retries, self._rng)
+        out = sorted(self._pending.items())
+        self.retransmits += len(out)
+        return out
+
+
+class ReliableInbox:
+    """Receiver-side sequence tracking: in-order delivery, dup suppression.
+
+    TCP preserves the order the peer's chaos channel *wrote*, so the
+    inbox expects seqs ``0, 1, 2, ...`` per connection and classifies
+    each arriving sequenced frame:
+
+    * ``"deliver"`` — the expected seq; hand the frame up.
+    * ``"duplicate"`` — already delivered (chaos duplication or a
+      retransmission racing its own ack); discard, but re-ack so the
+      sender stops retransmitting.
+    * ``"gap"`` — a later seq than expected, meaning an earlier frame
+      was dropped or corrupted in between; discard (Go-Back-N: the
+      sender retransmits everything unacked, so the expected frame is
+      already on its way again).
+    """
+
+    def __init__(self) -> None:
+        self._expected = 0
+        self.duplicates = 0
+        self.gaps = 0
+
+    @property
+    def cumulative_ack(self) -> int:
+        """Highest in-order seq delivered so far (-1 before the first)."""
+        return self._expected - 1
+
+    def accept(self, seq: int) -> str:
+        if seq == self._expected:
+            self._expected += 1
+            return "deliver"
+        if seq < self._expected:
+            self.duplicates += 1
+            return "duplicate"
+        self.gaps += 1
+        return "gap"
+
+
+class ReliableReceiver:
+    """One connection's receive pipeline: decode, dedup, ack, reassemble.
+
+    Wraps a lenient :class:`FrameDecoder`, a :class:`ReliableInbox` and
+    a :class:`Reassembler`; :meth:`feed` turns raw socket bytes into
+    fully reassembled :class:`WireMessage`\\ s while transparently
+
+    * routing incoming ``CHUNK_ACK`` frames to the local sender's
+      :meth:`PrioritySender.handle_ack`,
+    * discarding duplicate/gap frames, and
+    * emitting one cumulative ack per :meth:`feed` batch.
+
+    ``sender_for`` maps a decoded frame to the connection's local
+    sender; it is consulted per frame because a *server* only learns
+    which worker a connection belongs to from the frames themselves
+    (``None`` = no sender yet, skip acking — the peer retransmits).
+    """
+
+    def __init__(self,
+                 sender_for: Optional[Callable[[Frame], Optional[
+                     "PrioritySender"]]] = None,
+                 strict: bool = False) -> None:
+        self.decoder = FrameDecoder(strict=strict)
+        self.inbox = ReliableInbox()
+        self.reassembler = Reassembler()
+        self._sender_for = sender_for
+
+    @property
+    def crc_failures(self) -> int:
+        return self.decoder.crc_failures
+
+    def stats(self) -> Dict[str, int]:
+        return {"crc_failures": self.decoder.crc_failures,
+                "duplicate_frames": self.inbox.duplicates,
+                "gap_frames": self.inbox.gaps}
+
+    def feed(self, data: bytes) -> Iterator[WireMessage]:
+        self.decoder.feed(data)
+        ack_sender: Optional["PrioritySender"] = None
+        ack_due = False
+        for frame in self.decoder.frames():
+            if self._sender_for is not None:
+                if ack_sender is None:
+                    ack_sender = self._sender_for(frame)
+                if frame.kind is WireKind.CHUNK_ACK:
+                    if ack_sender is not None:
+                        ack_sender.handle_ack(frame.seq)
+                    continue
+            elif frame.kind is WireKind.CHUNK_ACK:
+                continue
+            if frame.seq != SEQ_NONE:
+                verdict = self.inbox.accept(frame.seq)
+                ack_due = True
+                if verdict != "deliver":
+                    continue
+            msg = self.reassembler.add(frame)
+            if msg is not None:
+                # Ack everything decoded so far *before* handing the
+                # message up: a BYE's handler may tear the sender down.
+                if ack_due and ack_sender is not None:
+                    ack_sender.send_ack(self.inbox.cumulative_ack)
+                    ack_due = False
+                yield msg
+        if ack_due and ack_sender is not None:
+            ack_sender.send_ack(self.inbox.cumulative_ack)
+
+
 class PrioritySender:
     """Drains a priority heap of messages onto one socket, chunk by chunk.
 
@@ -220,14 +457,23 @@ class PrioritySender:
     ``chunk_bytes``, the software analogue of the paper's observation
     that slice granularity bounds how long an urgent update can be stuck
     behind bulk traffic.
+
+    With a :class:`RetryPolicy` the sender is *reliable*: every data
+    chunk (:data:`RELIABLE_KINDS`) is assigned a per-connection sequence
+    number, kept in a :class:`ReliableOutbox` until the peer's
+    cumulative ``CHUNK_ACK`` covers it, and retransmitted with
+    exponential backoff when the ack timer expires — so a lossy channel
+    (:mod:`repro.live.chaos`) delays delivery but never loses it.
+    ``flush()`` then waits for acknowledgement, not just for the write.
     """
 
-    def __init__(self, sock: socket.socket, sender_id: int,
+    def __init__(self, sock, sender_id: int,
                  shaper: Optional[TokenBucket] = None,
                  chunk_bytes: int = DEFAULT_CHUNK_BYTES,
                  clock: Callable[[], float] = time.monotonic,
                  recorder: Optional[EventRecorder] = None,
-                 node: str = "") -> None:
+                 node: str = "",
+                 retry: Optional[RetryPolicy] = None) -> None:
         self.sock = sock
         self.sender_id = sender_id
         self.shaper = shaper
@@ -237,6 +483,9 @@ class PrioritySender:
         # Shared-schema observability (repro.obs); None = zero overhead.
         self.recorder = recorder
         self.node = node
+        self.retry = retry
+        self._outbox = ReliableOutbox(retry) if retry is not None else None
+        self._next_seq = 0
         self._sched = ChunkScheduler(chunk_bytes)
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
@@ -248,7 +497,7 @@ class PrioritySender:
 
     # ------------------------------------------------------------------
     def send(self, kind: WireKind, key: int, iteration: int, priority: int,
-             payload: bytes = b"") -> None:
+             payload: bytes = b"", ack_seq: int = SEQ_NONE) -> None:
         """Enqueue one logical message for prioritized transmission."""
         with self._cond:
             if self._error is not None:
@@ -257,7 +506,7 @@ class PrioritySender:
                 raise TransportError("sender is closed")
             now = self._clock()
             self._sched.push(kind, key, iteration, priority, payload,
-                             enqueue_ts=now)
+                             enqueue_ts=now, ack_seq=ack_seq)
             if self.recorder is not None and kind in DATA_KINDS:
                 self.recorder.emit(
                     EventKind.SLICE_ENQUEUED, node=self.node, ts=now,
@@ -265,15 +514,42 @@ class PrioritySender:
                     nbytes=len(payload), detail=kind.name.lower())
             self._cond.notify()
 
+    def send_ack(self, cum_seq: int) -> None:
+        """Enqueue a cumulative ``CHUNK_ACK`` for the reverse direction.
+
+        Called from the connection's reader thread.  Acks jump every
+        queue (control priority) and are themselves unsequenced; a
+        shutdown race (sender already closing) is swallowed, because the
+        peer's retransmission will elicit a fresh ack if one is needed.
+        """
+        if cum_seq < 0:
+            return
+        try:
+            self.send(WireKind.CHUNK_ACK, -1, 0, CONTROL_PRIORITY,
+                      ack_seq=cum_seq)
+        except TransportError:
+            pass
+
+    def handle_ack(self, acked_seq: int) -> None:
+        """Absorb a peer's cumulative ack (reader thread entry point)."""
+        if self._outbox is None:
+            return
+        with self._cond:
+            if self._outbox.ack(acked_seq):
+                self._cond.notify_all()
+
     def flush(self, timeout: float = 30.0) -> None:
-        """Block until every enqueued byte has been written to the socket."""
+        """Block until every enqueued byte is written — and, when a
+        :class:`RetryPolicy` is attached, acknowledged by the peer."""
         deadline = time.monotonic() + timeout
         with self._cond:
-            while len(self._sched) and self._error is None:
+            while (len(self._sched)
+                   or (self._outbox is not None and len(self._outbox))) \
+                    and self._error is None:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     raise TransportError("flush timed out")
-                self._cond.wait(remaining)
+                self._cond.wait(min(remaining, 0.05))
             if self._error is not None:
                 raise TransportError("sender failed") from self._error
 
@@ -291,29 +567,78 @@ class PrioritySender:
     def failed(self) -> bool:
         return self._error is not None
 
+    @property
+    def failure(self) -> Optional[BaseException]:
+        return self._error
+
+    def stats(self) -> Dict[str, int]:
+        """Reliability counters (zeros when no :class:`RetryPolicy`)."""
+        with self._lock:
+            if self._outbox is None:
+                return {"frames_retransmitted": 0, "acks_received": 0,
+                        "unacked_frames": 0}
+            return {"frames_retransmitted": self._outbox.retransmits,
+                    "acks_received": self._outbox.acks_received,
+                    "unacked_frames": len(self._outbox)}
+
     # ------------------------------------------------------------------
     def _run(self) -> None:
         try:
             while True:
+                frame = None
+                retrans: List[bytes] = []
                 with self._cond:
-                    while not len(self._sched) and not self._closing:
-                        self._cond.wait()
-                    if self._closing and not len(self._sched):
-                        return
-                    item, chunk, offset, done, preempted = \
-                        self._sched.pop_chunk()
-                    frame = self._encode_chunk(item, chunk, offset)
-                    if (preempted is not None and self.recorder is not None
-                            and preempted.kind in DATA_KINDS):
-                        self.recorder.emit(
-                            EventKind.SLICE_PREEMPTED, node=self.node,
-                            ts=self._clock(), key=preempted.key,
-                            iteration=preempted.iteration,
-                            priority=preempted.priority,
-                            nbytes=len(preempted.payload) - preempted.offset,
-                            detail=f"overtaken_by_key={item.key}")
+                    while True:
+                        now = self._clock()
+                        if self._outbox is not None and len(self._outbox):
+                            # May raise TransportError after max_retries:
+                            # surfaced through .failed / flush() below.
+                            due = self._outbox.due(now)
+                            if due:
+                                retrans = [fb for _, fb in due]
+                                break
+                        if len(self._sched):
+                            break
+                        if self._closing:
+                            return
+                        timeout = None
+                        if self._outbox is not None and len(self._outbox):
+                            deadline = self._outbox.next_deadline(now)
+                            timeout = max(1e-3, deadline - now)
+                        self._cond.wait(timeout)
+                    if not retrans:
+                        item, chunk, offset, done, preempted = \
+                            self._sched.pop_chunk()
+                        seq = SEQ_NONE
+                        if (self._outbox is not None
+                                and item.kind in RELIABLE_KINDS):
+                            seq = self._next_seq
+                            self._next_seq += 1
+                        frame = self._encode_chunk(item, chunk, offset, seq)
+                        if seq != SEQ_NONE:
+                            # Recorded before the write so an ack racing
+                            # the send can never miss the outbox entry.
+                            self._outbox.record(seq, frame, self._clock())
+                        if (preempted is not None and self.recorder is not None
+                                and preempted.kind in DATA_KINDS):
+                            self.recorder.emit(
+                                EventKind.SLICE_PREEMPTED, node=self.node,
+                                ts=self._clock(), key=preempted.key,
+                                iteration=preempted.iteration,
+                                priority=preempted.priority,
+                                nbytes=(len(preempted.payload)
+                                        - preempted.offset),
+                                detail=f"overtaken_by_key={item.key}")
                 # Network I/O happens outside the lock so send() callers
                 # (and preempting messages) are never blocked by the wire.
+                if retrans:
+                    for fb in retrans:
+                        if self.shaper is not None:
+                            wait = self.shaper.reserve(len(fb))
+                            if wait > 0:
+                                time.sleep(wait)
+                        self.sock.sendall(fb)
+                    continue
                 if self.shaper is not None:
                     wait = self.shaper.reserve(len(frame))
                     if wait > 0:
@@ -345,11 +670,16 @@ class PrioritySender:
                 self._error = exc
                 self._cond.notify_all()
 
-    def _encode_chunk(self, item: _Pending, chunk: bytes,
-                      offset: int) -> bytes:
+    def _encode_chunk(self, item: _Pending, chunk: bytes, offset: int,
+                      seq: int = SEQ_NONE) -> bytes:
+        # CHUNK_ACK frames carry the cumulative acked seq of the reverse
+        # direction in the seq field; they are never sequenced themselves.
+        if item.kind is WireKind.CHUNK_ACK:
+            seq = item.ack_seq
         return encode_frame(item.kind, self.sender_id, item.key,
                             item.iteration, item.priority, chunk,
-                            offset=offset, total=len(item.payload))
+                            offset=offset, total=len(item.payload),
+                            seq=seq)
 
 
 def connect_with_retry(address: Tuple[str, int], timeout_s: float = 15.0,

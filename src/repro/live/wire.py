@@ -8,10 +8,10 @@ so the priority sender (:mod:`repro.live.transport`) can preempt a large
 low-priority transfer between chunks — the end-host analogue of the
 paper's per-packet `tc` priority bands.
 
-Frame layout (little-endian, 36-byte header + payload chunk)::
+Frame layout (little-endian, 40-byte header + payload chunk)::
 
     magic     u16   0x5033 ("P3")
-    version   u8    protocol version (1)
+    version   u8    protocol version (2)
     kind      u8    WireKind
     flags     u16   reserved (must be zero)
     sender    i16   worker/server id (-1 = driver)
@@ -21,12 +21,22 @@ Frame layout (little-endian, 36-byte header + payload chunk)::
     offset    u32   byte offset of this chunk within the logical payload
     total     u32   total payload bytes of the logical message
     length    u32   payload bytes carried by THIS frame
+    seq       u32   per-connection frame sequence number (SEQ_NONE for
+                    unsequenced control frames; for CHUNK_ACK frames
+                    this field carries the *cumulative acknowledged*
+                    sequence number of the reverse direction)
     crc32     u32   CRC-32 of the header (crc field zeroed) + payload
 
 Every frame is self-describing, so a receiver reassembles interleaved
 messages with a dict keyed by ``(sender, kind, key, iteration)`` and
 rejects truncated or corrupted frames deterministically instead of
 desynchronizing the stream.
+
+Version 2 adds the ``seq`` field: the fault-tolerant transport
+(:mod:`repro.live.transport`) numbers every *data* frame per connection
+and acknowledges them cumulatively with ``CHUNK_ACK`` frames, so a lossy
+channel (:mod:`repro.live.chaos`) can drop, duplicate, or corrupt frames
+and the recovered stream is still exactly the clean one.
 """
 
 from __future__ import annotations
@@ -40,10 +50,14 @@ from typing import Dict, Iterator, List, Optional, Tuple
 import numpy as np
 
 MAGIC = 0x5033  # "P3"
-VERSION = 1
-HEADER_FMT = "<HBBHhiiiIIII"
+VERSION = 2
+HEADER_FMT = "<HBBHhiiiIIIII"
 HEADER_SIZE = struct.calcsize(HEADER_FMT)
 CRC_OFFSET = HEADER_SIZE - 4  # crc32 is the last header field
+
+#: ``seq`` value of unsequenced (control) frames: they are delivered
+#: best-effort and never retransmitted or duplicate-suppressed.
+SEQ_NONE = 0xFFFFFFFF
 
 #: Hard ceiling on a single frame's payload; anything larger is treated
 #: as stream corruption (a flipped length field must not allocate GBs).
@@ -70,6 +84,7 @@ class WireKind(IntEnum):
     ACK = 4         # server -> worker: heartbeat/control acknowledgement
     HEARTBEAT = 5   # worker -> server: liveness probe
     BYE = 6         # worker -> server: clean shutdown
+    CHUNK_ACK = 7   # either direction: cumulative ack of received seqs
 
 
 @dataclass(frozen=True)
@@ -84,10 +99,15 @@ class Frame:
     offset: int
     total: int
     payload: bytes
+    seq: int = SEQ_NONE
 
     @property
     def is_final_chunk(self) -> bool:
         return self.offset + len(self.payload) == self.total
+
+    @property
+    def is_sequenced(self) -> bool:
+        return self.seq != SEQ_NONE and self.kind is not WireKind.CHUNK_ACK
 
 
 @dataclass(frozen=True)
@@ -113,7 +133,7 @@ def encode_array(vec: np.ndarray) -> bytes:
 
 def encode_frame(kind: WireKind, sender: int, key: int, iteration: int,
                  priority: int, payload: bytes = b"", offset: int = 0,
-                 total: Optional[int] = None) -> bytes:
+                 total: Optional[int] = None, seq: int = SEQ_NONE) -> bytes:
     """Encode one frame; ``total`` defaults to ``len(payload)``."""
     if total is None:
         total = len(payload)
@@ -125,9 +145,11 @@ def encode_frame(kind: WireKind, sender: int, key: int, iteration: int,
                         f"MAX_MESSAGE_BYTES={MAX_MESSAGE_BYTES}")
     if offset + len(payload) > total:
         raise WireError("chunk extends past the declared message total")
+    if not (0 <= seq <= SEQ_NONE):
+        raise WireError(f"seq {seq} out of the u32 range")
     header = struct.pack(HEADER_FMT, MAGIC, VERSION, int(kind), 0, sender,
                          key, iteration, priority, offset, total,
-                         len(payload), 0)
+                         len(payload), seq, 0)
     crc = zlib.crc32(header[:CRC_OFFSET])
     crc = zlib.crc32(payload, crc)
     return header[:CRC_OFFSET] + struct.pack("<I", crc) + payload
@@ -160,10 +182,19 @@ class FrameDecoder:
     more bytes arrive; a malformed one raises :class:`WireError` (the
     stream is unrecoverable past that point, by design — TCP delivered
     exactly what the peer sent, so corruption means a broken peer).
+
+    ``strict=False`` is the fault-tolerant posture for links behind a
+    :class:`repro.live.chaos.ChaosChannel`: a frame whose *framing*
+    fields are sane but whose CRC fails (payload or crc corruption) is
+    silently skipped and counted in :attr:`crc_failures` — the
+    reliability layer retransmits it — while genuine stream desync (bad
+    magic, impossible lengths) still raises.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, strict: bool = True) -> None:
         self._buf = bytearray()
+        self.strict = strict
+        self.crc_failures = 0
 
     def feed(self, data: bytes) -> None:
         self._buf.extend(data)
@@ -180,39 +211,47 @@ class FrameDecoder:
             yield frame
 
     def _try_decode(self) -> Optional[Frame]:
-        if len(self._buf) < HEADER_SIZE:
-            return None
-        (magic, version, kind_i, flags, sender, key, iteration, priority,
-         offset, total, length, crc) = struct.unpack_from(HEADER_FMT, self._buf)
-        if magic != MAGIC:
-            raise WireError(f"bad magic 0x{magic:04x} (stream desync?)")
-        if version != VERSION:
-            raise WireError(f"unsupported protocol version {version}")
-        if flags != 0:
-            raise WireError(f"nonzero reserved flags 0x{flags:04x}")
-        if length > MAX_FRAME_PAYLOAD:
-            raise WireError(f"frame length {length} exceeds cap "
-                            f"{MAX_FRAME_PAYLOAD}")
-        if total > MAX_MESSAGE_BYTES:
-            raise WireError(f"message total {total} exceeds cap "
-                            f"{MAX_MESSAGE_BYTES}")
-        if offset + length > total:
-            raise WireError("chunk extends past the declared message total")
-        try:
-            kind = WireKind(kind_i)
-        except ValueError:
-            raise WireError(f"unknown message kind {kind_i}") from None
-        if len(self._buf) < HEADER_SIZE + length:
-            return None
-        payload = bytes(self._buf[HEADER_SIZE:HEADER_SIZE + length])
-        expect = zlib.crc32(bytes(self._buf[:CRC_OFFSET]))
-        expect = zlib.crc32(payload, expect)
-        if crc != expect:
-            raise WireError(f"CRC mismatch on {kind.name} frame "
-                            f"(key={key}, offset={offset})")
-        del self._buf[:HEADER_SIZE + length]
-        return Frame(kind, sender, key, iteration, priority, offset, total,
-                     payload)
+        while True:
+            if len(self._buf) < HEADER_SIZE:
+                return None
+            (magic, version, kind_i, flags, sender, key, iteration, priority,
+             offset, total, length, seq, crc) = \
+                struct.unpack_from(HEADER_FMT, self._buf)
+            if magic != MAGIC:
+                raise WireError(f"bad magic 0x{magic:04x} (stream desync?)")
+            if version != VERSION:
+                raise WireError(f"unsupported protocol version {version}")
+            if flags != 0:
+                raise WireError(f"nonzero reserved flags 0x{flags:04x}")
+            if length > MAX_FRAME_PAYLOAD:
+                raise WireError(f"frame length {length} exceeds cap "
+                                f"{MAX_FRAME_PAYLOAD}")
+            if total > MAX_MESSAGE_BYTES:
+                raise WireError(f"message total {total} exceeds cap "
+                                f"{MAX_MESSAGE_BYTES}")
+            if offset + length > total:
+                raise WireError("chunk extends past the declared message total")
+            try:
+                kind = WireKind(kind_i)
+            except ValueError:
+                raise WireError(f"unknown message kind {kind_i}") from None
+            if len(self._buf) < HEADER_SIZE + length:
+                return None
+            payload = bytes(self._buf[HEADER_SIZE:HEADER_SIZE + length])
+            expect = zlib.crc32(bytes(self._buf[:CRC_OFFSET]))
+            expect = zlib.crc32(payload, expect)
+            if crc != expect:
+                if self.strict:
+                    raise WireError(f"CRC mismatch on {kind.name} frame "
+                                    f"(key={key}, offset={offset})")
+                # Lenient mode: framing fields were sane, so drop exactly
+                # this frame and keep decoding — retransmission repairs it.
+                self.crc_failures += 1
+                del self._buf[:HEADER_SIZE + length]
+                continue
+            del self._buf[:HEADER_SIZE + length]
+            return Frame(kind, sender, key, iteration, priority, offset,
+                         total, payload, seq=seq)
 
 
 class Reassembler:

@@ -34,15 +34,18 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..obs.events import EventKind, EventRecorder
+from .chaos import ChaosChannel, maybe_wrap
 from .config import LiveClusterConfig, make_plan
 from .transport import (
     CONTROL_PRIORITY,
     ChunkRecord,
     PrioritySender,
+    ReliableReceiver,
     TokenBucket,
+    TransportError,
     connect_with_retry,
 )
-from .wire import FrameDecoder, Reassembler, WireKind, encode_array
+from .wire import WireKind, encode_array
 
 
 class LiveWorkerError(Exception):
@@ -54,9 +57,13 @@ class LiveWorker:
 
     def __init__(self, worker_id: int, cfg: LiveClusterConfig,
                  addresses: List[Tuple[str, int]],
-                 strategy: Optional[str] = None) -> None:
+                 strategy: Optional[str] = None,
+                 epoch: Optional[float] = None) -> None:
         self.wid = worker_id
         self.cfg = cfg
+        # Shared CLOCK_MONOTONIC origin for fault-window alignment: the
+        # driver stamps one epoch and passes it to every process.
+        self.epoch = epoch if epoch is not None else time.monotonic()
         self.strategy = strategy or cfg.strategy
         self.addresses = addresses
         self.net = cfg.build_network()
@@ -75,6 +82,8 @@ class LiveWorker:
         self.socks = []
         self.senders: List[PrioritySender] = []
         self._readers: List[threading.Thread] = []
+        self._receivers: List[ReliableReceiver] = []
+        self._last_rx: List[float] = []
         self._reader_error: Optional[BaseException] = None
         # Shared-schema observability (repro.obs); None = zero overhead.
         self.recorder = (EventRecorder("live", clock=time.monotonic)
@@ -91,16 +100,27 @@ class LiveWorker:
             # One bucket across all connections: the worker's "NIC".
             shaper = TokenBucket(self.cfg.rate_bytes_per_s,
                                  self.cfg.burst_bytes)
-        for addr in self.addresses:
-            sock = connect_with_retry(addr, self.cfg.connect_timeout_s)
+        machine = self.cfg.worker_machine(self.wid)
+        for sid, addr in enumerate(self.addresses):
+            raw = connect_with_retry(addr, self.cfg.connect_timeout_s)
+            # Chaos sabotages this worker's TX path only; the server
+            # side wraps its own sockets, so both directions are lossy.
+            sock = maybe_wrap(raw, self.cfg.fault_plan, machine,
+                              peer=self.cfg.server_machine(sid),
+                              epoch=self.epoch)
             self.socks.append(sock)
-            self.senders.append(PrioritySender(
+            sender = PrioritySender(
                 sock, sender_id=self.wid, shaper=shaper,
                 chunk_bytes=self.cfg.chunk_bytes,
-                recorder=self.recorder, node=f"worker{self.wid}"))
-            reader = threading.Thread(target=self._reader, args=(sock,),
-                                      daemon=True,
-                                      name=f"worker{self.wid}-reader")
+                recorder=self.recorder, node=f"worker{self.wid}",
+                retry=self.cfg.retry_policy(machine))
+            self.senders.append(sender)
+            receiver = ReliableReceiver(sender_for=lambda _f, s=sender: s)
+            self._receivers.append(receiver)
+            self._last_rx.append(time.monotonic())
+            reader = threading.Thread(
+                target=self._reader, args=(raw, len(self.socks) - 1, receiver),
+                daemon=True, name=f"worker{self.wid}-reader")
             reader.start()
             self._readers.append(reader)
         self._hb_thread = threading.Thread(target=self._heartbeat_loop,
@@ -112,8 +132,14 @@ class LiveWorker:
         self._stop_hb.set()
         self._hb_thread.join(timeout=5.0)
         for sender in self.senders:
-            sender.send(WireKind.BYE, 0, 0, CONTROL_PRIORITY)
-            sender.close()
+            # Best-effort goodbyes: shutdown also runs after failures,
+            # when a sender may already be dead — never mask the
+            # original error with a teardown one.
+            try:
+                sender.send(WireKind.BYE, 0, 0, CONTROL_PRIORITY)
+                sender.close(timeout=self.cfg.peer_timeout_s)
+            except TransportError:
+                pass
         for sock in self.socks:
             try:
                 sock.shutdown(1)  # SHUT_WR: let the server read our BYE
@@ -124,9 +150,7 @@ class LiveWorker:
         for sock in self.socks:
             sock.close()
 
-    def _reader(self, sock) -> None:
-        decoder = FrameDecoder()
-        reassembler = Reassembler()
+    def _reader(self, sock, index: int, receiver: ReliableReceiver) -> None:
         try:
             while True:
                 try:
@@ -135,11 +159,8 @@ class LiveWorker:
                     return
                 if not data:
                     return
-                decoder.feed(data)
-                for frame in decoder.frames():
-                    msg = reassembler.add(frame)
-                    if msg is None:
-                        continue
+                self._last_rx[index] = time.monotonic()
+                for msg in receiver.feed(data):
                     with self._cond:
                         if msg.kind is WireKind.PULL_RESP:
                             self._pulled[(msg.key, msg.iteration)] = msg.array()
@@ -152,11 +173,44 @@ class LiveWorker:
                 self._cond.notify_all()
 
     def _heartbeat_loop(self) -> None:
+        """Send liveness probes and watch for dead peers.
+
+        A server answers every HEARTBEAT with an ACK, so a connection
+        with no received bytes for ``peer_timeout_s`` means the peer is
+        gone; the error is surfaced to whoever is blocked in
+        :meth:`_gather_layer` instead of letting the run hang.  A
+        sender that exhausted its retransmission budget is surfaced the
+        same way.
+        """
         seq = 0
         while not self._stop_hb.wait(self.cfg.heartbeat_interval_s):
-            for sender in self.senders:
-                if not sender.failed:
-                    sender.send(WireKind.HEARTBEAT, 0, seq, CONTROL_PRIORITY)
+            now = time.monotonic()
+            error: Optional[BaseException] = None
+            for sid, sender in enumerate(self.senders):
+                if sender.failed:
+                    error = LiveWorkerError(
+                        f"worker {self.wid}: transport to server {sid} "
+                        f"failed: {sender.failure}")
+                    break
+                stale = now - self._last_rx[sid]
+                if stale > self.cfg.peer_timeout_s:
+                    error = LiveWorkerError(
+                        f"worker {self.wid}: no bytes from server {sid} "
+                        f"for {stale:.1f}s (peer_timeout_s="
+                        f"{self.cfg.peer_timeout_s}) — peer dead?")
+                    break
+                try:
+                    sender.send(WireKind.HEARTBEAT, 0, seq,
+                                CONTROL_PRIORITY)
+                except TransportError as exc:
+                    error = exc
+                    break
+            if error is not None:
+                with self._cond:
+                    if self._reader_error is None:
+                        self._reader_error = error
+                    self._cond.notify_all()
+                return
             seq += 1
 
     @property
@@ -261,12 +315,28 @@ class LiveWorker:
             out.extend(sender.timeline)
         return sorted(out, key=lambda r: r.start)
 
+    def transport_stats(self) -> Dict[str, int]:
+        """Aggregated reliability/chaos counters across connections."""
+        totals: Dict[str, int] = {}
+        for sender in self.senders:
+            for name, value in sender.stats().items():
+                totals[name] = totals.get(name, 0) + value
+        for receiver in self._receivers:
+            for name, value in receiver.stats().items():
+                totals[name] = totals.get(name, 0) + value
+        for sock in self.socks:
+            if isinstance(sock, ChaosChannel):
+                for name, value in sock.stats().items():
+                    totals[name] = totals.get(name, 0) + value
+        return totals
+
 
 def run_worker(worker_id: int, cfg: LiveClusterConfig, strategy: str,
-               addresses: List[Tuple[str, int]], result_queue) -> None:
+               addresses: List[Tuple[str, int]], result_queue,
+               epoch: Optional[float] = None) -> None:
     """``multiprocessing`` entry point for one worker process."""
     try:
-        worker = LiveWorker(worker_id, cfg, addresses, strategy)
+        worker = LiveWorker(worker_id, cfg, addresses, strategy, epoch=epoch)
         worker.connect()
         try:
             final = worker.run()
@@ -278,6 +348,7 @@ def run_worker(worker_id: int, cfg: LiveClusterConfig, strategy: str,
             "iteration_times": worker.iteration_times(),
             "timeline": worker.timeline(),
             "heartbeat_acks": worker.heartbeat_acks,
+            "transport": worker.transport_stats(),
             "events": (worker.recorder.to_dicts()
                        if worker.recorder is not None else []),
         })

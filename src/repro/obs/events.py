@@ -18,6 +18,10 @@ Event kinds
                        parameters all arrived)
 ``round_applied``      a PS shard finished one full aggregation round
                        for a key
+``fault_on``           an injected fault occurrence became active
+                       (emitted by the sim's FaultInjector and the live
+                       driver from the same FaultPlan schedule)
+``fault_off``          a fault occurrence lifted
 
 Every record is a flat, JSON-serializable :class:`ObsEvent`;
 :func:`validate_event` is the executable schema both sides must satisfy
@@ -41,6 +45,8 @@ class EventKind(str, Enum):
     SLICE_APPLIED = "slice_applied"
     FORWARD_GATE_OPEN = "forward_gate_open"
     ROUND_APPLIED = "round_applied"
+    FAULT_ON = "fault_on"
+    FAULT_OFF = "fault_off"
 
 
 #: Event kinds that describe one synchronization slice (carry a real key).

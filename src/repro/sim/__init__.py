@@ -5,11 +5,16 @@ from .chrome_trace import build_trace_events, export_chrome_trace
 from .cluster import ClusterConfig, ClusterSim, RunResult, simulate
 from .engine import EventHandle, SimulationError, Simulator
 from .faults import (
+    ChaosFault,
     FaultInjector,
+    FaultOccurrence,
     FaultPlan,
     LinkFault,
     ServerStallFault,
     StragglerFault,
+    fault_node,
+    fault_tag,
+    occurrences,
 )
 from .invariants import InvariantMonitor, InvariantViolation, simulate_checked
 from .network import (
@@ -30,10 +35,12 @@ __all__ = [
     "Channel",
     "build_trace_events",
     "export_chrome_trace",
+    "ChaosFault",
     "ClusterConfig",
     "ClusterSim",
     "EventHandle",
     "FaultInjector",
+    "FaultOccurrence",
     "FaultPlan",
     "FifoQueue",
     "InvariantMonitor",
@@ -52,8 +59,11 @@ __all__ = [
     "StragglerFault",
     "Transport",
     "UtilizationTrace",
+    "fault_node",
+    "fault_tag",
     "gbps_to_bytes_per_s",
     "make_queue",
+    "occurrences",
     "simulate",
     "simulate_checked",
     "utilization_summary",

@@ -24,9 +24,25 @@ jitter) flows from per-fault ``numpy`` generators derived from
 traces regardless of how fault events interleave — the determinism the
 property tests in ``tests/sim`` lock down.
 
-Faults are *lossless*: they reshape timing, never drop or duplicate
-bytes, so every simulator invariant (conservation, exactly-once
-updates) must keep holding under any plan.
+* **lossy channels** — frames are dropped, duplicated, delayed or
+  corrupted on the wire (:class:`ChaosFault`).  The *live* stack
+  injects these literally (:mod:`repro.live.chaos`) and recovers via
+  retransmission; the simulator, whose network is a fluid-flow model
+  with no frames to lose, interprets the same spec as the equivalent
+  *goodput* degradation — ``(1-drop)(1-corrupt)/(1+dup)`` of nominal
+  link rate — so one plan is meaningful on both substrates.
+
+A :class:`FaultPlan` is substrate-neutral: :func:`occurrences` expands
+its seeded schedule into explicit ``(start, end)`` windows, which is
+how the live driver and chaos channel replay exactly the occurrence
+timing (including jitter draws) the simulator's injector would produce.
+
+Timing faults are *lossless*: they reshape timing, never drop or
+duplicate bytes, so every simulator invariant (conservation,
+exactly-once updates) must keep holding under any plan.  A
+:class:`ChaosFault` is lossy *on the wire* but lossless end-to-end:
+the transport's recovery restores the exact byte stream, so the same
+invariants hold after recovery.
 """
 
 from __future__ import annotations
@@ -147,7 +163,79 @@ class ServerStallFault:
                            self.period, self.jitter)
 
 
-FaultSpec = Union[StragglerFault, LinkFault, ServerStallFault]
+@dataclass(frozen=True)
+class ChaosFault:
+    """Lossy-channel fault: drop/duplicate/delay/corrupt wire frames.
+
+    ``machine`` targets one machine's connections (workers are machines
+    ``0..W-1``, servers ``W..W+S-1``, matching the simulator's
+    non-colocated layout); ``machine=-1`` targets every connection.
+    Rates are independent per-frame probabilities drawn from a seeded
+    per-connection generator; ``delay_s`` bounds the injected delay
+    (each delayed frame waits ``uniform(0, delay_s)``).
+
+    The live stack applies this literally on the TX path
+    (:class:`repro.live.chaos.ChaosChannel`); the simulator applies the
+    equivalent goodput factor ``(1-drop)(1-corrupt)/(1+dup)`` to the
+    target machine's channels, because retransmission spends link
+    capacity re-sending what chaos destroyed.  Scheduling semantics
+    (``start``/``duration``/``period``/``jitter``) match
+    :class:`StragglerFault`.
+    """
+
+    machine: int = -1
+    drop_rate: float = 0.0
+    dup_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay_s: float = 0.0
+    start: float = 0.0
+    duration: Optional[float] = None
+    period: Optional[float] = None
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.machine < -1:
+            raise ValueError("ChaosFault: machine must be >= 0, or -1 "
+                             "for every connection")
+        for name in ("drop_rate", "dup_rate", "corrupt_rate", "delay_rate"):
+            value = getattr(self, name)
+            if not (0.0 <= value < 1.0):
+                raise ValueError(f"ChaosFault: {name} must be in [0, 1)")
+        if self.delay_s < 0:
+            raise ValueError("ChaosFault: delay_s must be >= 0")
+        if self.delay_rate > 0 and self.delay_s == 0:
+            raise ValueError("ChaosFault: delay_rate needs a positive delay_s")
+        if (self.drop_rate == self.dup_rate == self.corrupt_rate
+                == self.delay_rate == 0.0):
+            raise ValueError("ChaosFault: at least one rate must be positive")
+        _validate_schedule("ChaosFault", self.start, self.duration,
+                           self.period, self.jitter)
+
+    @property
+    def goodput_factor(self) -> float:
+        """Fraction of nominal link rate left after recovery overhead."""
+        return ((1.0 - self.drop_rate) * (1.0 - self.corrupt_rate)
+                / (1.0 + self.dup_rate))
+
+
+FaultSpec = Union[StragglerFault, LinkFault, ServerStallFault, ChaosFault]
+
+
+def fault_tag(spec: FaultSpec) -> str:
+    """Short stable tag naming a fault spec's type (result/event labels)."""
+    return {StragglerFault: "straggler", LinkFault: "link",
+            ServerStallFault: "stall", ChaosFault: "chaos"}[type(spec)]
+
+
+def fault_node(spec: FaultSpec) -> str:
+    """The node label a fault's obs events carry, shared by substrates."""
+    if isinstance(spec, StragglerFault):
+        return f"worker{spec.worker}"
+    if isinstance(spec, ServerStallFault):
+        return f"server{spec.server}"
+    machine = spec.machine
+    return "all" if machine < 0 else f"machine{machine}"
 
 
 @dataclass(frozen=True)
@@ -186,6 +274,51 @@ class FaultPlan:
             )
 
         return FaultPlan(tuple(scale(s) for s in self.faults), seed=self.seed)
+
+
+@dataclass(frozen=True)
+class FaultOccurrence:
+    """One expanded activation window of a fault spec.
+
+    ``end=None`` means the occurrence never lifts (a permanent fault).
+    """
+
+    index: int           # position of the spec within the plan
+    spec: FaultSpec
+    start: float
+    end: Optional[float]
+
+
+def occurrences(plan: FaultPlan, horizon_s: float) -> List[FaultOccurrence]:
+    """Expand a plan's seeded schedule into explicit windows.
+
+    Uses the *same* per-fault generator derivation and draw order as
+    :class:`FaultInjector` (one ``uniform(0, jitter)`` per occurrence,
+    in occurrence order), so the windows are exactly when the simulator
+    would fire — this is how the live driver and
+    :class:`repro.live.chaos.ChaosChannel` replay a plan without a
+    discrete-event engine.  Occurrences starting after ``horizon_s``
+    are omitted.
+    """
+    if horizon_s <= 0:
+        raise ValueError("horizon_s must be positive")
+    out: List[FaultOccurrence] = []
+    for index, spec in enumerate(plan.faults):
+        rng = np.random.default_rng((plan.seed, index))
+        occurrence = 0
+        while True:
+            base = spec.start + (spec.period or 0.0) * occurrence
+            if spec.jitter > 0:
+                base += float(rng.uniform(0.0, spec.jitter))
+            if base > horizon_s:
+                break
+            end = None if spec.duration is None else base + spec.duration
+            out.append(FaultOccurrence(index, spec, base, end))
+            if spec.period is None:
+                break
+            occurrence += 1
+    out.sort(key=lambda o: (o.start, o.index))
+    return out
 
 
 class FaultInjector:
@@ -229,6 +362,10 @@ class FaultInjector:
             if spec.server >= self.ctx.n_servers:
                 raise ValueError(f"ServerStallFault targets server {spec.server} "
                                  f"but the cluster has {self.ctx.n_servers}")
+        elif isinstance(spec, ChaosFault):
+            if spec.machine >= self.ctx.n_machines:
+                raise ValueError(f"ChaosFault targets machine {spec.machine} "
+                                 f"but the cluster has {self.ctx.n_machines}")
         else:
             raise TypeError(f"unknown fault spec {spec!r}")
 
@@ -255,6 +392,7 @@ class FaultInjector:
         if self.ctx.all_workers_done:
             return  # let the simulation drain and terminate
         self.activations += 1
+        self._emit(spec, on=True)
         self._apply(spec, on=True)
         if spec.duration is not None:
             self.ctx.sim.schedule(spec.duration, self._deactivate,
@@ -263,9 +401,20 @@ class FaultInjector:
     def _deactivate(self, spec: FaultSpec, rng: np.random.Generator,
                     occurrence: int) -> None:
         self.deactivations += 1
+        self._emit(spec, on=False)
         self._apply(spec, on=False)
         if spec.period is not None and not self.ctx.all_workers_done:
             self._schedule_occurrence(spec, rng, occurrence + 1)
+
+    def _emit(self, spec: FaultSpec, on: bool) -> None:
+        obs = getattr(self.ctx, "obs", None)
+        if obs is None:
+            return
+        from ..obs.events import EventKind
+        obs.recorder.emit(
+            EventKind.FAULT_ON if on else EventKind.FAULT_OFF,
+            node=fault_node(spec), ts=self.ctx.sim.now,
+            detail=fault_tag(spec))
 
     # ------------------------------------------------------------------
     # Effects
@@ -275,6 +424,8 @@ class FaultInjector:
             self._apply_straggler(spec, on)
         elif isinstance(spec, LinkFault):
             self._apply_link(spec, on)
+        elif isinstance(spec, ChaosFault):
+            self._apply_chaos(spec, on)
         else:
             self._apply_stall(spec, on)
 
@@ -306,6 +457,37 @@ class FaultInjector:
                 continue  # infinite links cannot be fractionally degraded
             effective = nominal * float(np.prod(factors)) if factors else nominal
             channel.set_rate(effective)
+
+    def _apply_chaos(self, spec: ChaosFault, on: bool) -> None:
+        """Fluid-flow interpretation of a lossy channel.
+
+        The simulator has no frames to drop, so chaos becomes the
+        goodput the reliability layer would be left with after paying
+        for retransmissions: dropped and corrupted frames are sent
+        again (factor ``1-rate`` each) and duplicates spend capacity
+        without delivering (``1/(1+dup)``).  Applied to both directions
+        of the target machine's NIC (or every machine for ``-1``),
+        composing multiplicatively with any active :class:`LinkFault`.
+        """
+        machines = (range(self.ctx.n_machines) if spec.machine < 0
+                    else (spec.machine,))
+        factor = spec.goodput_factor
+        for machine in machines:
+            for direction, chans in (("tx", self.ctx.tx_channels),
+                                     ("rx", self.ctx.rx_channels)):
+                factors = self._link_factors.setdefault((machine, direction),
+                                                        [])
+                if on:
+                    factors.append(factor)
+                else:
+                    factors.remove(factor)
+                channel = chans[machine]
+                nominal = channel.nominal_rate
+                if nominal is None:
+                    continue
+                effective = (nominal * float(np.prod(factors))
+                             if factors else nominal)
+                channel.set_rate(effective)
 
     def _apply_stall(self, spec: ServerStallFault, on: bool) -> None:
         server = self.ctx.servers[spec.server]

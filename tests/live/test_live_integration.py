@@ -99,6 +99,68 @@ def test_p3_sends_urgent_layers_earlier_than_baseline():
         mean_rank_of_first_layer(base_cfg, base)
 
 
+@pytest.mark.chaos
+def test_live_bit_identity_survives_lossy_transport():
+    """Acceptance criteria: with chaos destroying >=5% of frames on
+    every connection, retransmission restores the exact byte stream and
+    the final parameters still match the in-process store bit for bit."""
+    from repro.sim.faults import ChaosFault, FaultPlan
+
+    plan = FaultPlan((ChaosFault(machine=-1, drop_rate=0.08, dup_rate=0.03,
+                                 corrupt_rate=0.03),), seed=2)
+    cfg = tiny_cfg(strategy="p3", fault_plan=plan)
+    live = run_live(cfg)
+    ref = run_inprocess(cfg)
+    assert set(live.final_params) == set(ref)
+    for name in ref:
+        np.testing.assert_array_equal(
+            live.final_params[name], ref[name],
+            err_msg=f"{name} diverged under a lossy transport")
+    totals = {}
+    for stats in live.transport_stats.values():
+        for key, value in stats.items():
+            totals[key] = totals.get(key, 0) + value
+    assert totals["frames_dropped"] > 0, "chaos never bit — test is vacuous"
+    assert totals["frames_dropped"] >= 0.05 * totals["frames_seen"] * 0.5, \
+        "drop rate fell far below the configured 8%"
+    assert totals["frames_retransmitted"] > 0, "recovery never ran"
+    assert totals["acks_received"] > 0
+    # Two-generals tail: the ack for a connection's final BYE can be
+    # destroyed after the server already tore down, so each connection
+    # may end with at most that one frame unacked.  Anything more means
+    # data frames went unacknowledged.
+    assert totals["unacked_frames"] <= cfg.n_workers * cfg.n_servers, \
+        "data frames (not just tail BYEs) finished unacked"
+
+
+@pytest.mark.chaos
+def test_dead_shard_fails_fast_with_exit_code(monkeypatch):
+    """A shard that dies before accepting connections must surface as a
+    prompt LiveRunError naming the child and its exit code — never a
+    hang waiting on the port queue."""
+    import os
+    import time
+
+    import repro.live.driver as driver_mod
+
+    if driver_mod._context().get_start_method() != "fork":
+        pytest.skip("monkeypatched child entry point needs fork")
+
+    def crash_shard(shard_id, cfg, strategy, port_queue, events_queue=None,
+                    epoch=None):
+        os._exit(17)
+
+    monkeypatch.setattr(driver_mod, "serve_shard", crash_shard)
+    cfg = tiny_cfg(strategy="p3")
+    start = time.monotonic()
+    with pytest.raises(driver_mod.LiveRunError) as err:
+        run_live(cfg, launch_timeout_s=10.0)
+    elapsed = time.monotonic() - start
+    assert elapsed < 8.0, f"fail-fast took {elapsed:.1f}s — that is a hang"
+    message = str(err.value)
+    assert "live-shard" in message and "exit code 17" in message
+
+
 def test_calibration_report_end_to_end():
     """Acceptance criteria: bit-identity plus sign agreement with the
     simulator's prediction, within the documented tolerance."""

@@ -129,9 +129,9 @@ def test_bad_magic_rejected():
 
 def test_oversize_length_field_rejected():
     """A corrupt length field must not trigger a giant allocation."""
-    header = struct.pack("<HBBHhiiiIII", MAGIC, 1, int(WireKind.PUSH), 0, 0,
+    header = struct.pack("<HBBHhiiiIIII", MAGIC, 2, int(WireKind.PUSH), 0, 0,
                          0, 0, 0, 0, MAX_FRAME_PAYLOAD * 2,
-                         MAX_FRAME_PAYLOAD * 2)
+                         MAX_FRAME_PAYLOAD * 2, 0xFFFFFFFF)
     import zlib
     crc = zlib.crc32(header)
     decoder = FrameDecoder()

@@ -93,3 +93,53 @@ def test_live_stream_conforms_and_matches_sim_vocabulary():
     for name in ("net.queue_delay_s", "net.wire_s", "net.slices_sent",
                  "worker.gate_wait_s", "server.rounds_applied"):
         assert name in reg.names()
+
+
+@pytest.mark.slow
+@pytest.mark.chaos
+def test_same_fault_plan_same_event_vocabulary_on_both_substrates():
+    """One FaultPlan, two substrates, one story.
+
+    The simulator's injector and the live driver must describe the same
+    plan with the same fault records, and faults must not change the
+    per-slice lifecycle vocabulary on either side (recovery is invisible
+    at the slice level — that is the bit-identity guarantee showing up
+    in the observability stream).
+    """
+    from repro.live import LiveClusterConfig, run_live
+    from repro.sim.faults import ChaosFault, FaultPlan
+
+    # Permanent fault: exactly one fault_on per substrate, no fault_off,
+    # so the expected fault stream is closed-form.
+    plan = FaultPlan((ChaosFault(machine=-1, drop_rate=0.05,
+                                 dup_rate=0.02),), seed=11)
+
+    cfg = LiveClusterConfig(
+        n_workers=2, n_servers=1, iterations=3, warmup=1,
+        in_size=8, hidden=16, depth=1, n_train=32, n_val=16, batch_size=8,
+        slice_params=1_500, rate_bytes_per_s=1_000_000.0, chunk_bytes=4_096,
+        fwd_layer_s=0.002, bwd_layer_s=0.004, observe=True,
+        fault_plan=plan)
+    result = run_live(cfg, strategy="p3")
+    live_by_key = _check_stream(result.events)
+
+    sess = sim_session()
+    simulate(toy_model(), p3(),
+             ClusterConfig(n_workers=2, bandwidth_gbps=1.0, seed=0,
+                           fault_plan=plan),
+             iterations=3, warmup=1, obs=sess)
+    sim_by_key = _check_stream(sess.events())
+
+    def fault_records(events):
+        return [(e["kind"], e["node"], e["detail"]) for e in events
+                if e["kind"] in (EventKind.FAULT_ON.value,
+                                 EventKind.FAULT_OFF.value)]
+
+    expected = [(EventKind.FAULT_ON.value, "all", "chaos")]
+    assert fault_records(result.events) == expected
+    assert fault_records(sess.events()) == expected
+
+    strip = {EventKind.SLICE_PREEMPTED.value}
+    sim_vocab = {frozenset(k - strip) for k in sim_by_key.values()}
+    live_vocab = {frozenset(k - strip) for k in live_by_key.values()}
+    assert sim_vocab == live_vocab == {frozenset(LIFECYCLE)}
