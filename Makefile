@@ -25,7 +25,8 @@ bench:
 bench-snapshot:
 	$(PYTHON) tools/bench_snapshot.py
 
-# advisory regression check vs the latest committed BENCH_*.json
+# regression check vs the latest committed BENCH_*.json: engine
+# events/s regressions fail (blocking), sim wall times only warn
 perf-smoke:
 	$(PYTHON) tools/bench_snapshot.py --check
 

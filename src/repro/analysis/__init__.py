@@ -20,6 +20,12 @@ from .ascii_plot import ascii_plot
 from .bandwidth import FIG7_GRIDS, fig7_bandwidth_sweep, peak_speedups
 from .distributions import fig5_param_distribution, skew_statistics
 from .scalability import FIG10_SIZES, fig10_scalability
+from .sharding import (
+    PLACEMENT_SIZES,
+    PLACEMENTS,
+    placement_sweep,
+    skewed_strategies,
+)
 from .schedules import (
     ScheduleOutcome,
     fig4_schedule_comparison,
@@ -73,6 +79,8 @@ __all__ = [
     "wire_bytes_per_direction",
     "FIG10_SIZES",
     "FIG12_SLICES",
+    "PLACEMENTS",
+    "PLACEMENT_SIZES",
     "FIG7_GRIDS",
     "FIG8_9_CONFIGS",
     "FigureData",
@@ -109,7 +117,9 @@ __all__ = [
     "load_figure",
     "oversubscription_sweep",
     "peak_speedups",
+    "placement_sweep",
     "robustness_sweep",
+    "skewed_strategies",
     "SeedStats",
     "SimCache",
     "SimPoint",

@@ -117,6 +117,10 @@ def predict_sim(cfg: LiveClusterConfig,
         bandwidth_gbps=sim_bandwidth_gbps(cfg),
         colocate_servers=False,
         seed=cfg.store_seed,
+        placement=cfg.placement,
+        placement_split_factor=cfg.split_factor,
+        placement_max_splits=cfg.max_splits,
+        agg_group_size=cfg.agg_group_size,
     )
     iters = max(cfg.iterations, cfg.warmup + 2)
     times = {}
@@ -323,6 +327,10 @@ def _simulate_live_equivalent(cfg: LiveClusterConfig, strategy: str,
         colocate_servers=False,
         seed=cfg.store_seed,
         fault_plan=plan,
+        placement=cfg.placement,
+        placement_split_factor=cfg.split_factor,
+        placement_max_splits=cfg.max_splits,
+        agg_group_size=cfg.agg_group_size,
     )
     strat = (strategies.baseline() if strategy == "baseline"
              else strategies.p3(cfg.slice_params))

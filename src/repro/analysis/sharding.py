@@ -1,0 +1,107 @@
+"""Placement sweep: P3 vs baseline under skewed key sizes, by policy.
+
+The paper's round-robin slice placement (Section 4.2) balances shard
+load only when slices are uniform.  Coarse slicing — or the baseline's
+layer-granularity keys — leaves heavily *skewed* key sizes (VGG-19's
+fc layers dwarf its convolutions by orders of magnitude), and the shard
+that drew the hot key becomes the round's straggler.  This figure runs
+the same model/strategy grid under each :mod:`repro.placement` policy:
+
+* ``round_robin`` — the strategies' own static plan (the paper);
+* ``balanced`` — greedy bin-packing over measured key sizes, splitting
+  hot keys across shards;
+* ``two_tier`` — balanced placement plus intra-group aggregators, so
+  root fan-in grows with the number of *groups* instead of workers.
+
+Scaling the worker count 16→256 separates the failure modes: skew hurts
+at every size, while root fan-in only dominates at large clusters.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..models import get_model
+from ..sim import ClusterConfig
+from ..strategies import StrategyConfig, baseline, p3
+from .cache import SimCache
+from .runner import SimPoint, run_grid
+from .series import FigureData
+
+PLACEMENT_SIZES = (16, 64, 256)
+PLACEMENTS = ("round_robin", "balanced", "two_tier")
+#: Coarse slices keep P3's key sizes skewed (VGG-19's fc6 still splits
+#: into multi-million-parameter slices while conv keys stay tiny), which
+#: is exactly the regime a placement policy must cope with.
+SKEWED_SLICE_PARAMS = 2_000_000
+
+
+def skewed_strategies() -> tuple:
+    """The figure's default strategy pair: layer-granular baseline and
+    coarsely-sliced P3 — both with heavily skewed key sizes."""
+    return (baseline(), p3(slice_params=SKEWED_SLICE_PARAMS))
+
+
+def placement_sweep(
+    model_name: str = "vgg19",
+    cluster_sizes: Sequence[int] = PLACEMENT_SIZES,
+    placements: Sequence[str] = PLACEMENTS,
+    strategies: Optional[Sequence[StrategyConfig]] = None,
+    n_servers: int = 8,
+    bandwidth_gbps: float = 10.0,
+    agg_group_size: int = 8,
+    split_factor: float = 1.5,
+    compute_scale: float = 1.0,
+    iterations: int = 5,
+    warmup: int = 2,
+    seed: int = 0,
+    jobs: int = 1,
+    cache: Optional[SimCache] = None,
+) -> FigureData:
+    """Cluster-total throughput per placement policy and strategy.
+
+    One series per ``(strategy, placement)`` pair, named
+    ``"<strategy>/<placement>"``.  ``jobs``/``cache`` parallelize and
+    memoize the grid without changing a digit of the output
+    (:mod:`repro.analysis.runner`).
+    """
+    model = get_model(model_name)
+    strategies = (tuple(strategies) if strategies is not None
+                  else skewed_strategies())
+    fig = FigureData(
+        figure_id=f"placement_{model_name}",
+        title=(f"Placement policies: {model_name} @ "
+               f"{bandwidth_gbps:g} Gbps, {n_servers} shards"),
+        x_label="cluster size",
+        y_label=f"throughput ({model.sample_unit}/s)",
+    )
+    points = [
+        SimPoint(model_name, strat,
+                 ClusterConfig(n_workers=int(n), n_servers=n_servers,
+                               bandwidth_gbps=bandwidth_gbps,
+                               compute_scale=compute_scale,
+                               placement=placement,
+                               placement_split_factor=split_factor,
+                               agg_group_size=agg_group_size, seed=seed),
+                 iterations, warmup)
+        for strat in strategies
+        for placement in placements
+        for n in cluster_sizes
+    ]
+    results = iter(run_grid(points, jobs=jobs, cache=cache))
+    for strat in strategies:
+        for placement in placements:
+            ys = [next(results).throughput for _ in cluster_sizes]
+            fig.add(f"{strat.name}/{placement}", list(cluster_sizes), ys)
+    for strat in strategies:
+        base = fig.get(f"{strat.name}/round_robin")
+        for placement in placements:
+            if placement == "round_robin":
+                continue
+            series = fig.get(f"{strat.name}/{placement}")
+            gains = series.y / base.y
+            fig.notes[f"max_{placement}_gain_{strat.name}"] = round(
+                float(gains.max()), 3)
+            fig.notes[f"max_{placement}_gain_{strat.name}_at_size"] = int(
+                base.x[gains.argmax()])
+    return fig

@@ -335,9 +335,13 @@ def cmd_live(args: argparse.Namespace) -> None:
         batch_size=args.batch,
         observe=observe,
         fault_plan=plan,
+        placement=args.placement,
+        agg_group_size=args.group_size,
+        split_factor=args.split_factor,
     )
     print(f"live cluster: {cfg.n_workers} workers + {cfg.n_servers} shards "
-          f"on {cfg.host}, link shaped to {args.rate_mbps:.0f} Mbit/s")
+          f"on {cfg.host}, link shaped to {args.rate_mbps:.0f} Mbit/s "
+          f"({cfg.placement} placement)")
     if plan is not None:
         # Calibration-under-faults mode: same plan through both
         # substrates, report recovery counters + degradation agreement.
@@ -378,6 +382,22 @@ def cmd_live(args: argparse.Namespace) -> None:
             sess = session_from_events(res.events, source="live")
             path = export_metrics_summary(sess, args.metrics, metadata=meta)
             print(f"wrote {path}")
+
+
+def cmd_sharding(args: argparse.Namespace) -> None:
+    """Placement-policy sweep: round-robin vs balanced vs two-tier."""
+    kwargs = _sweep_kwargs(args)
+    sizes = tuple(int(s) for s in args.sizes.split(","))
+    placements = tuple(args.placements.split(","))
+    fig = analysis.placement_sweep(
+        args.model, cluster_sizes=sizes, placements=placements,
+        n_servers=args.shards, bandwidth_gbps=args.bandwidth,
+        agg_group_size=args.group_size, split_factor=args.split_factor,
+        iterations=args.iterations, seed=args.seed, **kwargs)
+    _emit(fig, args, logx=True)
+    _report_cache(kwargs)
+    for name, value in sorted(fig.notes.items()):
+        print(f"  {name} = {value}")
 
 
 def cmd_report(args: argparse.Namespace) -> None:
@@ -491,6 +511,13 @@ def build_parser() -> argparse.ArgumentParser:
     live_p.add_argument("--slice-params", type=int, default=5_000)
     live_p.add_argument("--rate-mbps", type=float, default=20.0,
                         help="token-bucket link rate (software tc qdisc)")
+    live_p.add_argument("--placement", default="round_robin",
+                        choices=("round_robin", "balanced", "two_tier"),
+                        help="shard placement policy (see docs/sharding.md)")
+    live_p.add_argument("--group-size", type=int, default=2,
+                        help="two-tier aggregation group size")
+    live_p.add_argument("--split-factor", type=float, default=1.5,
+                        help="hot-key split threshold (x ideal shard load)")
     live_p.add_argument("--faults", metavar="SPEC",
                         help="inject a lossy channel on every connection and "
                              "calibrate degradation sim-vs-live; SPEC is "
@@ -502,6 +529,22 @@ def build_parser() -> argparse.ArgumentParser:
                                         "a chrome://tracing JSON here")
     live_p.add_argument("--metrics", help="record repro.obs events and "
                                           "write a JSON metrics summary here")
+    shard_p = add("sharding", cmd_sharding,
+                  "placement-policy sweep (round-robin vs balanced vs "
+                  "two-tier) under skewed key sizes",
+                  model_default="vgg19")
+    shard_p.add_argument("--sizes", default="16,64,256",
+                         help="comma list of cluster sizes")
+    shard_p.add_argument("--placements",
+                         default="round_robin,balanced,two_tier",
+                         help="comma list of placement policies")
+    shard_p.add_argument("--shards", type=int, default=8)
+    shard_p.add_argument("--bandwidth", type=float, default=10.0)
+    shard_p.add_argument("--group-size", type=int, default=8,
+                         help="two-tier aggregation group size")
+    shard_p.add_argument("--split-factor", type=float, default=1.5,
+                         help="hot-key split threshold (x ideal shard load)")
+    shard_p.add_argument("--seed", type=int, default=0)
     report_p = add("report", cmd_report, "full evaluation -> markdown report")
     report_p.add_argument("--quick", action="store_true")
     report_p.add_argument("--out", dest="out", default="report.md")

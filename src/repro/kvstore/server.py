@@ -22,11 +22,18 @@ from ..training.optim import SGD
 class ServerShard:
     """One PS shard: aggregation buffers + optimizer state for its keys."""
 
-    def __init__(self, server_id: int, n_workers: int, optimizer: SGD) -> None:
+    def __init__(self, server_id: int, n_workers: int, optimizer: SGD,
+                 denominator: int | None = None) -> None:
         if n_workers <= 0:
             raise ValueError("n_workers must be positive")
+        if denominator is not None and denominator <= 0:
+            raise ValueError("denominator must be positive")
         self.sid = server_id
         self.n_workers = n_workers
+        # Two-tier topology: the shard's ``n_workers`` clients are group
+        # aggregators pushing partial sums, but the gradient mean still
+        # divides by the true worker count.
+        self.denominator = denominator if denominator is not None else n_workers
         self.optimizer = optimizer
         self.values: Dict[int, np.ndarray] = {}
         self._accum: Dict[int, np.ndarray] = {}
@@ -93,7 +100,7 @@ class ServerShard:
         return False
 
     def _apply_update(self, key: int) -> None:
-        mean_grad = self._accum[key] / self.n_workers
+        mean_grad = self._accum[key] / self.denominator
         # The optimizer works on named dicts; use the key as the name so
         # per-key momentum buffers stay independent (as ps-lite's do).
         self.optimizer.step({key: self.values[key]}, {key: mean_grad})

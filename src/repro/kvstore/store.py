@@ -51,14 +51,33 @@ class DistributedStore:
 
     def __init__(self, n_workers: int, n_servers: int,
                  lr: float = 0.1, momentum: float = 0.9,
-                 weight_decay: float = 0.0, seed: int = 0) -> None:
+                 weight_decay: float = 0.0, seed: int = 0,
+                 placement: str = "round_robin",
+                 split_factor: float = 2.0, max_splits: int = 4,
+                 group_size: int = 0) -> None:
         if n_workers <= 0 or n_servers <= 0:
             raise ValueError("n_workers and n_servers must be positive")
         self.n_workers = n_workers
         self.n_servers = n_servers
         self._rng = np.random.default_rng(seed)
+        # Placement subsystem (repro.placement): a non-round-robin policy
+        # re-packs the subclass's key plan at init() time; "two_tier"
+        # additionally groups workers so each shard sees one partial sum
+        # per group instead of one gradient per worker.
+        from ..placement import PlacementSpec, worker_groups
+        self.placement_spec = PlacementSpec(
+            policy=placement, split_factor=split_factor,
+            max_splits=max_splits,
+            group_size=(group_size if placement == "two_tier" else 0))
+        self.placement_plan = None
+        self.groups: Tuple[Tuple[int, ...], ...] = ()
+        if placement == "two_tier":
+            self.groups = worker_groups(n_workers, group_size)
+        n_clients = len(self.groups) if self.groups else n_workers
+        denominator = n_workers if self.groups else None
         self.shards = [
-            ServerShard(s, n_workers, SGD(lr, momentum, weight_decay))
+            ServerShard(s, n_clients, SGD(lr, momentum, weight_decay),
+                        denominator=denominator)
             for s in range(n_servers)
         ]
         self.keys: List[KeyMeta] = []
@@ -77,18 +96,31 @@ class DistributedStore:
         """Install initial parameters; dict order defines forward order."""
         if self._initialized:
             raise RuntimeError("store already initialized")
+        flats: Dict[str, np.ndarray] = {}
+        metas_all: List[KeyMeta] = []
         key = 0
         for forward_index, (name, value) in enumerate(params.items()):
             self._shapes[name] = value.shape
             metas = self._plan_array(name, value.size, forward_index, key)
             if sum(m.size for m in metas) != value.size:
                 raise AssertionError(f"plan for {name} does not cover the array")
-            flat = np.asarray(value, dtype=np.float64).ravel()
-            for m in metas:
-                self.shards[m.server].init_key(m.key, flat[m.start:m.stop])
-            self.keys.extend(metas)
-            self._by_name[name] = metas
+            flats[name] = np.asarray(value, dtype=np.float64).ravel()
+            metas_all.extend(metas)
             key += len(metas)
+        if self.placement_spec.policy != "round_robin":
+            # Re-pack the subclass's plan by measured load (key sizes):
+            # hot keys may split across shards, and every key may move.
+            from ..placement import KeyDemand, apply_to_metas, plan_placement
+            demands = [KeyDemand(m.key, m.size, m.priority)
+                       for m in metas_all]
+            self.placement_plan = plan_placement(
+                demands, self.n_servers, self.placement_spec,
+                n_workers=self.n_workers)
+            metas_all = apply_to_metas(metas_all, self.placement_plan)
+        for m in metas_all:
+            self.shards[m.server].init_key(m.key, flats[m.name][m.start:m.stop])
+            self.keys.append(m)
+            self._by_name.setdefault(m.name, []).append(m)
         self._initialized = True
 
     # ------------------------------------------------------------------
@@ -105,6 +137,24 @@ class DistributedStore:
         for grads in worker_grads:
             if set(grads) != set(self._shapes):
                 raise KeyError("gradient names do not match initialized params")
+        if self.groups:
+            # Two-tier: each group's aggregator pushes one partial sum
+            # (members added in worker-id order, exactly as the live
+            # aggregator process does); shards count groups and divide
+            # by the true worker count.
+            for gid, members in enumerate(self.groups):
+                flats = {}
+                for w in members:
+                    for name, g in worker_grads[w].items():
+                        flat = np.asarray(g, dtype=np.float64).ravel()
+                        if name in flats:
+                            flats[name] = flats[name] + flat
+                        else:
+                            flats[name] = flat
+                for meta in self.transmission_order():
+                    self.shards[meta.server].push(
+                        gid, meta.key, flats[meta.name][meta.start:meta.stop])
+            return self.pull_all()
         for worker, grads in enumerate(worker_grads):
             flats = {name: np.asarray(g, dtype=np.float64).ravel()
                      for name, g in grads.items()}
@@ -126,6 +176,9 @@ class DistributedStore:
         compression composes with slicing and sharding.
         """
         self._check_ready()
+        if self.groups:
+            raise RuntimeError(
+                "sparse rounds are not supported under two_tier grouping")
         if len(worker_sparse) != self.n_workers:
             raise ValueError(f"expected {self.n_workers} sparse dicts")
         for worker, sparse in enumerate(worker_sparse):

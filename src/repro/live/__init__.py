@@ -8,6 +8,7 @@ shaping — the software analogue of the paper's ``tc qdisc``-throttled
 testbed.  See ``docs/live.md``.
 """
 
+from .aggregator import LiveAggregator, LiveAggregatorError, serve_aggregator
 from .chaos import ChaosChannel, maybe_wrap
 from .config import KeyPlan, LiveClusterConfig, make_plan
 from .driver import LiveRunError, LiveRunResult, run_live
@@ -46,6 +47,8 @@ __all__ = [
     "Frame",
     "FrameDecoder",
     "KeyPlan",
+    "LiveAggregator",
+    "LiveAggregatorError",
     "LiveClusterConfig",
     "LiveRunError",
     "LiveRunResult",
@@ -71,6 +74,7 @@ __all__ = [
     "maybe_wrap",
     "run_live",
     "run_worker",
+    "serve_aggregator",
     "serve_shard",
     "split_message",
     "timeline_utilization",

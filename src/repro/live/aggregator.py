@@ -1,0 +1,384 @@
+"""Live intra-group aggregator process (two-tier topology, repro.live).
+
+One OS process per worker group, interposed between the group's workers
+and every root shard.  Toward its members it behaves like a shard —
+accept loop, reader threads, heartbeat ACKs, BYE counting — and toward
+the shards it behaves like a worker: one reliable prioritized sender
+per shard with ``sender_id`` set to the *group id*, plus an upstream
+heartbeat/liveness watchdog.
+
+Data plane:
+
+* **PUSH combine** — member gradients for a key stage per
+  ``(key, iteration)``; once every member contributed, the partials are
+  summed in member-id order (the exact order
+  :meth:`repro.kvstore.store.DistributedStore.round` uses for a group,
+  so live results stay bit-identical to the in-process grouped store)
+  and one combined ``PUSH`` travels upstream.
+* **PULL dedup** — the first member ``PULL_REQ`` for a round is
+  forwarded upstream; the returned ``PULL_RESP`` is cached and served
+  to every member, then evicted once the whole group consumed it.
+
+The aggregator is numerically transparent: shards divide by the true
+worker count (:class:`~repro.kvstore.server.ServerShard` with an
+explicit ``denominator``), so the two-tier topology changes fan-in and
+traffic shape, never the optimizer's update.
+"""
+
+from __future__ import annotations
+
+import socket
+import sys
+import threading
+import time
+import traceback
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from .chaos import maybe_wrap
+from .config import LiveClusterConfig, make_plan
+from .transport import (
+    CONTROL_PRIORITY,
+    PrioritySender,
+    ReliableReceiver,
+    TokenBucket,
+    TransportError,
+    connect_with_retry,
+)
+from .wire import WireKind, WireMessage, encode_array
+
+
+class LiveAggregatorError(Exception):
+    """Raised when a live aggregator cannot make progress."""
+
+
+class LiveAggregator:
+    """One group's combine/forward process between workers and shards."""
+
+    def __init__(self, group_id: int, cfg: LiveClusterConfig,
+                 addresses: List[Tuple[str, int]],
+                 strategy: Optional[str] = None,
+                 epoch: Optional[float] = None) -> None:
+        self.gid = group_id
+        self.cfg = cfg
+        self.epoch = epoch if epoch is not None else time.monotonic()
+        self.strategy = strategy or cfg.strategy
+        self.addresses = addresses  # every root shard, in shard order
+        self.members = list(cfg.worker_groups()[group_id])
+        self.plan = make_plan(cfg, self.strategy)
+        self._meta = {m.key: m for m in self.plan.metas}
+        # (key, iteration) -> worker -> staged gradient vector
+        self._staged: Dict[Tuple[int, int], Dict[int, np.ndarray]] = {}
+        # (key, iteration) -> members whose pulls await the upstream value
+        self._pull_waiting: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+        # (key, iteration) -> cached upstream payload + members served
+        self._resp: Dict[Tuple[int, int], bytes] = {}
+        self._resp_served: Dict[Tuple[int, int], Set[int]] = {}
+        self._member_senders: Dict[int, PrioritySender] = {}
+        self._receivers: List[ReliableReceiver] = []
+        self._lock = threading.Lock()
+        self._done = threading.Event()
+        self._stop_hb = threading.Event()
+        self._error: Optional[str] = None
+        self._byes = 0
+        self._fifo_seq = 0
+        self.pushes_combined = 0
+        self.pulls_forwarded = 0
+        self.heartbeats_seen = 0
+        shaper = None
+        if cfg.rate_bytes_per_s is not None:
+            shaper = TokenBucket(cfg.rate_bytes_per_s, cfg.burst_bytes)
+        self._shaper = shaper
+        self._listener: Optional[socket.socket] = None
+        self._conns: List[socket.socket] = []
+        self._threads: List[threading.Thread] = []
+        self.up_socks: List[socket.socket] = []
+        self.up_senders: List[PrioritySender] = []
+        self._up_last_rx: List[float] = []
+
+    # ------------------------------------------------------------------
+    # Socket plumbing
+    # ------------------------------------------------------------------
+    def bind(self) -> int:
+        """Bind an ephemeral port for the group's members; return it."""
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((self.cfg.host, 0))
+        self._listener.listen(len(self.members))
+        self._listener.settimeout(self.cfg.connect_timeout_s)
+        return self._listener.getsockname()[1]
+
+    def connect_upstream(self) -> None:
+        """Open the worker-style connections to every root shard."""
+        machine = self.cfg.aggregator_machine(self.gid)
+        for sid, addr in enumerate(self.addresses):
+            raw = connect_with_retry(addr, self.cfg.connect_timeout_s)
+            sock = maybe_wrap(raw, self.cfg.fault_plan, machine,
+                              peer=self.cfg.server_machine(sid),
+                              epoch=self.epoch)
+            self.up_socks.append(sock)
+            sender = PrioritySender(
+                sock, sender_id=self.gid, shaper=self._shaper,
+                chunk_bytes=self.cfg.chunk_bytes,
+                retry=self.cfg.retry_policy(machine))
+            self.up_senders.append(sender)
+            receiver = ReliableReceiver(sender_for=lambda _f, s=sender: s)
+            self._receivers.append(receiver)
+            self._up_last_rx.append(time.monotonic())
+            reader = threading.Thread(
+                target=self._up_reader,
+                args=(raw, len(self.up_socks) - 1, receiver),
+                daemon=True, name=f"agg{self.gid}-up-reader")
+            reader.start()
+            self._threads.append(reader)
+        hb = threading.Thread(target=self._heartbeat_loop, daemon=True,
+                              name=f"agg{self.gid}-hb")
+        hb.start()
+        self._threads.append(hb)
+
+    def serve(self) -> None:
+        """Accept every member, run until all of them said BYE."""
+        assert self._listener is not None, "call bind() first"
+        for _ in range(len(self.members)):
+            conn, _addr = self._listener.accept()
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._conns.append(conn)
+            thread = threading.Thread(target=self._member_reader,
+                                      args=(conn,), daemon=True,
+                                      name=f"agg{self.gid}-reader")
+            thread.start()
+            self._threads.append(thread)
+        if not self._done.wait(self.cfg.round_timeout_s * self.cfg.iterations):
+            raise TimeoutError(
+                f"aggregator {self.gid}: members never completed")
+        if self._error is not None:
+            raise LiveAggregatorError(f"aggregator {self.gid}: {self._error}")
+        self._stop_hb.set()
+        # Clean shutdown: goodbyes upstream, then close both sides.
+        for sender in self.up_senders:
+            try:
+                sender.send(WireKind.BYE, 0, 0, CONTROL_PRIORITY)
+                sender.close(timeout=self.cfg.peer_timeout_s)
+            except TransportError:
+                pass
+        for sock in self.up_socks:
+            try:
+                sock.shutdown(1)  # SHUT_WR: let the shard read our BYE
+            except OSError:
+                pass
+        for sender in self._member_senders.values():
+            sender.close()
+        for conn in self._conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            conn.close()
+        self._listener.close()
+        for sock in self.up_socks:
+            sock.close()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+
+    def _sender_for(self, conn: socket.socket, worker: int) -> PrioritySender:
+        machine = self.cfg.aggregator_machine(self.gid)
+        with self._lock:
+            if worker not in self._member_senders:
+                sock = maybe_wrap(conn, self.cfg.fault_plan, machine,
+                                  peer=self.cfg.worker_machine(worker),
+                                  epoch=self.epoch)
+                self._member_senders[worker] = PrioritySender(
+                    sock, sender_id=self.gid, shaper=self._shaper,
+                    chunk_bytes=self.cfg.chunk_bytes,
+                    retry=self.cfg.retry_policy(machine))
+            return self._member_senders[worker]
+
+    def _member_reader(self, conn: socket.socket) -> None:
+        receiver = ReliableReceiver(
+            sender_for=lambda frame: self._sender_for(conn, frame.sender))
+        with self._lock:
+            self._receivers.append(receiver)
+        saw_bye = False
+        try:
+            while True:
+                try:
+                    data = conn.recv(65536)
+                except OSError:
+                    return
+                if not data:
+                    if not saw_bye:
+                        self._fail("member connection closed without BYE "
+                                   "— worker process died?")
+                    return
+                for msg in receiver.feed(data):
+                    if msg.kind is WireKind.BYE:
+                        saw_bye = True
+                    self._handle_member(
+                        msg, self._sender_for(conn, msg.sender))
+        except BaseException as exc:  # noqa: BLE001 - surfaced via serve()
+            self._fail(f"member reader failed: {type(exc).__name__}: {exc}")
+
+    def _up_reader(self, sock, index: int,
+                   receiver: ReliableReceiver) -> None:
+        try:
+            while True:
+                try:
+                    data = sock.recv(65536)
+                except OSError:
+                    return
+                if not data:
+                    return
+                self._up_last_rx[index] = time.monotonic()
+                for msg in receiver.feed(data):
+                    if msg.kind is WireKind.PULL_RESP:
+                        self._on_pull_resp(msg)
+                    # ACKs answer our heartbeats; nothing to do.
+        except BaseException as exc:  # noqa: BLE001 - surfaced via serve()
+            self._fail(f"upstream reader failed: {type(exc).__name__}: {exc}")
+
+    def _heartbeat_loop(self) -> None:
+        """Probe the shards; surface a dead upstream peer loudly."""
+        seq = 0
+        while not self._stop_hb.wait(self.cfg.heartbeat_interval_s):
+            now = time.monotonic()
+            for sid, sender in enumerate(self.up_senders):
+                if sender.failed:
+                    self._fail(f"transport to server {sid} failed: "
+                               f"{sender.failure}")
+                    return
+                stale = now - self._up_last_rx[sid]
+                if stale > self.cfg.peer_timeout_s:
+                    self._fail(f"no bytes from server {sid} for "
+                               f"{stale:.1f}s — peer dead?")
+                    return
+                try:
+                    sender.send(WireKind.HEARTBEAT, 0, seq, CONTROL_PRIORITY)
+                except TransportError as exc:
+                    self._fail(f"heartbeat to server {sid} failed: {exc}")
+                    return
+            seq += 1
+
+    def _fail(self, reason: str) -> None:
+        with self._lock:
+            if self._error is None:
+                self._error = reason
+        self._done.set()
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+    def _handle_member(self, msg: WireMessage,
+                       sender: PrioritySender) -> None:
+        if msg.kind is WireKind.PUSH:
+            self._on_push(msg)
+        elif msg.kind is WireKind.PULL_REQ:
+            self._on_pull(msg)
+        elif msg.kind is WireKind.HEARTBEAT:
+            with self._lock:
+                self.heartbeats_seen += 1
+            sender.send(WireKind.ACK, msg.key, msg.iteration,
+                        CONTROL_PRIORITY)
+        elif msg.kind is WireKind.BYE:
+            with self._lock:
+                self._byes += 1
+                if self._byes >= len(self.members):
+                    self._done.set()
+        else:
+            raise LiveAggregatorError(
+                f"aggregator {self.gid}: unexpected {msg.kind.name} "
+                f"from worker {msg.sender}")
+
+    def _priority(self, meta) -> int:
+        if self.strategy == "p3":
+            return meta.priority
+        self._fifo_seq += 1
+        return self._fifo_seq  # FIFO: priority == enqueue order
+
+    def _on_push(self, msg: WireMessage) -> None:
+        meta = self._meta.get(msg.key)
+        if meta is None:
+            raise KeyError(f"aggregator {self.gid}: unknown key {msg.key}")
+        combined: Optional[bytes] = None
+        prio = 0
+        with self._lock:
+            staged = self._staged.setdefault((msg.key, msg.iteration), {})
+            if msg.sender in staged:
+                raise LiveAggregatorError(
+                    f"aggregator {self.gid}: worker {msg.sender} "
+                    f"double-pushed key {msg.key} @ {msg.iteration}")
+            staged[msg.sender] = msg.array()
+            if len(staged) == len(self.members):
+                # Sum in member-id order — the in-process grouped
+                # store's accumulation order, hence bit-identical.
+                acc = staged[self.members[0]].copy()
+                for w in self.members[1:]:
+                    acc += staged[w]
+                del self._staged[(msg.key, msg.iteration)]
+                self.pushes_combined += 1
+                combined = encode_array(acc)
+                prio = self._priority(meta)
+        if combined is not None:
+            self.up_senders[meta.server].send(
+                WireKind.PUSH, msg.key, msg.iteration, prio, combined)
+
+    def _on_pull(self, msg: WireMessage) -> None:
+        meta = self._meta.get(msg.key)
+        if meta is None:
+            raise KeyError(f"aggregator {self.gid}: unknown key {msg.key}")
+        ident = (msg.key, msg.iteration)
+        reply: Optional[bytes] = None
+        forward = False
+        with self._lock:
+            cached = self._resp.get(ident)
+            if cached is not None:
+                reply = cached
+                served = self._resp_served[ident]
+                served.add(msg.sender)
+                if len(served) >= len(self.members):
+                    del self._resp[ident]
+                    del self._resp_served[ident]
+            else:
+                waiting = self._pull_waiting.setdefault(ident, [])
+                forward = not waiting
+                waiting.append((msg.sender, msg.priority))
+                if forward:
+                    self.pulls_forwarded += 1
+        if reply is not None:
+            self._member_senders[msg.sender].send(
+                WireKind.PULL_RESP, msg.key, msg.iteration, msg.priority,
+                reply)
+        elif forward:
+            # First member pull of this round: fetch from the root once.
+            self.up_senders[meta.server].send(
+                WireKind.PULL_REQ, msg.key, msg.iteration, msg.priority)
+
+    def _on_pull_resp(self, msg: WireMessage) -> None:
+        ident = (msg.key, msg.iteration)
+        with self._lock:
+            waiting = self._pull_waiting.pop(ident, [])
+            served = {w for w, _prio in waiting}
+            if len(served) < len(self.members):
+                # Late pulls will hit the cache; evicted once everyone
+                # consumed this round's value.
+                self._resp[ident] = msg.payload
+                self._resp_served[ident] = served
+        for worker, priority in waiting:
+            self._member_senders[worker].send(
+                WireKind.PULL_RESP, msg.key, msg.iteration, priority,
+                msg.payload)
+
+
+def serve_aggregator(group_id: int, cfg: LiveClusterConfig, strategy: str,
+                     addresses: List[Tuple[str, int]], port_queue,
+                     epoch: Optional[float] = None) -> None:
+    """``multiprocessing`` entry point for one aggregator process."""
+    try:
+        agg = LiveAggregator(group_id, cfg, addresses, strategy, epoch=epoch)
+        port = agg.bind()
+        agg.connect_upstream()
+        port_queue.put((group_id, port))
+        agg.serve()
+    except Exception:
+        traceback.print_exc(file=sys.stderr)
+        raise

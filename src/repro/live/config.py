@@ -41,6 +41,15 @@ class LiveClusterConfig:
     slice_params: int = 5_000          # P3 slice granularity (toy-scaled)
     threshold: int = 1_000_000         # baseline big-layer split threshold
 
+    # Key placement (repro.placement): "round_robin" keeps the store's
+    # own plan; "balanced" re-packs keys onto shards by size (splitting
+    # hot keys); "two_tier" additionally interposes one aggregator
+    # process per ``agg_group_size`` workers in front of the shards.
+    placement: str = "round_robin"
+    split_factor: float = 2.0
+    max_splits: int = 4
+    agg_group_size: int = 2
+
     # Link shaping (None = unshaped loopback)
     rate_bytes_per_s: Optional[float] = 2_500_000.0
     burst_bytes: int = 32_768
@@ -114,6 +123,11 @@ class LiveClusterConfig:
             raise ValueError("chunk_bytes must be positive")
         if self.peer_timeout_s <= 0:
             raise ValueError("peer_timeout_s must be positive")
+        # Placement knobs validate through the subsystem's own spec.
+        self.placement_spec()
+        if self.placement == "two_tier" and self.fault_plan is not None:
+            raise ValueError(
+                "two_tier placement does not support fault injection yet")
         # Fail fast on bad retry knobs (RetryPolicy revalidates).
         self.retry_policy(0)
 
@@ -141,6 +155,44 @@ class LiveClusterConfig:
     def server_machine(self, server_id: int) -> int:
         """Machine id of a server shard (after all workers)."""
         return self.n_workers + server_id
+
+    def aggregator_machine(self, group_id: int) -> int:
+        """Machine id of a group aggregator (after all servers)."""
+        return self.n_workers + self.n_servers + group_id
+
+    # ------------------------------------------------------------------
+    # Placement / two-tier topology
+    # ------------------------------------------------------------------
+    def placement_spec(self) -> "PlacementSpec":
+        from ..placement import PlacementSpec
+        return PlacementSpec(
+            policy=self.placement, split_factor=self.split_factor,
+            max_splits=self.max_splits,
+            group_size=(self.agg_group_size
+                        if self.placement == "two_tier" else 0))
+
+    @property
+    def two_tier(self) -> bool:
+        return self.placement == "two_tier"
+
+    def worker_groups(self) -> Tuple[Tuple[int, ...], ...]:
+        if not self.two_tier:
+            return ()
+        from ..placement import worker_groups
+        return worker_groups(self.n_workers, self.agg_group_size)
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.worker_groups())
+
+    def group_of(self, worker_id: int) -> int:
+        return worker_id // self.agg_group_size
+
+    @property
+    def n_server_clients(self) -> int:
+        """How many peers push to each shard: group aggregators under
+        two-tier, workers otherwise."""
+        return self.n_groups if self.two_tier else self.n_workers
 
     # ------------------------------------------------------------------
     # Deterministic world building (identical in every process)
@@ -171,7 +223,12 @@ class LiveClusterConfig:
         kind = strategy or self.strategy
         common = dict(n_workers=self.n_workers, n_servers=self.n_servers,
                       lr=self.lr, momentum=self.momentum,
-                      weight_decay=self.weight_decay, seed=self.store_seed)
+                      weight_decay=self.weight_decay, seed=self.store_seed,
+                      placement=self.placement,
+                      split_factor=self.split_factor,
+                      max_splits=self.max_splits,
+                      group_size=(self.agg_group_size
+                                  if self.placement == "two_tier" else 0))
         if kind == "baseline":
             return BaselineKVStore(threshold=self.threshold, **common)
         return P3Store(slice_params=self.slice_params, **common)

@@ -22,6 +22,7 @@ import numpy as np
 from ..obs.events import EventRecorder, normalize_timestamps
 from ..sim.faults import fault_node, fault_tag, occurrences
 from ..sim.trace import UtilizationTrace
+from .aggregator import serve_aggregator
 from .config import LiveClusterConfig
 from .server import serve_shard
 from .transport import ChunkRecord, goodput_bytes_per_s, timeline_utilization
@@ -161,9 +162,36 @@ def run_live(cfg: LiveClusterConfig, strategy: Optional[str] = None,
             ports[sid] = port
         addresses: List[Tuple[str, int]] = [
             (cfg.host, ports[s]) for s in range(cfg.n_servers)]
+        if cfg.two_tier:
+            # Two-tier topology: interpose one aggregator process per
+            # worker group between workers and shards; each worker then
+            # talks to exactly one address — its group's aggregator.
+            agg_port_q = ctx.Queue()
+            aggregators = [
+                ctx.Process(target=serve_aggregator,
+                            args=(g, cfg, strategy, addresses, agg_port_q,
+                                  epoch),
+                            daemon=True, name=f"live-agg-{g}")
+                for g in range(cfg.n_groups)
+            ]
+            for proc in aggregators:
+                proc.start()
+            servers = servers + aggregators
+            agg_ports: Dict[int, int] = {}
+            for _ in range(cfg.n_groups):
+                gid, port = _get_failfast(agg_port_q, launch_timeout_s,
+                                          servers,
+                                          "aggregators failed to bind")
+                agg_ports[gid] = port
+            worker_addresses = [
+                [(cfg.host, agg_ports[cfg.group_of(w)])]
+                for w in range(cfg.n_workers)]
+        else:
+            worker_addresses = [addresses for _ in range(cfg.n_workers)]
         workers = [
             ctx.Process(target=run_worker,
-                        args=(w, cfg, strategy, addresses, result_q, epoch),
+                        args=(w, cfg, strategy, worker_addresses[w],
+                              result_q, epoch),
                         daemon=True, name=f"live-worker-{w}")
             for w in range(cfg.n_workers)
         ]

@@ -50,6 +50,12 @@ class LiveServerShard:
         self.cfg = cfg
         self.epoch = epoch if epoch is not None else time.monotonic()
         self.strategy = strategy or cfg.strategy
+        # The shard's clients are group aggregators under the two-tier
+        # topology and workers otherwise; "worker"/"sender" ids below
+        # are client indices in either case.
+        self.n_clients = cfg.n_server_clients
+        self._client_machine = (cfg.aggregator_machine if cfg.two_tier
+                                else cfg.worker_machine)
         store = cfg.build_initialized_store(self.strategy)
         self.shard = store.shards[shard_id]
         self.plan = make_plan(cfg, self.strategy)
@@ -90,14 +96,14 @@ class LiveServerShard:
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((self.cfg.host, 0))
-        self._listener.listen(self.cfg.n_workers)
+        self._listener.listen(self.n_clients)
         self._listener.settimeout(self.cfg.connect_timeout_s)
         return self._listener.getsockname()[1]
 
     def serve(self) -> None:
         """Accept every worker, run until all of them said BYE."""
         assert self._listener is not None, "call bind() first"
-        for _ in range(self.cfg.n_workers):
+        for _ in range(self.n_clients):
             conn, _addr = self._listener.accept()
             conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             self._conns.append(conn)
@@ -129,7 +135,7 @@ class LiveServerShard:
                 # The server's TX path gets its own chaos wrapper, so a
                 # plan's lossiness hits both directions symmetrically.
                 sock = maybe_wrap(conn, self.cfg.fault_plan, machine,
-                                  peer=self.cfg.worker_machine(worker),
+                                  peer=self._client_machine(worker),
                                   epoch=self.epoch)
                 self._senders[worker] = PrioritySender(
                     sock, sender_id=self.sid, shaper=self._shaper,
@@ -187,7 +193,7 @@ class LiveServerShard:
         elif msg.kind is WireKind.BYE:
             with self._lock:
                 self._byes += 1
-                if self._byes >= self.cfg.n_workers:
+                if self._byes >= self.n_clients:
                     self._done.set()
         else:
             raise RuntimeError(f"shard {self.sid}: unexpected {msg.kind.name} "
@@ -212,9 +218,9 @@ class LiveServerShard:
             while True:
                 round_idx = self.version[msg.key]
                 ready = self._staged[msg.key].get(round_idx)
-                if ready is None or len(ready) < self.cfg.n_workers:
+                if ready is None or len(ready) < self.n_clients:
                     break
-                for worker in range(self.cfg.n_workers):
+                for worker in range(self.n_clients):
                     self.shard.push(worker, msg.key, ready[worker])
                 del self._staged[msg.key][round_idx]
                 self.version[msg.key] = round_idx + 1
@@ -222,7 +228,7 @@ class LiveServerShard:
                     meta = self.my_keys[msg.key]
                     node = f"server{self.sid}"
                     layer = self._layer_index[meta.name]
-                    detail = f"contribs={self.cfg.n_workers}"
+                    detail = f"contribs={self.n_clients}"
                     self.recorder.emit(
                         EventKind.SLICE_APPLIED, node=node, key=msg.key,
                         iteration=round_idx, priority=meta.priority,

@@ -411,6 +411,18 @@ class ReliableReceiver:
     def crc_failures(self) -> int:
         return self.decoder.crc_failures
 
+    def reset(self) -> None:
+        """Rebind the pipeline to a fresh connection.
+
+        Sequence numbers, reassembly state and the decode buffer are all
+        per-byte-stream, so everything restarts — including the decoder's
+        lenient-mode ``crc_failures`` skip count, which used to leak from
+        the previous connection into the new one's stats.
+        """
+        self.decoder.reset()
+        self.inbox = ReliableInbox()
+        self.reassembler = Reassembler()
+
     def stats(self) -> Dict[str, int]:
         return {"crc_failures": self.decoder.crc_failures,
                 "duplicate_frames": self.inbox.duplicates,

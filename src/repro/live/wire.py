@@ -196,6 +196,17 @@ class FrameDecoder:
         self.strict = strict
         self.crc_failures = 0
 
+    def reset(self) -> None:
+        """Make the decoder safe to reuse on a *new* connection.
+
+        Discards any partial frame buffered from the previous byte
+        stream (whose continuation will never arrive) and zeroes
+        :attr:`crc_failures`, so per-connection stats never inherit the
+        previous connection's skip count.
+        """
+        self._buf.clear()
+        self.crc_failures = 0
+
     def feed(self, data: bytes) -> None:
         self._buf.extend(data)
 

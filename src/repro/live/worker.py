@@ -70,6 +70,12 @@ class LiveWorker:
         self.dataset = cfg.build_dataset()
         self.plan = make_plan(cfg, self.strategy)
         self.batches = cfg.batch_schedule()
+        # Two-tier topology: the driver hands this worker a single
+        # address — its group's aggregator — and every key routes there.
+        if cfg.two_tier:
+            self._route = [0] * cfg.n_servers
+        else:
+            self._route = list(range(cfg.n_servers))
         # Inbox of reassembled parameter slices: (key, iteration) -> vector
         self._pulled: Dict[Tuple[int, int], np.ndarray] = {}
         self._acks = 0
@@ -105,9 +111,10 @@ class LiveWorker:
             raw = connect_with_retry(addr, self.cfg.connect_timeout_s)
             # Chaos sabotages this worker's TX path only; the server
             # side wraps its own sockets, so both directions are lossy.
+            peer = (self.cfg.aggregator_machine(self.cfg.group_of(self.wid))
+                    if self.cfg.two_tier else self.cfg.server_machine(sid))
             sock = maybe_wrap(raw, self.cfg.fault_plan, machine,
-                              peer=self.cfg.server_machine(sid),
-                              epoch=self.epoch)
+                              peer=peer, epoch=self.epoch)
             self.socks.append(sock)
             sender = PrioritySender(
                 sock, sender_id=self.wid, shaper=shaper,
@@ -256,10 +263,9 @@ class LiveWorker:
                 for meta in self.plan.by_name[name]:
                     prio = self._priority(meta)
                     payload = encode_array(grads[name][meta.start:meta.stop])
-                    self.senders[meta.server].send(
-                        WireKind.PUSH, meta.key, t, prio, payload)
-                    self.senders[meta.server].send(
-                        WireKind.PULL_REQ, meta.key, t, prio)
+                    sender = self.senders[self._route[meta.server]]
+                    sender.send(WireKind.PUSH, meta.key, t, prio, payload)
+                    sender.send(WireKind.PULL_REQ, meta.key, t, prio)
         # Collect the final round's parameters.
         last = cfg.iterations - 1
         for name in self.plan.names:

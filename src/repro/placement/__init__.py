@@ -1,0 +1,41 @@
+"""Pluggable key-to-server placement (load balance, splits, two-tier).
+
+The planning layer that replaces the static round-robin ``KeyPlan``:
+:func:`plan_placement` turns per-key demands into a deterministic
+:class:`PlacementPlan` (assignment + hot-key splits + worker groups),
+:mod:`~repro.placement.loads` measures demands from the shared obs
+event stream, and :mod:`~repro.placement.apply` rewrites each
+substrate's key tables to execute the plan.  See ``docs/sharding.md``.
+"""
+
+from .apply import apply_to_metas, apply_to_placed
+from .loads import key_loads_from_events, measured_demands
+from .plan import (
+    PLACEMENT_POLICIES,
+    KeyDemand,
+    KeyPlacement,
+    PlacementPlan,
+    PlacementSpec,
+    coverage_check,
+    plan_placement,
+    round_robin_max_load,
+    split_demand,
+    worker_groups,
+)
+
+__all__ = [
+    "PLACEMENT_POLICIES",
+    "KeyDemand",
+    "KeyPlacement",
+    "PlacementPlan",
+    "PlacementSpec",
+    "apply_to_metas",
+    "apply_to_placed",
+    "coverage_check",
+    "key_loads_from_events",
+    "measured_demands",
+    "plan_placement",
+    "round_robin_max_load",
+    "split_demand",
+    "worker_groups",
+]

@@ -1,0 +1,69 @@
+"""Apply a :class:`PlacementPlan` to each substrate's key tables.
+
+A plan speaks in abstract demand units; the substrates speak in
+parameter spans.  These rewriters take the *structure* of the plan —
+how many parts each key has and which server each part landed on — and
+re-cut the key's actual parameter span with the same ``divmod``
+arithmetic used everywhere else in the codebase
+(:func:`repro.placement.plan.split_demand` ==
+:func:`repro.core.slicing.slice_layer`'s part sizing), so:
+
+* when demands were parameter counts, part sizes match the plan's
+  exactly, and
+* when demands were measured bytes, parts are re-proportioned onto the
+  parameter span without ever creating an empty part.
+
+Both rewriters renumber keys densely in (original key, part) order, so
+sim and live — fed the same sizes — produce identical key universes;
+the cross-substrate conformance test pins this.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..core.placement import PlacedKey
+from ..kvstore.store import KeyMeta
+from .plan import PlacementPlan, split_demand
+
+
+def apply_to_placed(placed: Sequence[PlacedKey],
+                    plan: PlacementPlan) -> List[PlacedKey]:
+    """Rewrite the simulator's key table under ``plan``.
+
+    Every input key must be planned; split keys become consecutive new
+    keys (same layer, same priority) with spans cut by ``divmod``.
+    """
+    out: List[PlacedKey] = []
+    next_key = 0
+    for pk in placed:
+        placement = plan.by_key[pk.key]
+        servers = placement.servers
+        spans = split_demand(pk.params, min(len(servers), pk.params))
+        for server, span in zip(servers, spans):
+            out.append(PlacedKey(next_key, pk.layer_index, span,
+                                 pk.priority, server))
+            next_key += 1
+    return out
+
+
+def apply_to_metas(metas: Sequence[KeyMeta],
+                   plan: PlacementPlan) -> List[KeyMeta]:
+    """Rewrite the live/functional store's key table under ``plan``.
+
+    Split keys subdivide their flat-index span contiguously, so pulling
+    and reassembling the parts reconstructs exactly the original span.
+    """
+    out: List[KeyMeta] = []
+    next_key = 0
+    for m in metas:
+        placement = plan.by_key[m.key]
+        servers = placement.servers
+        spans = split_demand(m.size, min(len(servers), m.size))
+        start = m.start
+        for server, span in zip(servers, spans):
+            out.append(KeyMeta(next_key, m.name, start, start + span,
+                               server, m.priority))
+            next_key += 1
+            start += span
+    return out

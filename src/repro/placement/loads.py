@@ -1,0 +1,56 @@
+"""Per-key load accounting from the shared observability stream.
+
+The obs event schema (:mod:`repro.obs.events`) already records every
+transmitted gradient slice as a ``slice_sent`` event carrying ``key``,
+``nbytes``, and ``detail`` (the wire kind).  That makes measured
+placement a pure fold over an event list: sum the push bytes per key
+from a profiling run, then hand the totals to
+:func:`repro.placement.plan.plan_placement` as demands.
+
+Both substrates emit the same schema, so a plan measured on the
+simulator applies to the live cluster and vice versa.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from ..obs.events import EventKind
+from .plan import KeyDemand
+
+#: ``detail`` values of slice_sent events that represent gradient
+#: traffic (worker -> server).  Parameter replies ("param" in the sim,
+#: "pull_resp" on the live wire) are excluded: placement balances the
+#: *aggregation* load, which is driven by pushes.
+PUSH_DETAILS = frozenset(("push",))
+
+
+def key_loads_from_events(events: Iterable[Mapping]) -> Dict[int, int]:
+    """Total gradient bytes sent per key, from a shared event stream."""
+    loads: Dict[int, int] = defaultdict(int)
+    sent = EventKind.SLICE_SENT.value
+    for e in events:
+        if e.get("kind") != sent or e.get("detail") not in PUSH_DETAILS:
+            continue
+        key = e.get("key")
+        if key is None or int(key) < 0:
+            continue
+        loads[int(key)] += int(e.get("nbytes", 0) or 0)
+    return dict(loads)
+
+
+def measured_demands(events: Iterable[Mapping],
+                     base: Sequence[KeyDemand]) -> List[KeyDemand]:
+    """Replace static demands with measured ones where data exists.
+
+    ``base`` supplies the key universe and priorities (and the fallback
+    load for keys the profiling run never transmitted, e.g. a run cut
+    short).  Keys observed with zero bytes also keep their static load —
+    a demand of zero is meaningless to a bin-packer.
+    """
+    measured = key_loads_from_events(events)
+    return [
+        KeyDemand(d.key, measured.get(d.key) or d.load, d.priority)
+        for d in base
+    ]

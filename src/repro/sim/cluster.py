@@ -31,6 +31,7 @@ from .network import (
     gbps_to_bytes_per_s,
     make_queue,
 )
+from .aggregator import SimAggregator
 from .server import SimServerShard
 from .trace import IterationTrace, UtilizationTrace
 from .worker import SimWorker
@@ -62,6 +63,14 @@ class ClusterConfig:
     background_burst_bytes: int = 1_000_000
     oversubscription: float = 1.0    # core:edge ratio; >1 adds a shared fabric hop
     fault_plan: Optional[FaultPlan] = None  # transient degradation (repro.sim.faults)
+    # Key placement policy (repro.placement): "round_robin" keeps the
+    # strategy's own plan; "balanced" re-packs keys onto shards by load
+    # (splitting hot keys); "two_tier" adds intra-group aggregators of
+    # ``agg_group_size`` workers in front of the root shards.
+    placement: str = "round_robin"
+    placement_split_factor: float = 2.0
+    placement_max_splits: int = 4
+    agg_group_size: int = 4
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -85,6 +94,21 @@ class ClusterConfig:
             raise ValueError("background_load must be in [0, 1)")
         if self.oversubscription < 1.0:
             raise ValueError("oversubscription must be >= 1")
+        # Placement knobs validate through the subsystem's own spec.
+        self.placement_spec()
+
+    def placement_spec(self) -> "PlacementSpec":
+        from ..placement import PlacementSpec
+        return PlacementSpec(
+            policy=self.placement,
+            split_factor=self.placement_split_factor,
+            max_splits=self.placement_max_splits,
+            group_size=(self.agg_group_size
+                        if self.placement == "two_tier" else 0))
+
+    @property
+    def two_tier(self) -> bool:
+        return self.placement == "two_tier"
 
     def straggler_factor(self, worker_id: int) -> float:
         if self.straggler_factors is None:
@@ -221,6 +245,39 @@ class ClusterSim:
         rng = np.random.default_rng(config.seed)
 
         self.placed: List[PlacedKey] = strategy.plan(model, self.n_servers, rng)
+        # Placement subsystem (repro.placement): re-pack / split / group
+        # the strategy's keys when a non-round-robin policy is selected.
+        self.placement_plan = None
+        self.two_tier = config.two_tier
+        if config.placement != "round_robin":
+            from ..placement import KeyDemand, apply_to_placed, plan_placement
+            demands = [KeyDemand(pk.key, pk.params, pk.priority)
+                       for pk in self.placed]
+            self.placement_plan = plan_placement(
+                demands, self.n_servers, config.placement_spec(),
+                n_workers=self.n_workers)
+            self.placed = apply_to_placed(self.placed, self.placement_plan)
+        self.groups: Tuple[Tuple[int, ...], ...] = ()
+        self.n_groups = 0
+        self.group_of: Dict[int, int] = {}
+        if self.two_tier:
+            if strategy.async_updates:
+                raise SimulationError(
+                    "two_tier placement requires synchronous updates")
+            if strategy.credit_slices is not None:
+                raise SimulationError(
+                    "two_tier placement does not support credit flow control")
+            if strategy.pull_policy is PullPolicy.DEFERRED_PULL:
+                raise SimulationError(
+                    "two_tier placement does not support deferred pulls")
+            if config.fault_plan is not None and bool(config.fault_plan):
+                raise SimulationError(
+                    "two_tier placement does not support fault injection yet")
+            self.groups = self.placement_plan.groups
+            self.n_groups = len(self.groups)
+            for g, members in enumerate(self.groups):
+                for w in members:
+                    self.group_of[w] = g
         self.keys: Dict[int, PlacedKey] = {pk.key: pk for pk in self.placed}
         self.keys_by_layer: List[List[PlacedKey]] = [[] for _ in model.layers]
         for pk in self.placed:
@@ -288,6 +345,10 @@ class ClusterSim:
 
         self.workers = [SimWorker(self, w) for w in range(self.n_workers)]
         self.servers = [SimServerShard(self, s) for s in range(self.n_servers)]
+        self.aggregators: List[SimAggregator] = [
+            SimAggregator(self, g) for g in range(self.n_groups)]
+        self._agg_by_machine: Dict[int, SimAggregator] = {
+            a.machine: a for a in self.aggregators}
         # Registration happens after the endpoints exist so each
         # machine's deliver closure binds its worker/shard `on_message`
         # directly instead of re-resolving them per message.
@@ -319,6 +380,11 @@ class ClusterSim:
             return server_id
         return self.n_workers + server_id
 
+    def aggregator_machine(self, group_id: int) -> int:
+        # Colocated on the group's lead worker machine — the extra hop
+        # is free for the lead, one intra-rack RTT for the others.
+        return self.worker_machine(self.groups[group_id][0])
+
     def _make_deliver(self, machine: int):
         # Resolve this machine's endpoints once (workers/servers exist
         # by registration time).  `on_message` stays a per-delivery
@@ -330,9 +396,34 @@ class ClusterSim:
         else:
             sid = machine - self.n_workers if machine >= self.n_workers else None
         server = self.servers[sid] if sid is not None else None
+        agg = self._agg_by_machine.get(machine)
         noise = MsgKind.NOISE
         worker_role = Role.WORKER
-        if self.config.background_load > 0:
+        server_role = Role.SERVER
+        if agg is not None:
+            # Machine hosts a group aggregator alongside its worker (and,
+            # when colocated, its shard): dispatch all three roles.
+            if self.config.background_load > 0:
+                def deliver(msg: Message) -> None:
+                    if msg.kind is noise:
+                        return
+                    role = msg.dst_role
+                    if role is worker_role:
+                        worker.on_message(msg)
+                    elif role is server_role:
+                        server.on_message(msg)
+                    else:
+                        agg.on_message(msg)
+            else:
+                def deliver(msg: Message) -> None:
+                    role = msg.dst_role
+                    if role is worker_role:
+                        worker.on_message(msg)
+                    elif role is server_role:
+                        server.on_message(msg)
+                    else:
+                        agg.on_message(msg)
+        elif self.config.background_load > 0:
             def deliver(msg: Message) -> None:
                 if msg.kind is noise:
                     return  # background tenant traffic terminates here

@@ -71,6 +71,10 @@ class InvariantMonitor:
         # consumed by update jobs
         self.pushes_delivered: Dict[int, int] = defaultdict(int)
         self.contribs_consumed: Dict[int, int] = defaultdict(int)
+        # Two-tier only: (group, key) -> member pushes delivered to the
+        # aggregator / member contributions consumed by combine jobs
+        self.agg_pushes_delivered: Dict[Tuple[int, int], int] = defaultdict(int)
+        self.agg_contribs_consumed: Dict[Tuple[int, int], int] = defaultdict(int)
         self.events_seen = 0
         self._wrap_clock()
         self._wrap_transport()
@@ -79,6 +83,8 @@ class InvariantMonitor:
             self._wrap_server(server)
         for worker in cluster.workers:
             self._wrap_worker(worker)
+        for agg in cluster.aggregators:
+            self._wrap_aggregator(agg)
 
     # ------------------------------------------------------------------
     # Wrappers
@@ -155,6 +161,27 @@ class InvariantMonitor:
 
         server._on_push = on_push
         server._queue_pop = queue_pop
+
+    def _wrap_aggregator(self, agg) -> None:
+        """Two-tier conservation at the group aggregator: every member
+        push is consumed by exactly one combine job (``group_size``
+        contributions each)."""
+        gid = agg.gid
+        group_size = agg.group_size
+        orig_on_push = agg._on_push
+        orig_pop = agg._queue_pop
+
+        def on_push(msg: Message) -> None:
+            self.agg_pushes_delivered[(gid, msg.key)] += 1
+            orig_on_push(msg)
+
+        def queue_pop():
+            key = orig_pop()
+            self.agg_contribs_consumed[(gid, key)] += group_size
+            return key
+
+        agg._on_push = on_push
+        agg._queue_pop = queue_pop
 
     def _wrap_worker(self, worker) -> None:
         """Forward gating, checked against an *independent* ledger.
@@ -250,6 +277,25 @@ class InvariantMonitor:
                     f"key {key}: {pushed} gradient pushes delivered but "
                     f"{consumed} consumed by update jobs")
 
+    def assert_aggregators_exactly_once(self) -> None:
+        """Two-tier: every member push delivered to a group aggregator
+        was consumed by exactly one combine job, and every aggregator
+        ends the run drained."""
+        for agg in self.cluster.aggregators:
+            if agg.busy or len(agg._queue_backing) > 0:
+                raise InvariantViolation(
+                    f"aggregator {agg.gid} did not drain (busy={agg.busy}, "
+                    f"queued={len(agg._queue_backing)})")
+        pairs = set(self.agg_pushes_delivered) | set(self.agg_contribs_consumed)
+        for pair in sorted(pairs):
+            pushed = self.agg_pushes_delivered[pair]
+            consumed = self.agg_contribs_consumed[pair]
+            if pushed != consumed:
+                gid, key = pair
+                raise InvariantViolation(
+                    f"aggregator {gid}, key {key}: {pushed} member pushes "
+                    f"delivered but {consumed} consumed by combine jobs")
+
     def assert_clock_advanced(self) -> None:
         if self.events_seen == 0 or self.cluster.sim.now <= 0.0:
             raise InvariantViolation("simulation processed no events")
@@ -260,6 +306,7 @@ class InvariantMonitor:
         self.assert_message_conservation()
         self.assert_channels_drained()
         self.assert_updates_exactly_once()
+        self.assert_aggregators_exactly_once()
 
     def summary(self) -> Dict[str, int]:
         """Ledger totals, for test diagnostics."""

@@ -45,6 +45,7 @@ class MsgKind(Enum):
 class Role(Enum):
     WORKER = "worker"
     SERVER = "server"
+    AGGREGATOR = "aggregator"  # intra-group combiner (two-tier topology)
 
 
 @dataclass(slots=True)

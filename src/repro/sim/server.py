@@ -65,10 +65,13 @@ class SimServerShard:
         self._job_done_cb = self._job_done
         self._credit = ctx.strategy.credit_slices is not None
         self._async = ctx.strategy.async_updates
-        self._n_workers = ctx.n_workers
+        # Under the two-tier topology the shard's clients are the group
+        # aggregators, not the workers: rounds complete after n_groups
+        # combined pushes and replies fan back through the aggregators.
+        self._n_clients = ctx.n_groups if ctx.two_tier else ctx.n_workers
         # Shared recipients list for full synchronous rounds: dispatch
         # only ever iterates it, so one list serves every round.
-        self._all_recipients = list(range(ctx.n_workers))
+        self._all_recipients = list(range(self._n_clients))
         self._update_rate = ctx.config.update_bytes_per_s
         self._per_update = ctx.config.per_update_s
         ps = ctx.strategy.param_scale
@@ -76,8 +79,14 @@ class SimServerShard:
                                for k, pk in self.keys.items()}
         self._key_priority = {k: pk.priority for k, pk in self.keys.items()}
         self._key_bytes = {k: pk.bytes for k, pk in self.keys.items()}
-        self._worker_machine = [ctx.worker_machine(w)
-                                for w in range(ctx.n_workers)]
+        if ctx.two_tier:
+            self._recipient_machine = [ctx.aggregator_machine(g)
+                                       for g in range(ctx.n_groups)]
+            self._recipient_role = Role.AGGREGATOR
+        else:
+            self._recipient_machine = [ctx.worker_machine(w)
+                                       for w in range(ctx.n_workers)]
+            self._recipient_role = Role.WORKER
         # Queue discipline resolved once: `_queue_pop` stays an instance
         # attribute (the invariant harness wraps it per instance).
         if self.prioritized:
@@ -175,10 +184,10 @@ class SimServerShard:
             # First push of a new round invalidates last round's values.
             self.params_available[key] = False
             self.replies_sent[key] = 0
-        if n == self._n_workers:
+        if n == self._n_clients:
             counts[key] = 0
             self._enqueue_job(key, self._all_recipients,
-                              n_contribs=self._n_workers)
+                              n_contribs=self._n_clients)
         else:
             counts[key] = n
 
@@ -231,7 +240,7 @@ class SimServerShard:
                 EventKind.SLICE_APPLIED, node=node, ts=now, key=key,
                 priority=pk.priority, layer=pk.layer_index, nbytes=pk.bytes,
                 wire_s=dur, detail=f"contribs={n_contribs}")
-            if n_contribs >= self.ctx.n_workers:
+            if n_contribs >= self._n_clients:
                 # A full synchronous round of this key is now applied.
                 self._rounds_counter.inc()
                 self._obs.recorder.emit(
@@ -267,7 +276,7 @@ class SimServerShard:
     def _reply_deferred(self, key: int, worker: int) -> None:
         self._send_param(key, worker)
         self.replies_sent[key] += 1
-        if self.replies_sent[key] >= self.ctx.n_workers:
+        if self.replies_sent[key] >= self._n_clients:
             # Every worker consumed this round; next round starts clean.
             self.params_available[key] = False
             self.replies_sent[key] = 0
@@ -275,14 +284,16 @@ class SimServerShard:
     def _send_param(self, key: int, worker: int) -> None:
         # Positional Message construction: the dataclass __init__ binds
         # positional args measurably faster than keywords on this path.
+        # ``worker`` is a client index: a worker id in the flat topology,
+        # a group id under two-tier.
         self._transport.send(Message(
             MsgKind.PARAM, key, self._param_payload[key],
             self._key_priority[key], self.machine,
-            self._worker_machine[worker], Role.WORKER,
+            self._recipient_machine[worker], self._recipient_role,
         ))
 
     def _send_control(self, kind: MsgKind, key: int, worker: int) -> None:
         self._transport.send(Message(
             kind, key, 0, self._key_priority[key], self.machine,
-            self._worker_machine[worker], Role.WORKER,
+            self._recipient_machine[worker], self._recipient_role,
         ))

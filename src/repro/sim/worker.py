@@ -60,7 +60,15 @@ class SimWorker:
         self._fwd_cb = self._forward_layer_done
         self._bwd_cb = self._backward_layer_done
         self._push_payload = ctx.push_payload
-        self._server_machine = ctx.key_server_machine
+        if ctx.two_tier:
+            # Two-tier topology: every push/pull goes to this worker's
+            # group aggregator, which combines and forwards upstream.
+            agg_machine = ctx.aggregator_machine(ctx.group_of[worker_id])
+            self._server_machine = {k: agg_machine for k in ctx.keys}
+            self._push_role = Role.AGGREGATOR
+        else:
+            self._server_machine = ctx.key_server_machine
+            self._push_role = Role.SERVER
         self._key_layer = ctx.key_layer
 
         self.iteration = 0
@@ -220,14 +228,14 @@ class SimWorker:
                 priority=pk.priority, layer=pk.layer_index, nbytes=payload)
         self._transport.send(Message(
             MsgKind.PUSH, key, payload, pk.priority, self.machine,
-            self._server_machine[key], Role.SERVER, self.wid,
+            self._server_machine[key], self._push_role, self.wid,
         ))
 
     def _send_pull(self, pk) -> None:
         key = pk.key
         self._transport.send(Message(
             MsgKind.PULL_REQ, key, 0, pk.priority, self.machine,
-            self._server_machine[key], Role.SERVER, self.wid,
+            self._server_machine[key], self._push_role, self.wid,
         ))
 
     def on_message(self, msg: Message) -> None:

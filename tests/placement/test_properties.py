@@ -1,0 +1,193 @@
+"""Property suite for repro.placement: placement correctness under
+arbitrary demand sets, shard counts, and policy knobs.
+
+The planner promises four invariants (docs/sharding.md); hypothesis
+hunts for demand sets that break them:
+
+1. every key is covered exactly once across shards/splits;
+2. a split key's part sizes sum to the original load (fractions sum
+   to 1) and differ by at most one unit;
+3. two-tier routing always reaches the root: every part lands on a
+   valid shard and every worker belongs to exactly one group;
+4. balanced placement never exceeds round-robin's max shard load on
+   the same key set.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.placement import (
+    KeyDemand,
+    PlacementSpec,
+    coverage_check,
+    plan_placement,
+    round_robin_max_load,
+    split_demand,
+    worker_groups,
+)
+
+loads = st.integers(min_value=1, max_value=10 ** 7)
+priorities = st.integers(min_value=0, max_value=100)
+
+
+@st.composite
+def demand_sets(draw, max_keys: int = 24):
+    n = draw(st.integers(min_value=1, max_value=max_keys))
+    return [KeyDemand(key, draw(loads), draw(priorities))
+            for key in range(n)]
+
+
+@st.composite
+def specs(draw, policy=None):
+    policy = policy or draw(st.sampled_from(("round_robin", "balanced",
+                                             "two_tier")))
+    group = draw(st.integers(min_value=1, max_value=8))
+    return PlacementSpec(
+        policy=policy,
+        split_factor=draw(st.floats(min_value=1.01, max_value=4.0,
+                                    allow_nan=False)),
+        max_splits=draw(st.integers(min_value=1, max_value=8)),
+        group_size=group if policy == "two_tier" else 0,
+    )
+
+
+servers = st.integers(min_value=1, max_value=12)
+workers = st.integers(min_value=1, max_value=64)
+
+
+# ----------------------------------------------------------------------
+# 1. Exactly-once coverage
+# ----------------------------------------------------------------------
+@settings(max_examples=200, deadline=None)
+@given(demands=demand_sets(), n_servers=servers, spec=specs(),
+       n_workers=workers)
+def test_every_key_covered_exactly_once(demands, n_servers, spec, n_workers):
+    plan = plan_placement(demands, n_servers, spec, n_workers=n_workers)
+    coverage_check(demands, plan)  # raises on miss/duplicate/partial
+    # ... and the plan's total load equals the demands' total load.
+    assert sum(plan.server_loads()) == sum(d.load for d in demands)
+
+
+@settings(max_examples=100, deadline=None)
+@given(demands=demand_sets(), n_servers=servers, spec=specs(),
+       n_workers=workers)
+def test_split_parts_are_ordered_and_disjoint(demands, n_servers, spec,
+                                              n_workers):
+    plan = plan_placement(demands, n_servers, spec, n_workers=n_workers)
+    for placement in plan.placements:
+        assert len(placement.parts) >= 1
+        assert all(size > 0 for _, size in placement.parts)
+        # splitting is bounded by the spec and the shard count
+        assert len(placement.parts) <= max(spec.max_splits, 1)
+        assert len(placement.parts) <= n_servers
+
+
+# ----------------------------------------------------------------------
+# 2. Split fractions sum to the whole
+# ----------------------------------------------------------------------
+@settings(max_examples=200, deadline=None)
+@given(load=loads, n_parts=st.integers(min_value=1, max_value=16))
+def test_split_demand_partitions_the_load(load, n_parts):
+    parts = split_demand(load, n_parts)
+    assert sum(parts) == load                      # fractions sum to 1
+    assert all(p > 0 for p in parts)               # never an empty part
+    assert max(parts) - min(parts) <= 1            # near-equal
+    assert len(parts) == min(n_parts, load)        # clamped, not padded
+    # deterministic: same inputs, same cut
+    assert parts == split_demand(load, n_parts)
+
+
+# ----------------------------------------------------------------------
+# 3. Two-tier routing reaches the root
+# ----------------------------------------------------------------------
+@settings(max_examples=200, deadline=None)
+@given(n_workers=workers, group_size=st.integers(min_value=1, max_value=16))
+def test_worker_groups_partition_exactly_once(n_workers, group_size):
+    groups = worker_groups(n_workers, group_size)
+    flat = [w for g in groups for w in g]
+    assert sorted(flat) == list(range(n_workers))  # exactly once
+    assert len(flat) == len(set(flat))
+    assert all(len(g) <= group_size for g in groups)
+    assert all(len(g) == group_size for g in groups[:-1])  # only last ragged
+
+
+@settings(max_examples=100, deadline=None)
+@given(demands=demand_sets(), n_servers=servers, n_workers=workers,
+       spec=specs(policy="two_tier"))
+def test_two_tier_routing_reaches_the_root(demands, n_servers, n_workers,
+                                           spec):
+    plan = plan_placement(demands, n_servers, spec, n_workers=n_workers)
+    assert plan.n_groups >= 1
+    for worker in range(n_workers):
+        gid = plan.group_of(worker)           # hop 1: worker -> aggregator
+        assert 0 <= gid < plan.n_groups
+        assert worker in plan.groups[gid]
+    for placement in plan.placements:         # hop 2: aggregator -> root
+        for server in placement.servers:
+            assert 0 <= server < n_servers
+    # contiguous grouping: members of a group are consecutive worker ids
+    for members in plan.groups:
+        assert list(members) == list(range(members[0], members[-1] + 1))
+
+
+@settings(max_examples=60, deadline=None)
+@given(demands=demand_sets(), n_servers=servers)
+def test_two_tier_requires_workers(demands, n_servers):
+    spec = PlacementSpec(policy="two_tier", group_size=4)
+    with pytest.raises(ValueError):
+        plan_placement(demands, n_servers, spec)  # n_workers omitted
+
+
+# ----------------------------------------------------------------------
+# 4. Balanced never loses to round-robin
+# ----------------------------------------------------------------------
+@settings(max_examples=200, deadline=None)
+@given(demands=demand_sets(), n_servers=servers, n_workers=workers,
+       policy=st.sampled_from(("balanced", "two_tier")),
+       split_factor=st.floats(min_value=1.01, max_value=4.0,
+                              allow_nan=False),
+       max_splits=st.integers(min_value=1, max_value=8))
+def test_balanced_never_exceeds_round_robin(demands, n_servers, n_workers,
+                                            policy, split_factor,
+                                            max_splits):
+    spec = PlacementSpec(policy=policy, split_factor=split_factor,
+                        max_splits=max_splits,
+                        group_size=4 if policy == "two_tier" else 0)
+    plan = plan_placement(demands, n_servers, spec, n_workers=n_workers)
+    assert plan.max_load() <= round_robin_max_load(demands, n_servers)
+
+
+def test_balanced_beats_round_robin_on_skew():
+    """The motivating case: one hot key behind a cold wall of keys.
+    Round-robin piles the hot key on one shard; balanced splits it."""
+    demands = [KeyDemand(0, 1_000_000)] + [
+        KeyDemand(k, 1_000) for k in range(1, 8)]
+    spec = PlacementSpec(policy="balanced", split_factor=1.5, max_splits=4)
+    plan = plan_placement(demands, 4, spec)
+    assert plan.by_key[0].is_split
+    assert plan.max_load() < round_robin_max_load(demands, 4)
+
+
+@settings(max_examples=100, deadline=None)
+@given(demands=demand_sets(), n_servers=servers, spec=specs(),
+       n_workers=workers)
+def test_plans_are_deterministic(demands, n_servers, spec, n_workers):
+    a = plan_placement(demands, n_servers, spec, n_workers=n_workers)
+    b = plan_placement(demands, n_servers, spec, n_workers=n_workers)
+    assert a == b
+
+
+# ----------------------------------------------------------------------
+# Round-robin policy mirrors the strategies' static deal
+# ----------------------------------------------------------------------
+@settings(max_examples=100, deadline=None)
+@given(demands=demand_sets(), n_servers=servers)
+def test_round_robin_policy_matches_the_classic_deal(demands, n_servers):
+    plan = plan_placement(demands, n_servers, PlacementSpec())
+    for i, d in enumerate(demands):
+        placement = plan.by_key[d.key]
+        assert placement.parts == ((i % n_servers, d.load),)
+    assert plan.max_load() == round_robin_max_load(demands, n_servers)
