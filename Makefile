@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast coverage bench bench-snapshot perf-smoke live-demo report quick-report figures clean
+.PHONY: install test test-fast test-aio coverage bench bench-snapshot perf-smoke live-demo report quick-report figures clean
 
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
@@ -14,6 +14,13 @@ test:
 
 test-fast:
 	$(PYTHON) -m pytest tests/ -x -q -p no:randomly -m "not slow"
+
+# The async-live battery: membership properties, async transport,
+# elastic conformance, driver cleanup (CI runs this as its own job)
+test-aio:
+	$(PYTHON) -m pytest tests/live/test_membership.py \
+	    tests/live/test_aio_transport.py tests/live/test_aio_cluster.py \
+	    tests/live/test_driver_cleanup.py -x -q
 
 # stdlib-only coverage measurement (CI enforces the floor via pytest-cov)
 coverage:

@@ -1,12 +1,49 @@
-"""Repo-root pytest hook: make `repro` importable straight from src/.
+"""Repo-root pytest hooks.
 
-Lets ``pytest tests/ benchmarks/`` run from a fresh checkout even when
-the package has not been pip-installed (e.g. offline environments where
-PEP 660 editable installs are unavailable)."""
+1. Make `repro` importable straight from src/: lets ``pytest tests/
+   benchmarks/`` run from a fresh checkout even when the package has not
+   been pip-installed (e.g. offline environments where PEP 660 editable
+   installs are unavailable).
+2. Run ``async def`` tests without pytest-asyncio: CI installs the real
+   plugin, but offline checkouts may not have it — the fallback below
+   executes coroutine tests on a fresh ``asyncio.run`` loop so the
+   async-live suite works everywhere.  It steps aside automatically when
+   pytest-asyncio is present.
+"""
 
+import asyncio
+import inspect
 import pathlib
 import sys
+
+import pytest
 
 _SRC = str(pathlib.Path(__file__).resolve().parent / "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+
+def _has_asyncio_plugin(config) -> bool:
+    return config.pluginmanager.hasplugin("asyncio") \
+        or config.pluginmanager.hasplugin("pytest_asyncio")
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "asyncio: coroutine test (pytest-asyncio, or the conftest "
+        "fallback loop when the plugin is unavailable)")
+
+
+@pytest.hookimpl(tryfirst=True)
+def pytest_pyfunc_call(pyfuncitem):
+    """Fallback coroutine runner when pytest-asyncio is not installed."""
+    if _has_asyncio_plugin(pyfuncitem.config):
+        return None  # the real plugin owns coroutine execution
+    func = pyfuncitem.obj
+    if not inspect.iscoroutinefunction(func):
+        return None
+    kwargs = {name: pyfuncitem.funcargs[name]
+              for name in pyfuncitem._fixtureinfo.argnames}
+    asyncio.run(func(**kwargs))
+    return True

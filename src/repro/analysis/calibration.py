@@ -32,7 +32,7 @@ Mapping a live config into the simulator
 from __future__ import annotations
 
 from dataclasses import dataclass, replace as dc_replace
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Callable, Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
@@ -379,6 +379,7 @@ def calibrate(cfg: LiveClusterConfig,
               tolerance: float = DEFAULT_TOLERANCE,
               live_results: Optional[Dict[str, LiveRunResult]] = None,
               observe: bool = False,
+              runner: Callable[..., LiveRunResult] = run_live,
               ) -> CalibrationReport:
     """Run baseline and P3 live, check both fidelity claims.
 
@@ -388,12 +389,15 @@ def calibrate(cfg: LiveClusterConfig,
     :mod:`repro.obs` event stream and the report gains comparable
     per-phase (compute / wire / queueing / gate-stall) breakdowns;
     pre-supplied live results must then come from an observed config.
+    ``runner`` selects the live substrate: the default blocking
+    multi-process driver, or :func:`repro.live.aio.run_live_aio` for the
+    single-process event-loop stack (how the 64-worker scale check runs).
     """
     live_results = dict(live_results or {})
     run_cfg = dc_replace(cfg, observe=True) if observe else cfg
     for strategy in ("baseline", "p3"):
         if strategy not in live_results:
-            live_results[strategy] = run_live(run_cfg, strategy=strategy)
+            live_results[strategy] = runner(run_cfg, strategy=strategy)
     live_base, live_p3 = live_results["baseline"], live_results["p3"]
 
     ref_base = run_inprocess(cfg, "baseline")

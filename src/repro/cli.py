@@ -322,6 +322,10 @@ def cmd_live(args: argparse.Namespace) -> None:
     from .analysis.calibration import calibrate, calibrate_faults
     from .live import LiveClusterConfig, run_live
 
+    if args.substrate == "aio":
+        from .live.aio import run_live_aio as runner
+    else:
+        runner = run_live
     observe = bool(args.trace or args.metrics)
     plan = (_parse_faults(args.faults, args.fault_seed)
             if args.faults else None)
@@ -341,7 +345,7 @@ def cmd_live(args: argparse.Namespace) -> None:
     )
     print(f"live cluster: {cfg.n_workers} workers + {cfg.n_servers} shards "
           f"on {cfg.host}, link shaped to {args.rate_mbps:.0f} Mbit/s "
-          f"({cfg.placement} placement)")
+          f"({cfg.placement} placement, {args.substrate} substrate)")
     if plan is not None:
         # Calibration-under-faults mode: same plan through both
         # substrates, report recovery counters + degradation agreement.
@@ -358,9 +362,10 @@ def cmd_live(args: argparse.Namespace) -> None:
     results = {}
     for strategy in ("baseline", "p3"):
         print(f"  running live {strategy} ({cfg.iterations} iterations) ...")
-        results[strategy] = run_live(cfg, strategy=strategy)
+        results[strategy] = runner(cfg, strategy=strategy)
     print()
-    report = calibrate(cfg, live_results=results, observe=observe)
+    report = calibrate(cfg, live_results=results, observe=observe,
+                       runner=runner)
     print(report.summary())
     goodput = results["p3"].goodput_bytes_per_s(0) * 8 / 1e6
     print(f"  worker-0 p3 tx goodput: {goodput:.1f} Mbit/s")
@@ -525,6 +530,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "drop=0.05,dup=0.02,corrupt=0.01,delay=0.1:0.02")
     live_p.add_argument("--fault-seed", type=int, default=0,
                         help="FaultPlan seed (chaos determinism)")
+    live_p.add_argument("--substrate", default="mp", choices=("mp", "aio"),
+                        help="mp: one OS process per role (default); aio: "
+                             "the whole cluster on one asyncio event loop "
+                             "(scales to 64+ workers on one machine)")
     live_p.add_argument("--trace", help="record repro.obs events and write "
                                         "a chrome://tracing JSON here")
     live_p.add_argument("--metrics", help="record repro.obs events and "

@@ -12,8 +12,17 @@ from .aggregator import LiveAggregator, LiveAggregatorError, serve_aggregator
 from .chaos import ChaosChannel, maybe_wrap
 from .config import KeyPlan, LiveClusterConfig, make_plan
 from .driver import LiveRunError, LiveRunResult, run_live
+from .membership import (
+    EpochTracker,
+    MembershipEpoch,
+    MembershipError,
+    MembershipSchedule,
+    elastic_reference,
+    epoch_plans,
+)
 from .server import LiveServerShard, serve_shard
 from .transport import (
+    BARRIER_PRIORITY,
     CONTROL_PRIORITY,
     ChunkRecord,
     PrioritySender,
@@ -41,12 +50,17 @@ from .wire import (
 from .worker import LiveWorker, LiveWorkerError, run_worker
 
 __all__ = [
+    "BARRIER_PRIORITY",
     "CONTROL_PRIORITY",
     "ChaosChannel",
     "ChunkRecord",
+    "EpochTracker",
     "Frame",
     "FrameDecoder",
     "KeyPlan",
+    "MembershipEpoch",
+    "MembershipError",
+    "MembershipSchedule",
     "LiveAggregator",
     "LiveAggregatorError",
     "LiveClusterConfig",
@@ -67,8 +81,10 @@ __all__ = [
     "WireKind",
     "WireMessage",
     "connect_with_retry",
+    "elastic_reference",
     "encode_array",
     "encode_frame",
+    "epoch_plans",
     "goodput_bytes_per_s",
     "make_plan",
     "maybe_wrap",

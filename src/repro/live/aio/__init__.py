@@ -1,0 +1,31 @@
+"""Asyncio live substrate: event-loop cluster with elastic membership.
+
+Everything in :mod:`repro.live` rebuilt on one event loop — same v2
+wire protocol, same Go-Back-N reliability, same chaos injection, same
+numerics — plus the membership epoch handshake that lets workers join
+and leave between rounds.  See ``docs/live.md`` for the architecture.
+"""
+
+from .aggregator import AioAggregator
+from .driver import EpochCoordinator, run_live_aio
+from .node import Node, PeerConnection
+from .server import AioServerShard
+from .transport import (
+    AsyncPrioritySender,
+    chaos_policy,
+    open_connection_with_retry,
+)
+from .worker import AioWorker
+
+__all__ = [
+    "AioAggregator",
+    "AioServerShard",
+    "AioWorker",
+    "AsyncPrioritySender",
+    "EpochCoordinator",
+    "Node",
+    "PeerConnection",
+    "chaos_policy",
+    "open_connection_with_retry",
+    "run_live_aio",
+]

@@ -1,0 +1,227 @@
+"""Event-loop node plumbing: named peers, watchdogs, reconnect.
+
+A :class:`Node` is the shared substrate of every asyncio role (worker,
+server shard, aggregator): it owns a set of named
+:class:`PeerConnection`\\ s, an optional listener, and the task
+bookkeeping for clean shutdown.  One OS process can host any number of
+Nodes on one event loop — the property that lets a single machine run
+64+ workers where the thread stack needed ~4 threads per connection.
+
+A :class:`PeerConnection` pairs one :class:`AsyncPrioritySender` with
+one :class:`~repro.live.transport.ReliableReceiver` over an asyncio
+stream.  Its read task decodes frames, routes ``CHUNK_ACK``\\ s to the
+sender, and hands fully reassembled messages to a synchronous
+``on_message`` callback — handlers never await, so message handling for
+one peer can't starve another's.
+
+Reconnect: :meth:`PeerConnection.reconnect` dials the peer again,
+resets the receive pipeline (:meth:`ReliableReceiver.reset` — fresh
+decoder, inbox, and reassembler, no inherited ``crc_failures`` or
+partial frames) and rebinds the sender (backlog renumbered and
+retransmitted).  Reliable traffic survives the hop in both directions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Awaitable, Callable, Dict, List, Optional, Tuple
+
+from ..transport import ReliableReceiver, TransportError
+from ..wire import Frame, WireMessage
+from .transport import AsyncPrioritySender, open_connection_with_retry
+
+#: Read granularity of every connection's read task.
+READ_CHUNK = 65536
+
+
+class PeerConnection:
+    """One named bidirectional link: async sender + reliable receiver."""
+
+    def __init__(self, name: str,
+                 reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter,
+                 on_message: Callable[["PeerConnection", WireMessage], None],
+                 sender: Optional[AsyncPrioritySender] = None,
+                 sender_for: Optional[Callable[
+                     [Frame], Optional[AsyncPrioritySender]]] = None,
+                 on_eof: Optional[Callable[["PeerConnection"], None]] = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.name = name
+        self.reader = reader
+        self.writer = writer
+        self.sender = sender
+        self.on_message = on_message
+        self.on_eof = on_eof
+        self._clock = clock
+        self.last_rx = clock()
+        self.saw_bye = False
+        self.closed = False
+        self.error: Optional[BaseException] = None
+        # Servers learn a connection's identity from its frames: resolve
+        # the local sender per frame when none was known at accept time.
+        resolve = sender_for if sender_for is not None \
+            else (lambda _frame: self.sender)
+        self.receiver = ReliableReceiver(sender_for=resolve)
+        self._read_task = asyncio.get_running_loop().create_task(
+            self._read_loop())
+
+    # ------------------------------------------------------------------
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                data = await self.reader.read(READ_CHUNK)
+                if not data:
+                    break
+                self.last_rx = self._clock()
+                for msg in self.receiver.feed(data):
+                    self.on_message(self, msg)
+        except asyncio.CancelledError:
+            raise
+        except (ConnectionError, OSError):
+            pass  # torn connection == EOF; reconnect/on_eof decides
+        except BaseException as exc:  # noqa: BLE001 - surfaced via .error
+            self.error = exc
+        if not self.closed and self.on_eof is not None:
+            self.on_eof(self)
+
+    async def reconnect(self, host: str, port: int,
+                        timeout_s: float = 15.0) -> None:
+        """Replace a dead connection with a fresh one, preserving the
+        sender's reliable backlog and resetting all per-stream state."""
+        self._read_task.cancel()
+        try:
+            self.writer.close()
+        except Exception:  # noqa: BLE001 - already-dead writer
+            pass
+        reader, writer = await open_connection_with_retry(host, port,
+                                                          timeout_s)
+        self.reader = reader
+        self.writer = writer
+        self.receiver.reset()
+        self.last_rx = self._clock()
+        if self.sender is not None:
+            self.sender.rebind(writer)
+        self._read_task = asyncio.get_running_loop().create_task(
+            self._read_loop())
+
+    async def close(self, flush_timeout_s: float = 30.0) -> None:
+        """Flush and close the sender, half-close the stream, stop reading."""
+        self.closed = True
+        if self.sender is not None:
+            try:
+                await self.sender.close(flush_timeout_s)
+            except TransportError:
+                pass
+        try:
+            if self.writer.can_write_eof():
+                self.writer.write_eof()  # let the peer read our last frames
+        except (OSError, RuntimeError):
+            pass
+        self._read_task.cancel()
+        try:
+            await self._read_task
+        except (asyncio.CancelledError, Exception):  # noqa: BLE001
+            pass
+        try:
+            self.writer.close()
+        except Exception:  # noqa: BLE001
+            pass
+
+    def abort(self) -> None:
+        """Tear down without flushing (error-path shutdown)."""
+        self.closed = True
+        if self.sender is not None:
+            self.sender.abort()
+        self._read_task.cancel()
+        try:
+            self.writer.close()
+        except Exception:  # noqa: BLE001
+            pass
+
+
+class Node:
+    """One logical cluster member on the event loop.
+
+    Roles subclass or compose this: it tracks named peers, hosts an
+    optional listener, spawns supervised tasks, and tears everything
+    down idempotently.  ``name`` appears in task names and error
+    messages so a 100-connection single-process run stays debuggable.
+    """
+
+    def __init__(self, name: str,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.name = name
+        self._clock = clock
+        self.peers: Dict[str, PeerConnection] = {}
+        self._listener: Optional[asyncio.AbstractServer] = None
+        self._tasks: List[asyncio.Task] = []
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    def spawn(self, coro: Awaitable[None]) -> asyncio.Task:
+        """Run a coroutine under this node's supervision."""
+        task = asyncio.get_running_loop().create_task(coro)
+        self._tasks.append(task)
+        return task
+
+    async def listen(self, host: str,
+                     on_connection: Callable[
+                         [asyncio.StreamReader, asyncio.StreamWriter],
+                         None]) -> int:
+        """Bind an ephemeral port; return it (reported to the driver)."""
+        self._listener = await asyncio.start_server(
+            lambda r, w: on_connection(r, w), host, 0)
+        return self._listener.sockets[0].getsockname()[1]
+
+    async def dial(self, peer_name: str, host: str, port: int,
+                   timeout_s: float,
+                   make_sender: Callable[[asyncio.StreamWriter],
+                                         AsyncPrioritySender],
+                   on_message: Callable[[PeerConnection, WireMessage], None],
+                   on_eof: Optional[Callable[[PeerConnection], None]] = None,
+                   ) -> PeerConnection:
+        """Connect to a named peer and register the connection."""
+        reader, writer = await open_connection_with_retry(host, port,
+                                                          timeout_s)
+        conn = PeerConnection(peer_name, reader, writer,
+                              on_message=on_message,
+                              sender=make_sender(writer),
+                              on_eof=on_eof, clock=self._clock)
+        self.peers[peer_name] = conn
+        return conn
+
+    async def shutdown(self, flush_timeout_s: float = 30.0) -> None:
+        """Close every peer cleanly, stop the listener and all tasks.
+
+        Idempotent: safe to call from both error paths and normal exit.
+        """
+        if self._stopped:
+            return
+        self._stopped = True
+        for conn in list(self.peers.values()):
+            if not conn.closed:
+                try:
+                    await conn.close(flush_timeout_s)
+                except Exception:  # noqa: BLE001 - teardown best-effort
+                    conn.abort()
+        if self._listener is not None:
+            self._listener.close()
+            await self._listener.wait_closed()
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+
+    def abort(self) -> None:
+        """Immediate teardown without flushing."""
+        self._stopped = True
+        for conn in self.peers.values():
+            conn.abort()
+        if self._listener is not None:
+            self._listener.close()
+        for task in self._tasks:
+            task.cancel()

@@ -1,0 +1,319 @@
+"""Asyncio parameter-server shard (repro.live.aio).
+
+The event-loop twin of :class:`repro.live.server.LiveServerShard`: the
+same staged, worker-id-ordered application of each round onto the same
+functional :class:`~repro.kvstore.server.ServerShard`, with the accept
+loop and per-connection reader threads replaced by one read task per
+connection — and, new here, the **membership epoch** machinery:
+
+* JOIN/LEAVE barrier tokens feed an :class:`~repro.live.membership.
+  EpochTracker`; when every token for the next epoch has arrived *and*
+  every earlier round is applied locally, the shard seals at the
+  driver's :class:`~repro.live.aio.driver.EpochCoordinator` barrier.
+* The last shard to seal migrates re-placed keys (value + momentum +
+  round version) between shards, then everyone installs the epoch's key
+  plan and active set and sends ``EPOCH`` acks to its workers — the
+  green light workers gate their next rounds on.
+
+Because a round's contributor set is the epoch's active workers sorted
+by id (ranks), and the shard divides by the active count, every round
+is bit-identical to :func:`repro.live.membership.elastic_reference`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ...kvstore.server import ServerShard
+from ...obs.events import EventKind, EventRecorder
+from ..config import KeyPlan, LiveClusterConfig
+from ..membership import EpochTracker, MembershipSchedule
+from ..transport import CONTROL_PRIORITY, TokenBucket
+from ..wire import WireKind, WireMessage, encode_array
+from .node import Node, PeerConnection
+from .transport import AsyncPrioritySender, chaos_policy
+
+
+class AioServerShard(Node):
+    """One shard on the event loop: staging + epochs around a ServerShard."""
+
+    def __init__(self, shard_id: int, cfg: LiveClusterConfig,
+                 shard: ServerShard, plans: List[KeyPlan],
+                 schedule: MembershipSchedule, coordinator,
+                 strategy: Optional[str] = None,
+                 epoch0: Optional[float] = None) -> None:
+        super().__init__(f"server{shard_id}")
+        self.sid = shard_id
+        self.cfg = cfg
+        self.strategy = strategy or cfg.strategy
+        self.epoch0 = epoch0 if epoch0 is not None else time.monotonic()
+        self.shard = shard
+        self.plans = plans
+        self.schedule = schedule
+        self.coordinator = coordinator
+        # Two-tier runs are static: clients are aggregators and the
+        # membership handshake is skipped entirely.
+        self._handshake = not cfg.two_tier
+        self.n_clients = cfg.n_server_clients
+        self._client_machine = (cfg.aggregator_machine if cfg.two_tier
+                                else cfg.worker_machine)
+        self.tracker = EpochTracker(schedule)
+        self.my_keys = plans[0].server_keys(shard_id)
+        self.version: Dict[int, int] = {k: 0 for k in self.my_keys}
+        # key -> iteration -> worker -> staged gradient
+        self._staged: Dict[int, Dict[int, Dict[int, np.ndarray]]] = {}
+        # key -> list of (iteration, worker, priority) awaiting a value
+        self._waiting: Dict[int, List[Tuple[int, int, int]]] = {}
+        self._senders: Dict[int, AsyncPrioritySender] = {}
+        self._conns: List[PeerConnection] = []
+        self._ready = asyncio.Event()
+        self.error: Optional[str] = None
+        self.pushes_received = 0
+        self.heartbeats_seen = 0
+        self._shaper = (TokenBucket(cfg.rate_bytes_per_s, cfg.burst_bytes)
+                        if cfg.rate_bytes_per_s is not None else None)
+        self.recorder = (EventRecorder("live", clock=time.monotonic)
+                         if cfg.observe else None)
+        self._layer_index = {name: i for i, name in
+                             enumerate(plans[0].names)}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> int:
+        """Bind, start serving and (if elastic-capable) tracking epochs."""
+        port = await self.listen(self.cfg.host, self._on_connection)
+        if self._handshake:
+            self.spawn(self._membership_loop())
+        return port
+
+    async def stop(self) -> None:
+        await self.shutdown(self.cfg.peer_timeout_s)
+
+    def _on_connection(self, reader: asyncio.StreamReader,
+                       writer: asyncio.StreamWriter) -> None:
+        conn = PeerConnection(
+            f"{self.name}-conn{len(self._conns)}", reader, writer,
+            on_message=self._on_message,
+            sender_for=lambda frame: self._conn_sender(conn, frame.sender),
+            on_eof=self._on_eof, clock=self._clock)
+        self._conns.append(conn)
+
+    def _conn_sender(self, conn: PeerConnection,
+                     worker: int) -> AsyncPrioritySender:
+        """The connection's TX sender, created on its first frame (a
+        server only learns which worker a connection belongs to from the
+        frames themselves)."""
+        if conn.sender is None:
+            machine = self.cfg.server_machine(self.sid)
+            peer = self._client_machine(worker)
+            conn.sender = AsyncPrioritySender(
+                conn.writer, sender_id=self.sid, shaper=self._shaper,
+                chunk_bytes=self.cfg.chunk_bytes, recorder=self.recorder,
+                node=self.name, retry=self.cfg.retry_policy(machine),
+                chaos=chaos_policy(self.cfg.fault_plan, machine, peer,
+                                   self.epoch0))
+            # Latest connection wins: a rejoining worker's fresh link
+            # replaces its dead incarnation's sender.
+            self._senders[worker] = conn.sender
+        return conn.sender
+
+    def _on_eof(self, conn: PeerConnection) -> None:
+        if conn.error is not None:
+            self._fail(f"reader failed: {conn.error!r}")
+        elif not conn.saw_bye and not self._stopped:
+            self._fail("worker connection closed without BYE "
+                       "— worker died mid-protocol?")
+
+    def _fail(self, reason: str) -> None:
+        if self.error is None:
+            self.error = f"shard {self.sid}: {reason}"
+        self._ready.set()  # unwedge the membership loop
+
+    # ------------------------------------------------------------------
+    # Message handling (synchronous — called from read tasks)
+    # ------------------------------------------------------------------
+    def _on_message(self, conn: PeerConnection, msg: WireMessage) -> None:
+        if msg.kind is WireKind.PUSH:
+            self._on_push(msg)
+        elif msg.kind is WireKind.PULL_REQ:
+            self._on_pull(msg)
+        elif msg.kind is WireKind.HEARTBEAT:
+            self.heartbeats_seen += 1
+            self._conn_sender(conn, msg.sender).send(
+                WireKind.ACK, msg.key, msg.iteration, CONTROL_PRIORITY)
+        elif msg.kind is WireKind.JOIN:
+            self.tracker.note_join(msg.sender, msg.key)
+            self._senders[msg.sender] = self._conn_sender(conn, msg.sender)
+            self._check_ready()
+        elif msg.kind is WireKind.LEAVE:
+            self.tracker.note_leave(msg.sender, msg.key)
+            self._check_ready()
+        elif msg.kind is WireKind.BYE:
+            conn.saw_bye = True
+        else:
+            raise RuntimeError(f"shard {self.sid}: unexpected "
+                               f"{msg.kind.name} from worker {msg.sender}")
+
+    def _contributors(self, round_idx: int) -> Tuple[int, ...]:
+        """Who must push for ``round_idx`` (workers, or groups under
+        two-tier), in the application's accumulation order."""
+        if self._handshake:
+            return self.schedule.active(self.schedule.round_epoch(round_idx))
+        return tuple(range(self.n_clients))
+
+    def rounds_applied(self) -> int:
+        """Globally applied rounds on this shard: every owned key is at
+        least this far.  A shard owning no keys this epoch is trivially
+        caught up."""
+        if not self.my_keys:
+            return self.schedule.total_rounds
+        return min(self.version[k] for k in self.my_keys)
+
+    def _on_push(self, msg: WireMessage) -> None:
+        if msg.key not in self.my_keys:
+            raise KeyError(f"shard {self.sid}: key {msg.key} not placed "
+                           f"here (epoch {self.tracker.current})")
+        if (self._handshake and
+                self.schedule.round_epoch(msg.iteration)
+                > self.tracker.current):
+            raise RuntimeError(
+                f"shard {self.sid}: push for round {msg.iteration} "
+                f"before its epoch committed (current="
+                f"{self.tracker.current}) — worker ignored the EPOCH gate")
+        grad = msg.array()
+        self.pushes_received += 1
+        staged = self._staged.setdefault(msg.key, {}).setdefault(
+            msg.iteration, {})
+        if msg.sender in staged:
+            raise RuntimeError(
+                f"shard {self.sid}: worker {msg.sender} double-pushed "
+                f"key {msg.key} @ iteration {msg.iteration}")
+        staged[msg.sender] = grad
+        self._apply_ready(msg.key)
+
+    def _apply_ready(self, key: int) -> None:
+        """Apply complete rounds in iteration order, contributors in
+        rank order — the in-process store's exact accumulation order."""
+        responses: List[Tuple[int, int, int, bytes]] = []
+        while True:
+            round_idx = self.version[key]
+            contributors = self._contributors(round_idx) \
+                if round_idx < self.schedule.total_rounds else ()
+            ready = self._staged.get(key, {}).get(round_idx)
+            if not contributors or ready is None \
+                    or len(ready) < len(contributors):
+                break
+            for rank, worker in enumerate(contributors):
+                self.shard.push(rank, key, ready[worker])
+            del self._staged[key][round_idx]
+            self.version[key] = round_idx + 1
+            if self.recorder is not None:
+                meta = self.my_keys[key]
+                layer = self._layer_index[meta.name]
+                detail = f"contribs={len(contributors)}"
+                self.recorder.emit(
+                    EventKind.SLICE_APPLIED, node=self.name, key=key,
+                    iteration=round_idx, priority=meta.priority,
+                    layer=layer, nbytes=meta.size * 8, detail=detail)
+                self.recorder.emit(
+                    EventKind.ROUND_APPLIED, node=self.name, key=key,
+                    iteration=round_idx, priority=meta.priority,
+                    layer=layer, detail=detail)
+            value = encode_array(self.shard.pull(key))
+            still_waiting = []
+            for iteration, worker, priority in self._waiting.get(key, []):
+                if iteration < self.version[key]:
+                    responses.append((worker, iteration, priority, value))
+                else:
+                    still_waiting.append((iteration, worker, priority))
+            self._waiting[key] = still_waiting
+        for worker, iteration, priority, value in responses:
+            self._senders[worker].send(WireKind.PULL_RESP, key, iteration,
+                                       priority, value)
+        if self._handshake:
+            self._check_ready()
+
+    def _on_pull(self, msg: WireMessage) -> None:
+        if msg.key not in self.my_keys:
+            raise KeyError(f"shard {self.sid}: key {msg.key} not placed "
+                           f"here (epoch {self.tracker.current})")
+        if self.version[msg.key] > msg.iteration:
+            value = encode_array(self.shard.pull(msg.key))
+            self._senders[msg.sender].send(
+                WireKind.PULL_RESP, msg.key, msg.iteration, msg.priority,
+                value)
+        else:
+            self._waiting.setdefault(msg.key, []).append(
+                (msg.iteration, msg.sender, msg.priority))
+
+    # ------------------------------------------------------------------
+    # Membership epochs
+    # ------------------------------------------------------------------
+    def _check_ready(self) -> None:
+        e = self.tracker.current + 1
+        if (e < self.schedule.n_epochs
+                and self.tracker.ready_to_commit(e, self.rounds_applied())):
+            self._ready.set()
+
+    async def _membership_loop(self) -> None:
+        """Commit epochs as their barriers clear, greenlighting workers."""
+        while not self.tracker.finished and self.error is None:
+            epoch = self.tracker.current + 1
+            self._check_ready()
+            await self._ready.wait()
+            self._ready.clear()
+            if self.error is not None:
+                return
+            # All shards must quiesce before keys migrate: barrier at
+            # the coordinator; the last arriver performs the migration.
+            await self.coordinator.seal(self.sid, epoch)
+            self._install_epoch(epoch)
+            for worker in self.schedule.active(epoch):
+                self._senders[worker].send(
+                    WireKind.EPOCH, epoch, self.schedule.first_round(epoch),
+                    CONTROL_PRIORITY)
+
+    def _install_epoch(self, epoch: int) -> None:
+        """Adopt the epoch's key plan and active set; commit the tracker."""
+        self.my_keys = self.plans[epoch].server_keys(self.sid)
+        n_active = len(self.schedule.active(epoch))
+        self.shard.n_workers = n_active
+        self.shard.denominator = n_active
+        self.tracker.commit(epoch, self.rounds_applied())
+
+    # Key migration handoff (driver's EpochCoordinator, between seals) —
+    def export_live_key(self, key: int) -> Tuple[np.ndarray,
+                                                 Optional[np.ndarray], int]:
+        """Hand off one key's full live state: value, momentum, version."""
+        staged = self._staged.pop(key, {})
+        waiting = self._waiting.pop(key, [])
+        if staged or waiting:
+            raise RuntimeError(
+                f"shard {self.sid}: key {key} migrating with pending "
+                f"traffic (staged={sorted(staged)}, waiting={waiting}) — "
+                "the JOIN/LEAVE barrier should have drained it")
+        value, velocity = self.shard.export_key(key)
+        return value, velocity, self.version.pop(key)
+
+    def adopt_live_key(self, key: int, value: np.ndarray,
+                       velocity: Optional[np.ndarray],
+                       version: int) -> None:
+        self.shard.adopt_key(key, value, velocity)
+        self.version[key] = version
+
+    # ------------------------------------------------------------------
+    def transport_stats(self) -> Dict[str, int]:
+        """Aggregated reliability/chaos counters across connections."""
+        totals: Dict[str, int] = {}
+        for sender in self._senders.values():
+            for name, value in sender.stats().items():
+                totals[name] = totals.get(name, 0) + value
+        for conn in self._conns:
+            for name, value in conn.receiver.stats().items():
+                totals[name] = totals.get(name, 0) + value
+        return totals

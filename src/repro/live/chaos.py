@@ -135,13 +135,17 @@ class ChaosChannel:
         mangled[pos] ^= flip
         return bytes(mangled)
 
-    def sendall(self, data: bytes) -> None:
-        """Transmit one wire frame through the configured chaos.
+    def plan_frame(self, data: bytes) -> Tuple[float, List[bytes]]:
+        """Decide one frame's fate: ``(delay_s, payloads_to_write)``.
 
         Draw order per frame is fixed (drop, dup, corrupt, delay — plus
         the corruption position/delay magnitude draws when triggered) so
         the consumed randomness, and therefore every later frame's
-        fate, is independent of wall-clock timing.
+        fate, is independent of wall-clock timing.  Both the blocking
+        :meth:`sendall` and the asyncio transport
+        (:mod:`repro.live.aio.transport`) consume this single decision
+        procedure, so a plan sabotages the same frame sequence
+        identically on either substrate.
         """
         self.frames_seen += 1
         active = self._active(self._clock() - self.epoch)
@@ -150,28 +154,37 @@ class ChaosChannel:
         # wall clock interleaved earlier frames with fault windows.
         draws = self._rng.random(4)
         if not active:
-            self._sock.sendall(data)
-            return
+            return 0.0, [data]
         drop = max(s.drop_rate for s in active)
         dup = max(s.dup_rate for s in active)
         corrupt = max(s.corrupt_rate for s in active)
         delay_specs = [s for s in active if s.delay_rate > 0]
         if draws[0] < drop:
             self.dropped += 1
-            return
+            return 0.0, []
         payload = data
         if draws[2] < corrupt:
             self.corrupted += 1
             payload = self._corrupt(data)
+        delay = 0.0
         if delay_specs:
             rate = max(s.delay_rate for s in delay_specs)
             bound = max(s.delay_s for s in delay_specs)
             if draws[3] < rate:
                 self.delayed += 1
-                time.sleep(float(self._rng.uniform(0.0, bound)))
-        self._sock.sendall(payload)
+                delay = float(self._rng.uniform(0.0, bound))
+        payloads = [payload]
         if draws[1] < dup:
             self.duplicated += 1
+            payloads.append(payload)
+        return delay, payloads
+
+    def sendall(self, data: bytes) -> None:
+        """Transmit one wire frame through the configured chaos."""
+        delay, payloads = self.plan_frame(data)
+        if delay > 0:
+            time.sleep(delay)
+        for payload in payloads:
             self._sock.sendall(payload)
 
 

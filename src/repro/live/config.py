@@ -22,6 +22,7 @@ from ..sim.faults import FaultPlan
 from ..training.data import Dataset, SyntheticSpec, make_dataset
 from ..training.model import Network
 from ..training.zoo import mlp
+from .membership import MembershipSchedule
 from .transport import RetryPolicy
 
 STRATEGIES = ("baseline", "p3")
@@ -101,6 +102,14 @@ class LiveClusterConfig:
     max_retries: int = 12
     peer_timeout_s: float = 10.0       # no frames/acks for this long = dead
 
+    # Elastic membership (asyncio stack only).  When set, the run's
+    # rounds are partitioned into epochs with per-epoch active worker
+    # sets (and optional placement overrides); workers JOIN/LEAVE at
+    # epoch boundaries via the membership handshake.  ``n_workers`` then
+    # bounds the worker *id space* (machine-id layout), not the live
+    # count.  The blocking multiprocess driver rejects elastic configs.
+    membership: Optional[MembershipSchedule] = None
+
     # Observability (repro.obs): when True every process records the
     # shared event stream (slice enqueued/sent/preempted/applied, gate
     # opens, round applies) and the driver merges it into
@@ -113,7 +122,8 @@ class LiveClusterConfig:
             raise ValueError(f"strategy must be one of {STRATEGIES}")
         if self.n_workers <= 0 or self.n_servers <= 0:
             raise ValueError("n_workers and n_servers must be positive")
-        if self.batch_size % self.n_workers:
+        if self.membership is None and self.batch_size % self.n_workers:
+            # Elastic runs divide per epoch instead (validated below).
             raise ValueError("batch_size must be divisible by n_workers")
         if self.iterations <= self.warmup:
             raise ValueError("iterations must exceed warmup")
@@ -130,6 +140,8 @@ class LiveClusterConfig:
                 "two_tier placement does not support fault injection yet")
         # Fail fast on bad retry knobs (RetryPolicy revalidates).
         self.retry_policy(0)
+        if self.membership is not None:
+            self.membership.validate(self)
 
     # ------------------------------------------------------------------
     # Fault tolerance

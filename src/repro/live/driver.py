@@ -88,6 +88,41 @@ def _dead_children(procs: Sequence[mp.Process]) -> List[str]:
             for p in procs if not p.is_alive() and p.exitcode not in (0, None)]
 
 
+def _reap_children(procs: Sequence[mp.Process],
+                   queues: Sequence = ()) -> None:
+    """Terminate, join, and if necessary kill every child; drain queues.
+
+    Idempotent and exception-safe: every child gets its own try/except
+    so one uncooperative process can't leave its siblings orphaned, and
+    a child that survives ``terminate()`` (e.g. blocked in an
+    uninterruptible write) is escalated to ``kill()``.  Queue feeder
+    threads are shut down too so no file descriptors leak into the next
+    run.  Safe to call on never-started or already-reaped processes.
+    """
+    for proc in procs:
+        try:
+            if proc.is_alive():
+                proc.terminate()
+        except (ValueError, OSError):
+            continue  # never started, or already closed
+    for proc in procs:
+        try:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=5.0)
+        except (ValueError, OSError, AssertionError):
+            pass
+    for q in queues:
+        if q is None:
+            continue
+        try:
+            q.close()
+            q.cancel_join_thread()
+        except (OSError, AttributeError):
+            pass
+
+
 def _get_failfast(q, timeout_s: float, procs: Sequence[mp.Process],
                   what: str):
     """``q.get`` that polls child liveness instead of blocking blind.
@@ -137,11 +172,17 @@ def _fault_events(cfg: LiveClusterConfig, epoch: float,
 def run_live(cfg: LiveClusterConfig, strategy: Optional[str] = None,
              launch_timeout_s: float = 30.0) -> LiveRunResult:
     """Run one full live training job; block until it completes."""
+    if cfg.membership is not None:
+        raise LiveRunError(
+            "elastic membership requires the asyncio substrate — use "
+            "repro.live.aio.run_live_aio (the blocking driver's process "
+            "topology is fixed at launch)")
     strategy = strategy or cfg.strategy
     ctx = _context()
     port_q = ctx.Queue()
     result_q = ctx.Queue()
     events_q = ctx.Queue() if cfg.observe else None
+    queues = [port_q, result_q, events_q]
     # One CLOCK_MONOTONIC origin for the whole run: every process
     # measures fault windows (repro.live.chaos) against it.
     epoch = time.monotonic()
@@ -167,6 +208,7 @@ def run_live(cfg: LiveClusterConfig, strategy: Optional[str] = None,
             # worker group between workers and shards; each worker then
             # talks to exactly one address — its group's aggregator.
             agg_port_q = ctx.Queue()
+            queues.append(agg_port_q)
             aggregators = [
                 ctx.Process(target=serve_aggregator,
                             args=(g, cfg, strategy, addresses, agg_port_q,
@@ -241,10 +283,7 @@ def run_live(cfg: LiveClusterConfig, strategy: Optional[str] = None,
         for proc in servers + workers:
             proc.join(timeout=launch_timeout_s)
     finally:
-        for proc in servers + workers:
-            if proc.is_alive():
-                proc.terminate()
-                proc.join(timeout=5.0)
+        _reap_children(list(servers) + list(workers), queues=queues)
 
     final = results[0]["params"]
     for wid in range(1, cfg.n_workers):

@@ -47,14 +47,23 @@ from .wire import (
 #: than any data priority so liveness never queues behind gradients.
 CONTROL_PRIORITY = -(1 << 30)
 
+#: Priority of membership barrier tokens (JOIN/LEAVE): *less* urgent
+#: than any data priority, so a token drains only after every data
+#: message the worker enqueued before it — its arrival therefore
+#: certifies that the connection's prior epoch traffic was delivered
+#: (TCP FIFO + FIFO-within-priority in the sender heap).
+BARRIER_PRIORITY = 1 << 30
+
 DEFAULT_CHUNK_BYTES = 16_384
 
 #: Wire kinds that are *sequenced*: numbered per connection, tracked in
 #: the retransmit outbox, and duplicate-suppressed at the receiver.
 #: Control traffic (heartbeats, heartbeat ACKs, CHUNK_ACKs) is bare —
 #: periodic or cumulative, so a lost one is repaired by the next.
+#: Membership messages are sequenced: a lost JOIN would wedge an epoch.
 RELIABLE_KINDS = frozenset(
-    (WireKind.PUSH, WireKind.PULL_REQ, WireKind.PULL_RESP, WireKind.BYE))
+    (WireKind.PUSH, WireKind.PULL_REQ, WireKind.PULL_RESP, WireKind.BYE,
+     WireKind.JOIN, WireKind.LEAVE, WireKind.EPOCH))
 
 
 class TransportError(Exception):
@@ -227,6 +236,22 @@ class ChunkScheduler:
         self._last = item
         return item, chunk, offset, done, preempted
 
+    def purge(self, kinds: Tuple[WireKind, ...]) -> int:
+        """Drop every queued message of the given kinds; return the count.
+
+        Used on reconnect: queued ``CHUNK_ACK``\\ s reference the dead
+        connection's sequence space and would corrupt the peer's fresh
+        outbox if they drained onto the new byte stream.
+        """
+        kept = [item for item in self._heap if item.kind not in kinds]
+        removed = len(self._heap) - len(kept)
+        if removed:
+            heapq.heapify(kept)
+            self._heap = kept
+        if self._last is not None and self._last.kind in kinds:
+            self._last = None
+        return removed
+
 
 @dataclass(frozen=True)
 class RetryPolicy:
@@ -309,6 +334,27 @@ class ReliableOutbox:
             self._retries = 0       # progress: reset the backoff ladder
             self._deadline = None   # re-armed on the next due() / record()
         return len(acked)
+
+    def renumber(self, reseq: Callable[[bytes, int], bytes],
+                 now: float) -> int:
+        """Rebase every pending frame onto a fresh ``0..n-1`` seq space.
+
+        Reconnect support: the peer's replacement connection starts a new
+        byte stream whose inbox expects seq 0, so the unacked backlog is
+        renumbered in original order (``reseq`` rewrites one frame's seq
+        and CRC — see :func:`repro.live.wire.reseq_frame`), the backoff
+        ladder resets, and the retransmit timer is made immediately due
+        so the backlog retransmits on the new stream without waiting out
+        a timeout.  Returns how many frames were rebased (the caller's
+        next fresh seq).
+        """
+        pending = sorted(self._pending.items())
+        self._pending = {}
+        for new_seq, (_, frame) in enumerate(pending):
+            self._pending[new_seq] = reseq(frame, new_seq)
+        self._retries = 0
+        self._deadline = now if self._pending else None
+        return len(pending)
 
     def next_deadline(self, now: float) -> Optional[float]:
         """When the retransmit timer next fires (None = nothing pending)."""

@@ -85,6 +85,13 @@ class WireKind(IntEnum):
     HEARTBEAT = 5   # worker -> server: liveness probe
     BYE = 6         # worker -> server: clean shutdown
     CHUNK_ACK = 7   # either direction: cumulative ack of received seqs
+    # Elastic membership (asyncio stack).  These extend the *kind* space
+    # only; the frame layout is unchanged, so protocol version stays 2.
+    # ``key`` carries the membership epoch index, ``iteration`` the
+    # epoch's first global round.
+    JOIN = 8        # worker -> server: ready to participate in epoch
+    LEAVE = 9       # worker -> server: done with epoch, departing
+    EPOCH = 10      # server -> worker: epoch committed, rounds may start
 
 
 @dataclass(frozen=True)
@@ -150,6 +157,32 @@ def encode_frame(kind: WireKind, sender: int, key: int, iteration: int,
     header = struct.pack(HEADER_FMT, MAGIC, VERSION, int(kind), 0, sender,
                          key, iteration, priority, offset, total,
                          len(payload), seq, 0)
+    crc = zlib.crc32(header[:CRC_OFFSET])
+    crc = zlib.crc32(payload, crc)
+    return header[:CRC_OFFSET] + struct.pack("<I", crc) + payload
+
+
+def reseq_frame(frame: bytes, seq: int) -> bytes:
+    """Rewrite an encoded frame's ``seq`` field, recomputing the CRC.
+
+    Used by the reconnect path: sequence numbers are per-*connection*
+    state, so when a sender rebinds its unacked Go-Back-N window onto a
+    fresh connection it renumbers the retained frames ``0..n-1`` for the
+    peer's fresh :class:`~repro.live.transport.ReliableInbox`.
+    """
+    if len(frame) < HEADER_SIZE:
+        raise WireError("frame shorter than a header")
+    if not (0 <= seq <= SEQ_NONE):
+        raise WireError(f"seq {seq} out of the u32 range")
+    (magic, version, kind_i, flags, sender, key, iteration, priority,
+     offset, total, length, _old_seq, _crc) = \
+        struct.unpack_from(HEADER_FMT, frame)
+    if magic != MAGIC:
+        raise WireError(f"bad magic 0x{magic:04x}")
+    payload = frame[HEADER_SIZE:]
+    header = struct.pack(HEADER_FMT, magic, version, kind_i, flags, sender,
+                         key, iteration, priority, offset, total, length,
+                         seq, 0)
     crc = zlib.crc32(header[:CRC_OFFSET])
     crc = zlib.crc32(payload, crc)
     return header[:CRC_OFFSET] + struct.pack("<I", crc) + payload

@@ -1,0 +1,209 @@
+"""End-to-end asyncio cluster tests: conformance, elasticity, chaos.
+
+The tentpole acceptance battery.  Every test pits the single-process
+event-loop substrate (:func:`repro.live.aio.run_live_aio`) against an
+independent ground truth:
+
+* **Cross-substrate conformance** — final parameters bit-identical to
+  the in-process functional store, for every placement policy
+  (round_robin / balanced / two_tier) and both strategies.
+* **Elastic membership** — runs where workers JOIN/LEAVE between epochs
+  (including a leave+rejoin and a placement override with live key
+  migration) match :func:`repro.live.membership.elastic_reference` bit
+  for bit; a hypothesis sweep drives randomly drawn schedules through
+  the real cluster.
+* **Chaos under elasticity** — the acceptance run: frames dropped,
+  duplicated, and corrupted *while the membership changes mid-run*, and
+  the values still match the reference exactly.
+* **Scale** — ``calibrate()`` completes with 64 workers on one event
+  loop, bit-identical (the run the thread-per-connection stack could
+  not host).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.calibration import calibrate, run_inprocess
+from repro.live import LiveClusterConfig
+from repro.live.aio import run_live_aio
+from repro.live.membership import (
+    MembershipEpoch,
+    MembershipSchedule,
+    elastic_reference,
+)
+from repro.sim.faults import ChaosFault, FaultPlan
+
+pytestmark = pytest.mark.slow
+
+
+def aio_cfg(**overrides) -> LiveClusterConfig:
+    """3 workers + 2 shards, tiny MLP, no emulated compute: fast enough
+    to run dozens of full clusters in one test module."""
+    defaults = dict(
+        n_workers=3, n_servers=2, iterations=4, batch_size=6,
+        in_size=6, hidden=8, depth=1, n_train=24, n_val=8,
+        fwd_layer_s=0.0, bwd_layer_s=0.0, heartbeat_interval_s=0.2,
+    )
+    defaults.update(overrides)
+    return LiveClusterConfig(**defaults)
+
+
+def assert_params_equal(got, want, context=""):
+    assert set(got) == set(want)
+    for name in want:
+        np.testing.assert_array_equal(
+            got[name], want[name],
+            err_msg=f"{context}: {name} diverged")
+
+
+#: The canonical elastic schedule: join (epoch 1, with a placement
+#: override forcing live key migration), leave (epoch 2), rejoin
+#: (epoch 3).  Worker 1 leaves and comes back; worker 2 joins mid-run.
+ELASTIC_SCHED = MembershipSchedule(epochs=(
+    MembershipEpoch(workers=(0, 1), rounds=1),
+    MembershipEpoch(workers=(0, 1, 2), rounds=1, placement="balanced"),
+    MembershipEpoch(workers=(0, 2), rounds=1),
+    MembershipEpoch(workers=(0, 1, 2), rounds=1),
+))
+
+
+# ----------------------------------------------------------------------
+# Cross-substrate conformance (static membership)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("placement", ["round_robin", "balanced"])
+@pytest.mark.parametrize("strategy", ["baseline", "p3"])
+def test_aio_matches_inprocess_bit_for_bit(placement, strategy):
+    cfg = aio_cfg(strategy=strategy, placement=placement)
+    live = run_live_aio(cfg)
+    ref = run_inprocess(cfg)
+    assert_params_equal(live.final_params, ref,
+                        f"{placement}/{strategy}")
+
+
+@pytest.mark.parametrize("strategy", ["baseline", "p3"])
+def test_aio_two_tier_matches_inprocess(strategy):
+    cfg = aio_cfg(n_workers=4, batch_size=8, placement="two_tier",
+                  agg_group_size=2, strategy=strategy)
+    live = run_live_aio(cfg)
+    ref = run_inprocess(cfg)
+    assert_params_equal(live.final_params, ref, f"two_tier/{strategy}")
+
+
+def test_aio_reports_the_run_result_schema():
+    """Iteration times, TX timelines, heartbeats, and transport counters
+    survive the substrate change with the blocking driver's schema."""
+    cfg = aio_cfg(strategy="p3", rate_bytes_per_s=5_000_000.0,
+                  chunk_bytes=4096)
+    result = run_live_aio(cfg)
+    for wid in range(cfg.n_workers):
+        times = result.iteration_times[wid]
+        assert len(times) == cfg.iterations
+        assert (times > 0).all()
+        assert result.timelines[wid], "every worker must record tx chunks"
+        assert "frames_retransmitted" in result.transport_stats[wid]
+    assert result.mean_iteration_time > 0
+    assert result.utilization(worker=0).total_bytes(0, "tx") > 0
+
+
+# ----------------------------------------------------------------------
+# Elastic membership
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("strategy", ["baseline", "p3"])
+def test_elastic_join_leave_rejoin_matches_reference(strategy):
+    """Workers join, leave, and rejoin between epochs — with a placement
+    override migrating keys live — and every final replica matches the
+    elastic in-process reference bit for bit."""
+    cfg = aio_cfg(membership=ELASTIC_SCHED, strategy=strategy)
+    live = run_live_aio(cfg)
+    ref = elastic_reference(cfg, strategy)
+    assert_params_equal(live.final_params, ref, f"elastic/{strategy}")
+
+
+def test_elastic_run_is_deterministic_under_a_fixed_seed():
+    a = run_live_aio(aio_cfg(membership=ELASTIC_SCHED, strategy="p3"))
+    b = run_live_aio(aio_cfg(membership=ELASTIC_SCHED, strategy="p3"))
+    assert_params_equal(a.final_params, b.final_params, "determinism")
+
+
+@st.composite
+def elastic_schedules(draw):
+    """1-3 epochs over workers {0,1,2}, 1-2 rounds each: small enough to
+    run the real cluster per example, rich enough to cover every join /
+    leave / rejoin shape."""
+    n_epochs = draw(st.integers(min_value=1, max_value=3))
+    epochs = tuple(
+        MembershipEpoch(
+            workers=tuple(sorted(draw(
+                st.sets(st.sampled_from((0, 1, 2)), min_size=1,
+                        max_size=3)))),
+            rounds=draw(st.integers(min_value=1, max_value=2)))
+        for _ in range(n_epochs))
+    return MembershipSchedule(epochs=epochs)
+
+
+@given(sched=elastic_schedules())
+@settings(max_examples=8, deadline=None, derandomize=True)
+def test_random_membership_schedules_match_reference(sched):
+    """Property, end to end: ANY membership schedule the strategy can
+    draw trains to the exact values of the in-process elastic reference
+    (batch 6 divides every possible active-set size)."""
+    cfg = aio_cfg(iterations=sched.total_rounds, warmup=0, membership=sched)
+    live = run_live_aio(cfg, strategy="p3")
+    ref = elastic_reference(cfg, "p3")
+    assert_params_equal(live.final_params, ref, f"sched={sched.epochs}")
+
+
+# ----------------------------------------------------------------------
+# Chaos under elasticity (the acceptance run)
+# ----------------------------------------------------------------------
+@pytest.mark.chaos
+def test_chaos_during_membership_change_preserves_bit_identity():
+    """8% drop + 3% dup + 3% corrupt on every connection while worker 2
+    joins mid-run: Go-Back-N recovery + the epoch barrier keep the
+    values exactly equal to the clean reference."""
+    plan = FaultPlan((ChaosFault(machine=-1, drop_rate=0.08, dup_rate=0.03,
+                                 corrupt_rate=0.03),), seed=2)
+    sched = MembershipSchedule(epochs=(
+        MembershipEpoch(workers=(0, 1), rounds=2),
+        MembershipEpoch(workers=(0, 1, 2), rounds=2),
+    ))
+    cfg = aio_cfg(membership=sched, fault_plan=plan,
+                  rate_bytes_per_s=5_000_000.0, chunk_bytes=4096)
+    live = run_live_aio(cfg, strategy="p3")
+    ref = elastic_reference(cfg, "p3")
+    assert_params_equal(live.final_params, ref, "chaos+elastic")
+    totals: dict = {}
+    for stats in live.transport_stats.values():
+        for k, v in stats.items():
+            totals[k] = totals.get(k, 0) + v
+    assert totals.get("frames_dropped", 0) > 0, \
+        "chaos must actually have bitten"
+    assert totals.get("frames_retransmitted", 0) > 0, \
+        "recovery must actually have happened"
+    assert totals.get("unacked_frames", 0) == 0, \
+        "every reliable frame must be acknowledged by the end"
+
+
+# ----------------------------------------------------------------------
+# Scale: 64 workers on one event loop
+# ----------------------------------------------------------------------
+def test_calibrate_completes_at_64_workers_on_the_aio_stack():
+    """The run the thread-per-connection stack could not host: a full
+    calibrate() — baseline + P3, live vs in-process — with 64 workers
+    (128 worker-shard connections) on a single event loop."""
+    cfg = LiveClusterConfig(
+        n_workers=64, n_servers=2, iterations=3, warmup=1,
+        batch_size=64, in_size=6, hidden=8, depth=1,
+        n_train=128, n_val=16,
+        fwd_layer_s=0.0005, bwd_layer_s=0.001,
+        rate_bytes_per_s=50_000_000.0, chunk_bytes=4096,
+        heartbeat_interval_s=0.5,
+    )
+    report = calibrate(cfg, runner=run_live_aio)
+    assert report.bit_identical, \
+        f"64-worker aio run diverged (max |diff| = {report.max_abs_diff})"
+    assert report.live_baseline_s > 0 and report.live_p3_s > 0

@@ -1,0 +1,100 @@
+"""Driver child-process hygiene (repro.live.driver).
+
+A worker dying mid-round must never leave orphaned shard processes or
+leaked queue feeder threads behind: ``run_live`` raises
+:class:`LiveRunError` AND reaps every child it started.  The reaper
+itself must be idempotent and safe on processes that were never started
+— the exact states an exception mid-launch leaves behind.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+
+import pytest
+
+import repro.live.driver as driver_mod
+from repro.live import LiveClusterConfig, run_live
+from repro.live.driver import LiveRunError, _reap_children
+from repro.live.membership import MembershipSchedule
+
+pytestmark = pytest.mark.slow
+
+
+def tiny_cfg(**overrides) -> LiveClusterConfig:
+    defaults = dict(
+        n_workers=2, n_servers=2, iterations=2, warmup=1,
+        in_size=6, hidden=8, depth=1, n_train=16, n_val=8, batch_size=4,
+        fwd_layer_s=0.0, bwd_layer_s=0.0,
+    )
+    defaults.update(overrides)
+    return LiveClusterConfig(**defaults)
+
+
+def _live_children():
+    return [p for p in mp.active_children()
+            if p.name.startswith(("live-shard", "live-worker", "live-agg"))]
+
+
+def test_all_children_reaped_after_worker_death(monkeypatch):
+    """The satellite regression: a worker that dies mid-round produces a
+    LiveRunError — and zero surviving children, even though the shards
+    it abandoned would happily wait on their sockets forever."""
+    if driver_mod._context().get_start_method() != "fork":
+        pytest.skip("monkeypatched child entry point needs fork")
+
+    real_run_worker = driver_mod.run_worker
+
+    def dying_worker(worker_id, cfg, strategy, addresses, result_queue,
+                     epoch=None):
+        if worker_id == 1:
+            os._exit(23)  # die without reporting — mid-round crash
+        real_run_worker(worker_id, cfg, strategy, addresses, result_queue,
+                        epoch)
+
+    monkeypatch.setattr(driver_mod, "run_worker", dying_worker)
+    with pytest.raises(LiveRunError) as err:
+        run_live(tiny_cfg(), launch_timeout_s=10.0)
+    assert "exit code 23" in str(err.value)
+
+    deadline = time.monotonic() + 5.0
+    while _live_children() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    orphans = _live_children()
+    assert not orphans, \
+        f"run_live leaked children after a worker death: {orphans}"
+
+
+def test_reap_children_is_idempotent_and_safe_on_unstarted_processes():
+    """Every state an exception mid-launch can leave behind: never
+    started, already exited, already closed — plus a second reap pass
+    and queue handles (including a None placeholder)."""
+    ctx = driver_mod._context()
+    never_started = ctx.Process(target=time.sleep, args=(0,))
+    finished = ctx.Process(target=time.sleep, args=(0,))
+    finished.start()
+    finished.join()
+    running = ctx.Process(target=time.sleep, args=(60,))
+    running.start()
+    closed = ctx.Process(target=time.sleep, args=(0,))
+    closed.start()
+    closed.join()
+    closed.close()  # .is_alive() now raises ValueError
+    q = ctx.Queue()
+    q.put(object())  # make sure a feeder thread exists to cancel
+
+    procs = [never_started, finished, running, closed]
+    _reap_children(procs, queues=[q, None])
+    assert not running.is_alive()
+    _reap_children(procs, queues=[q, None])  # idempotent
+
+
+def test_run_live_rejects_elastic_membership():
+    """The blocking driver's process topology is fixed at launch:
+    elastic schedules must be pointed at the asyncio substrate, not
+    silently mis-run."""
+    cfg = tiny_cfg(membership=MembershipSchedule.static(2, iterations=2))
+    with pytest.raises(LiveRunError, match="asyncio"):
+        run_live(cfg)

@@ -329,3 +329,107 @@ def test_shaped_goodput_near_configured_rate():
     finally:
         left.close()
         right.close()
+
+
+# ----------------------------------------------------------------------
+# Scheduling-core property battery (shared by the threaded and asyncio
+# senders: AsyncPrioritySender drives this exact ChunkScheduler +
+# TokenBucket pair, so these properties pin both substrates).
+# ----------------------------------------------------------------------
+@given(ops=st.lists(
+    st.one_of(
+        st.tuples(st.just("reserve"),
+                  st.integers(min_value=0, max_value=5_000)),
+        st.tuples(st.just("advance"),
+                  st.floats(min_value=0.0, max_value=2.0,
+                            allow_nan=False, allow_infinity=False))),
+    min_size=1, max_size=40),
+       rate=st.sampled_from([100.0, 1_000.0, 250_000.0]),
+       burst=st.sampled_from([1, 100, 4_096]))
+@settings(max_examples=200, deadline=None)
+def test_token_bucket_conserves_bytes(ops, rate, burst):
+    """Conservation law: however reserves and idle periods interleave,
+    the bucket never grants more than ``burst + rate * elapsed`` bytes —
+    the shaped link cannot be overdrawn, with or without preemption."""
+    clock = FakeClock()
+    bucket = TokenBucket(rate, burst_bytes=burst, clock=clock)
+    granted = 0
+    for op, value in ops:
+        if op == "advance":
+            clock.t += value
+        else:
+            wait = bucket.reserve(value)
+            assert wait >= 0.0
+            clock.t += wait  # the sender sleeps exactly this long
+            granted += value
+        assert granted <= burst + rate * clock.t + 1e-6, (
+            f"bucket overdrawn: granted {granted} bytes but only "
+            f"{burst + rate * clock.t:.1f} were available")
+
+
+#: Adversarial streams: many urgent (low value) priorities arriving
+#: late, bulk messages early — the pattern that starves naive queues.
+adversarial_specs = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=3),
+              st.integers(min_value=1, max_value=200)),
+    min_size=2, max_size=24)
+
+
+@given(specs=adversarial_specs,
+       pops_between=st.lists(st.integers(min_value=0, max_value=3),
+                             min_size=1, max_size=24),
+       chunk_bytes=st.sampled_from([1, 16, 128]))
+@settings(max_examples=150, deadline=None)
+def test_scheduler_is_starvation_free_within_a_priority_class(
+        specs, pops_between, chunk_bytes):
+    """Starvation-freedom: once arrivals stop, every message completes;
+    and within one priority class completion order equals enqueue order
+    (a message is only ever bypassed by *strictly* more urgent traffic,
+    never by an equal-priority later arrival)."""
+    sched = ChunkScheduler(chunk_bytes=chunk_bytes)
+    completions = []
+    push_order = {}  # priority class -> keys in enqueue order
+    for key, (priority, size) in enumerate(specs):
+        sched.push(WireKind.PUSH, key, 0, priority, b"x" * size)
+        push_order.setdefault(priority, []).append((key, priority))
+        for _ in range(pops_between[key % len(pops_between)]):
+            popped = sched.pop_chunk()
+            if popped is None:
+                break
+            item, _, _, done, _ = popped
+            if done:
+                completions.append((item.key, item.priority))
+    while len(sched):  # arrivals stopped: drain to empty
+        item, _, _, done, _ = sched.pop_chunk()
+        if done:
+            completions.append((item.key, item.priority))
+    assert sorted(k for k, _ in completions) == list(range(len(specs))), \
+        "a message starved: never completed after arrivals stopped"
+    for priority, expected in push_order.items():
+        got = [c for c in completions if c[1] == priority]
+        assert got == expected, (
+            f"priority {priority}: completion order {got} != enqueue "
+            f"order {expected} — intra-class FIFO (bounded bypass) broken")
+
+
+@given(specs=adversarial_specs, chunk_bytes=st.sampled_from([1, 16, 128]))
+@settings(max_examples=100, deadline=None)
+def test_scheduler_purge_removes_only_the_named_kinds(specs, chunk_bytes):
+    """Reconnect surgery: purging CHUNK_ACKs drops every queued ack and
+    nothing else, and the survivors still drain in (priority, FIFO)
+    order with all their bytes."""
+    sched = ChunkScheduler(chunk_bytes=chunk_bytes)
+    expected_survivors = {}
+    for key, (priority, size) in enumerate(specs):
+        kind = WireKind.CHUNK_ACK if key % 3 == 0 else WireKind.PUSH
+        sched.push(kind, key, 0, priority, b"p" * size)
+        if kind is not WireKind.CHUNK_ACK:
+            expected_survivors[key] = size
+    purged = sched.purge((WireKind.CHUNK_ACK,))
+    assert purged == len(specs) - len(expected_survivors)
+    drained = {}
+    while len(sched):
+        item, chunk, _, done, _ = sched.pop_chunk()
+        assert item.kind is not WireKind.CHUNK_ACK
+        drained[item.key] = drained.get(item.key, 0) + len(chunk)
+    assert drained == expected_survivors

@@ -221,6 +221,46 @@ def live_goodput_microbench(rate_bytes_per_s: float = 4_000_000.0,
     }
 
 
+def aio_scale_bench(n_workers: int = 64) -> Dict:
+    """Advisory scale row: one event loop hosting ``n_workers`` workers.
+
+    Runs the asyncio live substrate (``repro.live.aio``) through a full
+    P3 training job plus the in-process reference and reports wall time,
+    per-iteration time, and whether bit-identity held.  This is the
+    calibration workload at the scale the thread-per-connection stack
+    could not host; wall time on shared runners is noisy, so the row is
+    informational and never gated on.
+    """
+    from repro.analysis.calibration import run_inprocess
+    from repro.live import LiveClusterConfig
+    from repro.live.aio import run_live_aio
+
+    import numpy as np
+
+    cfg = LiveClusterConfig(
+        n_workers=n_workers, n_servers=2, iterations=3, warmup=1,
+        batch_size=n_workers, in_size=6, hidden=8, depth=1,
+        n_train=2 * n_workers, n_val=16,
+        fwd_layer_s=0.0005, bwd_layer_s=0.001,
+        rate_bytes_per_s=50_000_000.0, chunk_bytes=4096,
+        heartbeat_interval_s=0.5,
+    )
+    t0 = time.perf_counter()
+    result = run_live_aio(cfg, strategy="p3")
+    wall = time.perf_counter() - t0
+    ref = run_inprocess(cfg, "p3")
+    identical = all(np.array_equal(result.final_params[k], ref[k])
+                    for k in ref)
+    return {
+        "n_workers": n_workers,
+        "n_servers": cfg.n_servers,
+        "iterations": cfg.iterations,
+        "wall_s": round(wall, 3),
+        "mean_iteration_s": round(result.mean_iteration_time, 4),
+        "bit_identical_vs_inprocess": identical,
+    }
+
+
 def next_snapshot_path(out_dir: pathlib.Path) -> pathlib.Path:
     taken = []
     for p in out_dir.glob("BENCH_*.json"):
@@ -241,7 +281,7 @@ def latest_snapshot_path(out_dir: pathlib.Path) -> Optional[pathlib.Path]:
 
 def build_snapshot(models: List[str], bandwidths: List[float],
                    iterations: int, include_sweeps: bool = True,
-                   sweep_jobs: int = 4) -> Dict:
+                   sweep_jobs: int = 4, aio_workers: int = 64) -> Dict:
     import numpy
 
     snapshot = {
@@ -257,6 +297,7 @@ def build_snapshot(models: List[str], bandwidths: List[float],
     if include_sweeps:
         snapshot["sweep_wall_times"] = sweep_wall_times(jobs=sweep_jobs)
     snapshot["live_microbench"] = live_goodput_microbench()
+    snapshot["aio_scale"] = aio_scale_bench(n_workers=aio_workers)
     return snapshot
 
 
@@ -346,7 +387,8 @@ def main(argv=None) -> int:
 
     snapshot = build_snapshot(models, bandwidths, args.iterations,
                               include_sweeps=not args.quick,
-                              sweep_jobs=args.sweep_jobs)
+                              sweep_jobs=args.sweep_jobs,
+                              aio_workers=16 if args.quick else 64)
     out_dir = pathlib.Path(args.out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     path = next_snapshot_path(out_dir)
@@ -356,6 +398,10 @@ def main(argv=None) -> int:
           f"{snapshot['engine_microbench']['events_per_s']:,.0f} events/s, "
           f"live goodput "
           f"{snapshot['live_microbench']['goodput_bytes_per_s']:.0f} B/s)")
+    aio = snapshot["aio_scale"]
+    print(f"aio scale: {aio['n_workers']} workers on one event loop in "
+          f"{aio['wall_s']}s, bit-identical="
+          f"{aio['bit_identical_vs_inprocess']}")
     sweeps = snapshot.get("sweep_wall_times")
     if sweeps:
         print(f"fig7 vgg19 sweep: serial {sweeps['serial_cold_wall_s']}s "
