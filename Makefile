@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-aio coverage bench bench-snapshot perf-smoke live-demo report quick-report figures clean
+.PHONY: install test test-fast test-perf test-aio coverage bench bench-snapshot perf-smoke live-demo report quick-report figures clean
 
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
@@ -14,6 +14,11 @@ test:
 
 test-fast:
 	$(PYTHON) -m pytest tests/ -x -q -p no:randomly -m "not slow"
+
+# Perf-path correctness: the golden-trace flag matrix and the
+# warm-start fallback battery (run by the blocking CI perf-smoke job)
+test-perf:
+	$(PYTHON) -m pytest tests/ -x -q -m perf
 
 # The async-live battery: membership properties, async transport,
 # elastic conformance, driver cleanup (CI runs this as its own job)
@@ -33,7 +38,9 @@ bench-snapshot:
 	$(PYTHON) tools/bench_snapshot.py
 
 # regression check vs the latest committed BENCH_*.json: engine
-# events/s regressions fail (blocking), sim wall times only warn
+# events/s regressions fail — both the tuple-loop bench (relative) and
+# the batched bench (relative + absolute 2.8M events/s floor) are
+# blocking; sim wall times only warn
 perf-smoke:
 	$(PYTHON) tools/bench_snapshot.py --check
 

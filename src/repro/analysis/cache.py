@@ -47,8 +47,16 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 
 #: Subpackages of ``repro`` whose source participates in the code salt —
 #: everything a simulated number can depend on.  Analysis/reporting code
-#: is deliberately excluded: it only *arranges* results.
+#: is deliberately excluded: it only *arranges* results.  The glob picks
+#: up every module in these packages, so engine additions (the flat
+#: event store, future compiled shims) are covered automatically.
 SALT_PACKAGES = ("sim", "core", "models", "strategies")
+
+#: Individual analysis modules that *do* influence cached numbers:
+#: the grid executor and the warm-start extrapolator compute the result
+#: documents themselves (the warm namespace stores extrapolations), so
+#: their source is salted too.
+SALT_MODULES = ("analysis/runner.py", "analysis/warmstart.py")
 
 _salt_cache: Optional[str] = None
 
@@ -67,6 +75,12 @@ def code_salt() -> str:
                 h.update(b"\0")
                 h.update(path.read_bytes())
                 h.update(b"\0")
+        for module in SALT_MODULES:
+            path = root / module
+            h.update(module.encode())
+            h.update(b"\0")
+            h.update(path.read_bytes())
+            h.update(b"\0")
         _salt_cache = h.hexdigest()
     return _salt_cache
 

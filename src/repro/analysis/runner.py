@@ -36,6 +36,7 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from ..models import get_model
@@ -108,6 +109,9 @@ def _config_to_doc(config: ClusterConfig) -> dict:
                          else _fault_plan_to_doc(config.fault_plan))
     if config.straggler_factors is not None:
         doc["straggler_factors"] = list(config.straggler_factors)
+    if config.measured_key_loads is not None:
+        doc["measured_key_loads"] = [list(kv)
+                                     for kv in config.measured_key_loads]
     return doc
 
 
@@ -117,6 +121,9 @@ def _config_from_doc(doc: dict) -> ClusterConfig:
         doc["fault_plan"] = _fault_plan_from_doc(doc["fault_plan"])
     if doc.get("straggler_factors") is not None:
         doc["straggler_factors"] = tuple(doc["straggler_factors"])
+    if doc.get("measured_key_loads") is not None:
+        doc["measured_key_loads"] = tuple(
+            (int(k), int(v)) for k, v in doc["measured_key_loads"])
     return ClusterConfig(**doc)
 
 
@@ -204,6 +211,35 @@ def _execute_doc(doc: dict) -> dict:
     return execute_point(SimPoint.from_doc(doc)).to_doc()
 
 
+#: Config fields that determine a point's plan artifacts — the grouping
+#: key for warm-start families.  Mirrors
+#: :func:`repro.sim.cluster.plan_signature`.
+_PLAN_FIELDS = (
+    "n_workers", "n_servers", "colocate_servers", "placement",
+    "placement_split_factor", "placement_max_splits", "agg_group_size",
+    "measured_key_loads", "seed",
+)
+
+
+def _family_key(doc: dict) -> str:
+    """Canonical grouping key: points with equal keys share plan artifacts."""
+    from .cache import canonical_json
+
+    cfg = doc["config"]
+    return canonical_json({
+        "model": doc["model"],
+        "strategy": doc["strategy"],
+        "plan": {f: cfg.get(f) for f in _PLAN_FIELDS},
+    })
+
+
+def _execute_family_doc(docs: List[dict]) -> List[dict]:
+    """Pool entry point for warm-start families (picklable wrapper)."""
+    from .warmstart import execute_family
+
+    return execute_family(docs)
+
+
 # ----------------------------------------------------------------------
 # Execution
 # ----------------------------------------------------------------------
@@ -234,6 +270,7 @@ def run_grid(
     points: Sequence[SimPoint],
     jobs: int = 1,
     cache: Optional[SimCache] = None,
+    warm_start: bool = False,
 ) -> List[PointResult]:
     """Execute every grid point; results in the same order as ``points``.
 
@@ -241,13 +278,29 @@ def run_grid(
     (``effective_jobs == 1``) or through a :class:`ProcessPoolExecutor`
     and are written back to the cache.  Results are independent of
     ``jobs`` and of cache state — identical bit for bit.
+
+    ``warm_start=True`` switches misses to the incremental executor
+    (:mod:`repro.analysis.warmstart`): points are grouped into
+    plan-compatible *families* that share prebuilt plan artifacts, and
+    each eligible point extrapolates from a short verified steady-state
+    run instead of simulating every iteration.  Extrapolated results
+    are ``REL_TOL``-close to a cold run, not bit-identical, so they are
+    cached in a separate ``warm/`` namespace under the same code salt;
+    exact results (ineligible points, verification fallbacks) keep
+    flowing into the main cache.  The main cache is always consulted
+    first, so an exact result shadows a warm one.
     """
     docs = [point.to_doc() for point in points]
     results: List[Optional[PointResult]] = [None] * len(points)
+    warm_cache: Optional[SimCache] = None
+    if cache is not None and warm_start:
+        warm_cache = SimCache(root=Path(cache.root) / "warm", salt=cache.salt)
     if cache is not None:
         miss_idx = []
         for i, doc in enumerate(docs):
             hit = cache.get(doc)
+            if hit is None and warm_cache is not None:
+                hit = warm_cache.get(doc)
             if hit is not None:
                 results[i] = PointResult.from_doc(hit)
             else:
@@ -255,7 +308,7 @@ def run_grid(
     else:
         miss_idx = list(range(len(points)))
 
-    if miss_idx:
+    if miss_idx and not warm_start:
         workers = effective_jobs(jobs, n_tasks=len(miss_idx))
         if workers > 1:
             with ProcessPoolExecutor(max_workers=workers) as pool:
@@ -267,6 +320,27 @@ def run_grid(
             if cache is not None:
                 cache.put(docs[i], result_doc)
             results[i] = PointResult.from_doc(result_doc)
+    elif miss_idx:
+        # Group misses into plan-compatible families, preserving first-
+        # appearance order so results stay jobs-independent.
+        families: Dict[str, List[int]] = {}
+        for i in miss_idx:
+            families.setdefault(_family_key(docs[i]), []).append(i)
+        payloads = [[docs[i] for i in idxs] for idxs in families.values()]
+        workers = effective_jobs(jobs, n_tasks=len(payloads))
+        if workers > 1:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                outs = list(pool.map(_execute_family_doc, payloads))
+        else:
+            outs = [_execute_family_doc(payload) for payload in payloads]
+        for idxs, family_out in zip(families.values(), outs):
+            for i, outcome in zip(idxs, family_out):
+                result_doc = outcome["result"]
+                if cache is not None:
+                    target = cache if outcome["exact"] else warm_cache
+                    if target is not None:
+                        target.put(docs[i], result_doc)
+                results[i] = PointResult.from_doc(result_doc)
     return results  # type: ignore[return-value]
 
 

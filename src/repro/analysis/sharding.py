@@ -19,10 +19,10 @@ at every size, while root fan-in only dominates at large clusters.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 from ..models import get_model
-from ..sim import ClusterConfig
+from ..sim import ClusterConfig, simulate
 from ..strategies import StrategyConfig, baseline, p3
 from .cache import SimCache
 from .runner import SimPoint, run_grid
@@ -42,6 +42,44 @@ def skewed_strategies() -> tuple:
     return (baseline(), p3(slice_params=SKEWED_SLICE_PARAMS))
 
 
+def profile_key_loads(
+    model_name: str,
+    strategy: StrategyConfig,
+    n_servers: int = 8,
+    n_workers: int = 4,
+    bandwidth_gbps: float = 10.0,
+    compute_scale: float = 1.0,
+    iterations: int = 3,
+    warmup: int = 1,
+    seed: int = 0,
+) -> Tuple[Tuple[int, int], ...]:
+    """Measured per-key gradient bytes from a short profiling run.
+
+    Runs a small round-robin cluster with an observability session
+    attached and folds the shared event stream with
+    :func:`repro.placement.loads.key_loads_from_events`.  The key
+    universe is the strategy's slicing of the model, which does not
+    depend on the cluster size, so loads measured on a 4-worker run
+    drive placement for any sweep size.  Returns the
+    ``ClusterConfig.measured_key_loads`` tuple, key-sorted.
+    """
+    from ..obs.registry import sim_session
+    from ..placement.loads import key_loads_from_events
+
+    obs = sim_session()
+    simulate(
+        get_model(model_name), strategy,
+        # Colocated deployments need at least one worker per shard.
+        ClusterConfig(n_workers=max(n_workers, n_servers),
+                      n_servers=n_servers,
+                      bandwidth_gbps=bandwidth_gbps,
+                      compute_scale=compute_scale, seed=seed),
+        iterations=iterations, warmup=warmup, obs=obs,
+    )
+    loads = key_loads_from_events(obs.events())
+    return tuple(sorted(loads.items()))
+
+
 def placement_sweep(
     model_name: str = "vgg19",
     cluster_sizes: Sequence[int] = PLACEMENT_SIZES,
@@ -57,6 +95,7 @@ def placement_sweep(
     seed: int = 0,
     jobs: int = 1,
     cache: Optional[SimCache] = None,
+    measured: bool = False,
 ) -> FigureData:
     """Cluster-total throughput per placement policy and strategy.
 
@@ -64,17 +103,32 @@ def placement_sweep(
     ``"<strategy>/<placement>"``.  ``jobs``/``cache`` parallelize and
     memoize the grid without changing a digit of the output
     (:mod:`repro.analysis.runner`).
+
+    ``measured=True`` drives the non-round-robin policies with
+    *observed* per-key gradient bytes instead of static parameter
+    counts: one short profiling run per strategy
+    (:func:`profile_key_loads`) feeds ``measured_key_loads`` into every
+    grid point, closing the obs → placement loop end to end.
     """
     model = get_model(model_name)
     strategies = (tuple(strategies) if strategies is not None
                   else skewed_strategies())
     fig = FigureData(
-        figure_id=f"placement_{model_name}",
+        figure_id=(f"placement_{model_name}_measured" if measured
+                   else f"placement_{model_name}"),
         title=(f"Placement policies: {model_name} @ "
-               f"{bandwidth_gbps:g} Gbps, {n_servers} shards"),
+               f"{bandwidth_gbps:g} Gbps, {n_servers} shards"
+               + (" (measured demands)" if measured else "")),
         x_label="cluster size",
         y_label=f"throughput ({model.sample_unit}/s)",
     )
+    key_loads = {
+        strat.name: (profile_key_loads(
+            model_name, strat, n_servers=n_servers,
+            bandwidth_gbps=bandwidth_gbps, compute_scale=compute_scale,
+            seed=seed) if measured else None)
+        for strat in strategies
+    }
     points = [
         SimPoint(model_name, strat,
                  ClusterConfig(n_workers=int(n), n_servers=n_servers,
@@ -82,7 +136,8 @@ def placement_sweep(
                                compute_scale=compute_scale,
                                placement=placement,
                                placement_split_factor=split_factor,
-                               agg_group_size=agg_group_size, seed=seed),
+                               agg_group_size=agg_group_size, seed=seed,
+                               measured_key_loads=key_loads[strat.name]),
                  iterations, warmup)
         for strat in strategies
         for placement in placements

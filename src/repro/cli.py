@@ -398,7 +398,8 @@ def cmd_sharding(args: argparse.Namespace) -> None:
         args.model, cluster_sizes=sizes, placements=placements,
         n_servers=args.shards, bandwidth_gbps=args.bandwidth,
         agg_group_size=args.group_size, split_factor=args.split_factor,
-        iterations=args.iterations, seed=args.seed, **kwargs)
+        iterations=args.iterations, seed=args.seed,
+        measured=args.measured, **kwargs)
     _emit(fig, args, logx=True)
     _report_cache(kwargs)
     for name, value in sorted(fig.notes.items()):
@@ -554,6 +555,10 @@ def build_parser() -> argparse.ArgumentParser:
     shard_p.add_argument("--split-factor", type=float, default=1.5,
                          help="hot-key split threshold (x ideal shard load)")
     shard_p.add_argument("--seed", type=int, default=0)
+    shard_p.add_argument("--measured", action="store_true",
+                         help="drive placement with per-key loads measured "
+                              "from a profiling run (obs event stream) "
+                              "instead of static parameter counts")
     report_p = add("report", cmd_report, "full evaluation -> markdown report")
     report_p.add_argument("--quick", action="store_true")
     report_p.add_argument("--out", dest="out", default="report.md")

@@ -2,8 +2,16 @@
 
 from .background import BackgroundTraffic
 from .chrome_trace import build_trace_events, export_chrome_trace
-from .cluster import ClusterConfig, ClusterSim, RunResult, simulate
-from .engine import EventHandle, SimulationError, Simulator
+from .cluster import (
+    ClusterConfig,
+    ClusterSim,
+    PlanArtifacts,
+    RunResult,
+    build_plan,
+    plan_signature,
+    simulate,
+)
+from .engine import BatchFire, EventHandle, SimulationError, Simulator
 from .faults import (
     ChaosFault,
     FaultInjector,
@@ -32,6 +40,7 @@ from .trace import IterationRecord, IterationTrace, UtilizationTrace, utilizatio
 
 __all__ = [
     "BackgroundTraffic",
+    "BatchFire",
     "Channel",
     "build_trace_events",
     "export_chrome_trace",
@@ -50,6 +59,7 @@ __all__ = [
     "LinkFault",
     "Message",
     "MsgKind",
+    "PlanArtifacts",
     "PriorityQueue",
     "Role",
     "RunResult",
@@ -59,11 +69,13 @@ __all__ = [
     "StragglerFault",
     "Transport",
     "UtilizationTrace",
+    "build_plan",
     "fault_node",
     "fault_tag",
     "gbps_to_bytes_per_s",
     "make_queue",
     "occurrences",
+    "plan_signature",
     "simulate",
     "simulate_checked",
     "utilization_summary",

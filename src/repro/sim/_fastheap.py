@@ -1,0 +1,259 @@
+"""Flat-array event heap: the engine's alternative event store.
+
+The default engine heap stores one ``(time, seq, fn, args, handle)``
+tuple per event.  That layout is hard to beat for raw push/pop (C-level
+tuple comparison, no indirection), but it pays for cancellation with an
+:class:`~repro.sim.engine.EventHandle` allocation per cancellable event
+and it cannot bulk-load a batch of entries without one ``heappush``
+frame each.
+
+:class:`FlatHeap` splits the event into a 3-tuple heap entry
+``(time, seq, slot)`` plus parallel slot arrays (``fns``/``args``), so:
+
+* **cancellation is an O(1) tombstone** — ``fns[slot] = None`` — with no
+  handle object; stale tokens are rejected by a per-slot sequence check,
+  so cancelling after the event fired (or after the slot was reused) is
+  a safe no-op;
+* **bulk scheduling** (`push_batch`) can ``extend``+``heapify`` in
+  O(n+k) when a batch is large relative to the heap instead of k
+  individual O(log n) pushes — the arrangement differs but the pop
+  order cannot (``(time, seq)`` keys are unique);
+* the entry layout is fixed-width and index-based, which is the shape a
+  compiled implementation wants.
+
+Ordering is identical to the tuple heap: entries compare on
+``(time, seq)`` and the sequence counter is shared with the owning
+:class:`~repro.sim.engine.Simulator`, so enabling the flat heap changes
+no simulated timestamp and no tie-break (verified by the golden-trace
+matrix in ``tests/obs/test_golden_trace.py``).
+
+Compiled path
+-------------
+``flatheap_impl()`` resolves the implementation class once per process.
+When ``REPRO_SIM_FASTHEAP_IMPL`` is ``"compiled"`` (or ``"auto"``) it
+tries to import ``repro.sim._fastheap_c`` — an optional C extension
+with the same interface — and **falls back to this pure-python class
+automatically** when the extension is absent or fails to import.  No
+compiled implementation ships with the repository; the hook exists so a
+site-built extension can be dropped in without touching the engine.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from heapq import heapify, heappop, heappush
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+__all__ = ["FlatHeap", "flatheap_impl", "heap_extend", "check_heap"]
+
+
+def heap_extend(heap: List[tuple], entries: List[tuple]) -> None:
+    """Add ``entries`` to ``heap``, picking extend+heapify over repeated
+    pushes when the batch is large relative to the heap.
+
+    ``k`` pushes cost O(k log(n+k)); extend+heapify costs O(n+k).  The
+    crossover only matters for big batches, so small ones always take
+    the push path.  Either way the heap invariant holds and the pop
+    order is identical — ``(time, seq)`` keys are unique, so the heap's
+    internal arrangement is unobservable.
+    """
+    k = len(entries)
+    n = len(heap)
+    if k > 8 and k * max(1, (n + k).bit_length()) > 3 * (n + k):
+        heap.extend(entries)
+        heapify(heap)
+    else:
+        for entry in entries:
+            heappush(heap, entry)
+
+
+def check_heap(heap: Sequence[tuple]) -> None:
+    """Assert the binary-heap invariant (debug mode only; O(n))."""
+    for i in range(1, len(heap)):
+        parent = heap[(i - 1) >> 1]
+        # Entries are (time, seq, ...) with unique seq, so comparison
+        # never reaches the payload positions.
+        if heap[i] < parent:
+            raise AssertionError(
+                f"heap invariant violated at index {i}: "
+                f"{heap[i][:2]} < parent {parent[:2]}")
+
+
+class FlatHeap:
+    """Pure-python flat event store: 3-tuple heap + parallel slot arrays.
+
+    Slots are recycled through a free list; a slot is only freed when
+    its heap entry is popped (the entry holds the slot index), so a
+    cancelled event keeps its slot as a tombstone (``fns[slot] is
+    None``) until the heap catches up with it.
+    """
+
+    __slots__ = ("heap", "fns", "args", "seqs", "free", "seq_next")
+
+    def __init__(self, seq_next: Optional[Callable[[], int]] = None) -> None:
+        if seq_next is None:
+            seq_next = itertools.count().__next__
+        self.seq_next = seq_next
+        self.heap: List[Tuple[float, int, int]] = []
+        self.fns: List[Optional[Callable[..., None]]] = []
+        self.args: List[Any] = []
+        self.seqs: List[int] = []
+        self.free: List[int] = []
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def _alloc(self, fn: Callable[..., None], args: tuple, seq: int) -> int:
+        free = self.free
+        if free:
+            slot = free.pop()
+            self.fns[slot] = fn
+            self.args[slot] = args
+            self.seqs[slot] = seq
+        else:
+            slot = len(self.fns)
+            self.fns.append(fn)
+            self.args.append(args)
+            self.seqs.append(seq)
+        return slot
+
+    def push_noh(self, time: float, fn: Callable[..., None],
+                 args: tuple) -> None:
+        """Fire-and-forget push: no cancellation token."""
+        seq = self.seq_next()
+        heappush(self.heap, (time, seq, self._alloc(fn, args, seq)))
+
+    def push(self, time: float, fn: Callable[..., None],
+             args: tuple) -> Tuple[int, int]:
+        """Push and return a ``(slot, seq)`` cancellation token."""
+        seq = self.seq_next()
+        slot = self._alloc(fn, args, seq)
+        heappush(self.heap, (time, seq, slot))
+        return slot, seq
+
+    def push_batch(self, times: Sequence[float], fn: Callable[..., None],
+                   args_seq: Optional[Sequence[tuple]] = None) -> None:
+        """Bulk fire-and-forget push of one callback at many times."""
+        sn = self.seq_next
+        alloc = self._alloc
+        if args_seq is None:
+            entries = [(t, s, alloc(fn, (), s))
+                       for t in times for s in (sn(),)]
+        else:
+            entries = [(t, s, alloc(fn, a, s))
+                       for t, a in zip(times, args_seq) for s in (sn(),)]
+        heap_extend(self.heap, entries)
+
+    # ------------------------------------------------------------------
+    # Cancellation / inspection
+    # ------------------------------------------------------------------
+    def cancel(self, slot: int, seq: int) -> bool:
+        """Tombstone the event held by ``(slot, seq)``; O(1).
+
+        Returns False (no-op) when the token is stale: the event already
+        fired, was already cancelled, or the slot has been reused by a
+        newer event.  The per-slot sequence check makes a stale token
+        harmless, which is the flat-heap fix for the cancel-after-fire
+        accounting bug (see ``EventHandle.cancel``).
+        """
+        if self.seqs[slot] != seq or self.fns[slot] is None:
+            return False
+        self.fns[slot] = None
+        self.args[slot] = None
+        return True
+
+    def peek_time(self) -> Optional[float]:
+        """Earliest live event time, dropping leading tombstones."""
+        heap = self.heap
+        fns = self.fns
+        while heap:
+            if fns[heap[0][2]] is not None:
+                return heap[0][0]
+            _t, _s, slot = heappop(heap)
+            self.free.append(slot)
+        return None
+
+    def pop(self) -> Optional[Tuple[float, Callable[..., None], tuple]]:
+        """Pop the earliest live event, or None when the heap is empty."""
+        heap = self.heap
+        fns = self.fns
+        argl = self.args
+        free = self.free
+        while heap:
+            time, _seq, slot = heappop(heap)
+            fn = fns[slot]
+            if fn is None:  # tombstone
+                free.append(slot)
+                continue
+            args = argl[slot]
+            fns[slot] = None
+            argl[slot] = None
+            free.append(slot)
+            return time, fn, args
+        return None
+
+    def __len__(self) -> int:
+        return len(self.heap)
+
+    def live_count(self) -> int:
+        """Number of not-cancelled entries (O(n); debug/verification)."""
+        fns = self.fns
+        return sum(1 for _t, _s, slot in self.heap if fns[slot] is not None)
+
+    def check_invariants(self) -> None:
+        """Heap property + slot-table consistency (debug mode; O(n))."""
+        check_heap(self.heap)
+        n_slots = len(self.fns)
+        if not (len(self.args) == len(self.seqs) == n_slots):
+            raise AssertionError("flat heap slot arrays out of sync")
+        in_heap = [False] * n_slots
+        for _t, _s, slot in self.heap:
+            if not 0 <= slot < n_slots:
+                raise AssertionError(f"heap references unknown slot {slot}")
+            if in_heap[slot]:
+                raise AssertionError(f"slot {slot} referenced twice")
+            in_heap[slot] = True
+        for slot in self.free:
+            if in_heap[slot]:
+                raise AssertionError(f"free slot {slot} still in heap")
+            if self.fns[slot] is not None:
+                raise AssertionError(f"free slot {slot} holds a callback")
+
+
+# ----------------------------------------------------------------------
+# Implementation resolution (optional compiled path)
+# ----------------------------------------------------------------------
+FASTHEAP_IMPL_ENV = "REPRO_SIM_FASTHEAP_IMPL"
+
+_impl_cache: Optional[Tuple[type, str]] = None
+
+
+def flatheap_impl() -> Tuple[type, str]:
+    """Resolve the flat-heap class once per process.
+
+    Returns ``(cls, name)`` where ``name`` is ``"python"`` or
+    ``"compiled"``.  The compiled path is only attempted when
+    ``$REPRO_SIM_FASTHEAP_IMPL`` is ``compiled`` or ``auto``; import
+    failure falls back to the pure-python class silently — the two are
+    interface- and ordering-identical, so the fallback is safe.
+    """
+    global _impl_cache
+    if _impl_cache is None:
+        _impl_cache = _resolve_impl(os.environ.get(FASTHEAP_IMPL_ENV, ""))
+    return _impl_cache
+
+
+def _resolve_impl(requested: str) -> Tuple[type, str]:
+    requested = requested.strip().lower()
+    if requested in ("compiled", "c", "auto"):
+        try:
+            from . import _fastheap_c  # type: ignore[attr-defined]
+            return _fastheap_c.FlatHeap, "compiled"
+        except ImportError:
+            if requested != "auto":
+                # Explicit request that cannot be honoured: still fall
+                # back (never crash a sweep over a missing extension),
+                # but the resolved name records what actually runs.
+                pass
+    return FlatHeap, "python"

@@ -71,6 +71,12 @@ class ClusterConfig:
     placement_split_factor: float = 2.0
     placement_max_splits: int = 4
     agg_group_size: int = 4
+    # Optional measured per-key loads — ((key, bytes), ...) from an
+    # obs-fed profiling run (repro.placement.loads.measured_demands).
+    # When set, non-round-robin placement plans bin-pack over these
+    # instead of static parameter counts.  A tuple (not a dict) keeps
+    # the config hashable and JSON-round-trippable.
+    measured_key_loads: Optional[Tuple[Tuple[int, int], ...]] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -94,6 +100,12 @@ class ClusterConfig:
             raise ValueError("background_load must be in [0, 1)")
         if self.oversubscription < 1.0:
             raise ValueError("oversubscription must be >= 1")
+        if self.measured_key_loads is not None:
+            for entry in self.measured_key_loads:
+                if len(entry) != 2 or entry[1] <= 0:
+                    raise ValueError(
+                        "measured_key_loads must be ((key, bytes>0), ...) "
+                        f"pairs, got {entry!r}")
         # Placement knobs validate through the subsystem's own spec.
         self.placement_spec()
 
@@ -229,12 +241,115 @@ class _ChannelObsAdapter(ChannelObserver):
         )
 
 
+@dataclass
+class PlanArtifacts:
+    """Immutable planning state shared across ClusterSim instances.
+
+    Everything between the strategy's key plan and the per-key lookup
+    tables is a pure function of (model, strategy, placement-relevant
+    config fields) — see :func:`plan_signature`.  A sweep family whose
+    points differ only in perturbable knobs (bandwidth, latency, CPU
+    costs) rebuilds none of it (:mod:`repro.analysis.warmstart`).
+    Consumers treat every field as read-only.
+    """
+
+    signature: tuple
+    placed: List[PlacedKey]
+    placement_plan: Optional[object]
+    groups: Tuple[Tuple[int, ...], ...]
+    group_of: Dict[int, int]
+    keys: Dict[int, PlacedKey]
+    keys_by_layer: List[List[PlacedKey]]
+    push_payload: Dict[int, int]
+    key_server_machine: Dict[int, int]
+    key_layer: Dict[int, int]
+
+
+def plan_signature(model: ModelSpec, strategy: StrategyConfig,
+                   config: ClusterConfig) -> tuple:
+    """The config fields plan artifacts depend on (reuse compatibility)."""
+    return (
+        model.name, strategy, config.n_workers, config.servers,
+        config.colocate_servers, config.placement,
+        config.placement_split_factor, config.placement_max_splits,
+        config.agg_group_size, config.measured_key_loads, config.seed,
+    )
+
+
+def build_plan(model: ModelSpec, strategy: StrategyConfig,
+               config: ClusterConfig) -> PlanArtifacts:
+    """Run the strategy's key plan and the placement subsystem once."""
+    n_workers = config.n_workers
+    n_servers = config.servers
+    rng = np.random.default_rng(config.seed)
+    placed: List[PlacedKey] = strategy.plan(model, n_servers, rng)
+    # Placement subsystem (repro.placement): re-pack / split / group
+    # the strategy's keys when a non-round-robin policy is selected.
+    placement_plan = None
+    if config.placement != "round_robin":
+        from ..placement import KeyDemand, apply_to_placed, plan_placement
+        loads = (dict(config.measured_key_loads)
+                 if config.measured_key_loads is not None else None)
+        if loads is None:
+            demands = [KeyDemand(pk.key, pk.params, pk.priority)
+                       for pk in placed]
+        else:
+            demands = [KeyDemand(pk.key, loads.get(pk.key) or pk.params,
+                                 pk.priority)
+                       for pk in placed]
+        placement_plan = plan_placement(
+            demands, n_servers, config.placement_spec(),
+            n_workers=n_workers)
+        placed = apply_to_placed(placed, placement_plan)
+    groups: Tuple[Tuple[int, ...], ...] = ()
+    group_of: Dict[int, int] = {}
+    if config.two_tier:
+        groups = placement_plan.groups
+        for g, members in enumerate(groups):
+            for w in members:
+                group_of[w] = g
+    keys: Dict[int, PlacedKey] = {pk.key: pk for pk in placed}
+    keys_by_layer: List[List[PlacedKey]] = [[] for _ in model.layers]
+    for pk in placed:
+        keys_by_layer[pk.layer_index].append(pk)
+    for idx, layer_keys in enumerate(keys_by_layer):
+        if not layer_keys:
+            raise SimulationError(f"layer {idx} has no synchronization keys")
+
+    # Per-key lookup tables shared by every worker (payloads, shard
+    # machines, owning layer).  These are identical across workers,
+    # so building them once here instead of per-SimWorker removes
+    # O(workers * keys) setup work from every simulated config.
+    if config.colocate_servers:
+        def server_machine(server_id: int) -> int:
+            return server_id
+    else:
+        def server_machine(server_id: int) -> int:
+            return n_workers + server_id
+    gs = strategy.gradient_scale
+    return PlanArtifacts(
+        signature=plan_signature(model, strategy, config),
+        placed=placed,
+        placement_plan=placement_plan,
+        groups=groups,
+        group_of=group_of,
+        keys=keys,
+        keys_by_layer=keys_by_layer,
+        push_payload={pk.key: max(1, int(pk.bytes * gs)) for pk in placed},
+        key_server_machine={pk.key: server_machine(pk.server)
+                            for pk in placed},
+        key_layer={k: pk.layer_index for k, pk in keys.items()},
+    )
+
+
 class ClusterSim:
     """Wires machines, transport, workers and PS shards together."""
 
     def __init__(self, model: ModelSpec, strategy: StrategyConfig,
                  config: ClusterConfig, trace_utilization: bool = False,
-                 obs: Optional[ObsSession] = None) -> None:
+                 obs: Optional[ObsSession] = None,
+                 artifacts: Optional[PlanArtifacts] = None,
+                 cycle_hook=None) -> None:
         self.model = model
         self.strategy = strategy
         self.config = config
@@ -242,24 +357,22 @@ class ClusterSim:
         self.sim = Simulator()
         self.n_workers = config.n_workers
         self.n_servers = config.servers
-        rng = np.random.default_rng(config.seed)
+        # Iteration-boundary hook (worker, iteration, sim-time); the
+        # warm-start verifier records cycle marks through it.  None on
+        # the normal path — one branch per iteration per worker.
+        self.cycle_hook = cycle_hook
 
-        self.placed: List[PlacedKey] = strategy.plan(model, self.n_servers, rng)
-        # Placement subsystem (repro.placement): re-pack / split / group
-        # the strategy's keys when a non-round-robin policy is selected.
-        self.placement_plan = None
+        if (artifacts is None
+                or artifacts.signature != plan_signature(model, strategy,
+                                                         config)):
+            artifacts = build_plan(model, strategy, config)
+        self.plan_artifacts = artifacts
+        self.placed = artifacts.placed
+        self.placement_plan = artifacts.placement_plan
         self.two_tier = config.two_tier
-        if config.placement != "round_robin":
-            from ..placement import KeyDemand, apply_to_placed, plan_placement
-            demands = [KeyDemand(pk.key, pk.params, pk.priority)
-                       for pk in self.placed]
-            self.placement_plan = plan_placement(
-                demands, self.n_servers, config.placement_spec(),
-                n_workers=self.n_workers)
-            self.placed = apply_to_placed(self.placed, self.placement_plan)
-        self.groups: Tuple[Tuple[int, ...], ...] = ()
-        self.n_groups = 0
-        self.group_of: Dict[int, int] = {}
+        self.groups = artifacts.groups
+        self.n_groups = len(artifacts.groups)
+        self.group_of = artifacts.group_of
         if self.two_tier:
             if strategy.async_updates:
                 raise SimulationError(
@@ -273,30 +386,11 @@ class ClusterSim:
             if config.fault_plan is not None and bool(config.fault_plan):
                 raise SimulationError(
                     "two_tier placement does not support fault injection yet")
-            self.groups = self.placement_plan.groups
-            self.n_groups = len(self.groups)
-            for g, members in enumerate(self.groups):
-                for w in members:
-                    self.group_of[w] = g
-        self.keys: Dict[int, PlacedKey] = {pk.key: pk for pk in self.placed}
-        self.keys_by_layer: List[List[PlacedKey]] = [[] for _ in model.layers]
-        for pk in self.placed:
-            self.keys_by_layer[pk.layer_index].append(pk)
-        for idx, keys in enumerate(self.keys_by_layer):
-            if not keys:
-                raise SimulationError(f"layer {idx} has no synchronization keys")
-
-        # Per-key lookup tables shared by every worker (payloads, shard
-        # machines, owning layer).  These are identical across workers,
-        # so building them once here instead of per-SimWorker removes
-        # O(workers * keys) setup work from every simulated config.
-        gs = strategy.gradient_scale
-        self.push_payload: Dict[int, int] = {
-            pk.key: max(1, int(pk.bytes * gs)) for pk in self.placed}
-        self.key_server_machine: Dict[int, int] = {
-            pk.key: self.server_machine(pk.server) for pk in self.placed}
-        self.key_layer: Dict[int, int] = {
-            k: pk.layer_index for k, pk in self.keys.items()}
+        self.keys = artifacts.keys
+        self.keys_by_layer = artifacts.keys_by_layer
+        self.push_payload = artifacts.push_payload
+        self.key_server_machine = artifacts.key_server_machine
+        self.key_layer = artifacts.key_layer
 
         self.deferred_pull = strategy.pull_policy is PullPolicy.DEFERRED_PULL
         self.utilization = UtilizationTrace() if trace_utilization else None
@@ -452,9 +546,15 @@ class ClusterSim:
     # Execution
     # ------------------------------------------------------------------
     def run(self, iterations: int, warmup: int = 2,
-            max_events: Optional[int] = None) -> RunResult:
+            max_events: Optional[int] = None,
+            live_counters: bool = False) -> RunResult:
         """Simulate ``iterations`` full iterations per worker and measure
-        throughput over the last ``iterations - warmup`` of them."""
+        throughput over the last ``iterations - warmup`` of them.
+
+        ``live_counters`` keeps the engine's event/pending counters
+        exact during the run (slower loop) so hooks can read them
+        mid-simulation — the warm-start verifier needs this.
+        """
         if iterations <= warmup:
             raise ValueError("iterations must exceed warmup")
         for w in self.workers:
@@ -463,7 +563,7 @@ class ClusterSim:
             self.background.start()
         if self.fault_injector is not None:
             self.fault_injector.start()
-        self.sim.run(max_events=max_events)
+        self.sim.run(max_events=max_events, live_counters=live_counters)
         if self._done_count < self.n_workers:
             stuck = [w.wid for w in self.workers if not w.done]
             raise SimulationError(
@@ -508,6 +608,7 @@ def simulate(
     warmup: int = 2,
     trace_utilization: bool = False,
     obs: Optional[ObsSession] = None,
+    artifacts: Optional[PlanArtifacts] = None,
 ) -> RunResult:
     """Run one distributed-training simulation end to end.
 
@@ -524,5 +625,5 @@ def simulate(
     """
     cfg = config or ClusterConfig()
     sim = ClusterSim(model, strategy, cfg, trace_utilization=trace_utilization,
-                     obs=obs)
+                     obs=obs, artifacts=artifacts)
     return sim.run(iterations=iterations, warmup=warmup)

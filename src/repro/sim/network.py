@@ -28,6 +28,8 @@ from enum import Enum
 from heapq import heappop, heappush
 from typing import Callable, Deque, Iterable, List, Optional, Tuple
 
+import numpy as np
+
 from .engine import EventHandle, SimulationError, Simulator
 
 
@@ -421,17 +423,34 @@ class Channel:
         rate, overhead, CPU cost, queue, and trace sink are all fixed for
         the channel's lifetime and can be captured as closure cells —
         no ``self.`` lookups on the per-message path.  Completion events
-        push directly onto the engine heap with the exact arithmetic of
-        :meth:`Simulator.after` (``now + delay``, same sequence counter),
-        so timestamps and tie-breaks are bit-identical; only the Python
-        frame and EventHandle disappear.  Mutable state (``busy``,
-        transfer counters, ``observer``, ``on_complete``) stays on
-        ``self`` because faults, observability wiring, and the invariant
-        harness rebind or read it dynamically.
+        push directly onto the engine event store with the exact
+        arithmetic of :meth:`Simulator.after` (``now + delay``, same
+        sequence counter), so timestamps and tie-breaks are bit-identical;
+        only the Python frame and EventHandle disappear.  Mutable state
+        (``busy``, transfer counters, ``observer``, ``on_complete``)
+        stays on ``self`` because faults, observability wiring, and the
+        invariant harness rebind or read it dynamically.
+
+        Batched runs (``sim.batch_enabled``): when the channel is FIFO,
+        unobserved, and its backlog holds more than one message at pop
+        time, the whole backlog's completion times are computed up front
+        (occupancies are a pure function of message sizes on a static
+        channel) and bulk-loaded via ``schedule_at_batch``.  Each
+        completion still *fires* individually in global event order —
+        this batches the scheduling, not the firing, so interleaved
+        traffic from other machines is ordered exactly as before.  The
+        per-message arithmetic (``t += cpu + wire/rate``, and the numpy
+        cumulative-sum path for long runs) reproduces the sequential
+        chain bit for bit: IEEE-754 addition is commutative and
+        ``np.cumsum`` accumulates left to right.  Priority queues are
+        excluded (a later higher-priority arrival may overtake the
+        backlog), as are observed channels (``on_pop`` must see the
+        queue state at each pop) and degenerate zero-occupancy
+        configurations (batch entries must carry strictly increasing
+        times so no third-party event can land *between* two entries
+        that per-event scheduling would have separated).
         """
         sim = self.sim
-        heap = sim._heap
-        seq_next = sim._seq.__next__
         q_push = self._q_push
         q_pop = self._q_pop
         backing = self._backing
@@ -441,7 +460,12 @@ class Channel:
         trace = self.trace
         machine = self.machine
         direction = self.direction
-        push = heappush
+        # Strictly positive per-message occupancy is guaranteed when
+        # there is CPU cost, or when a finite rate meets a non-empty
+        # envelope (wire_bytes >= overhead > 0).
+        batch_on = (sim.batch_enabled and isinstance(backing, deque)
+                    and (cpu > 0 or (rate is not None and overhead > 0)))
+        schedule_batch = sim.schedule_at_batch
 
         def finish_fast(msg: Message, start: float, wire_bytes: int) -> None:
             now = sim.now
@@ -456,23 +480,119 @@ class Channel:
             if backing:
                 start_next()
 
-        def start_next() -> None:
-            if not backing:
-                return
-            msg = q_pop()
-            obs = self.observer
-            if obs is not None:
-                obs.on_pop(self, msg)
-            self.busy = True
-            wire_bytes = msg.payload_bytes + overhead
-            self.bytes_transferred += wire_bytes
-            self.messages_transferred += 1
+        def finish_run(msg: Message, start: float, wire_bytes: int,
+                       last: bool) -> None:
+            # Per-message completion of a batch-scheduled run: same
+            # bookkeeping as finish_fast, but the channel only goes
+            # idle (and re-examines its queue) after the run's final
+            # message.  Runs never start with an observer attached.
             now = sim.now
-            push(heap, (now + (cpu if rate is None
-                               else cpu + wire_bytes / rate),
-                        seq_next(), finish_fast,
-                        (msg, now, wire_bytes), None))
-            sim._pending += 1
+            self.busy_time += now - start
+            if trace is not None:
+                trace(machine, direction, start, now, wire_bytes)
+            if last:
+                self.busy = False
+                self.on_complete(msg)
+                if backing:
+                    start_next()
+            else:
+                self.on_complete(msg)
+
+        def start_run() -> None:
+            # Drain the whole FIFO backlog and schedule every
+            # completion at once.  Messages arriving mid-run queue
+            # behind it (busy stays True) — exactly where per-event
+            # scheduling would have put them.
+            msgs = list(backing)
+            backing.clear()
+            self.busy = True
+            k = len(msgs)
+            last = k - 1
+            now = sim.now
+            argss = []
+            append = argss.append
+            total = 0
+            if k >= 64 and rate is not None:
+                # Vectorized completion chain: elementwise occupancy
+                # then a left-to-right cumulative sum — bit-identical
+                # to the sequential `t += cpu + wire/rate` chain.
+                wires = [m.payload_bytes + overhead for m in msgs]
+                occ = np.asarray(wires, dtype=np.float64)
+                occ /= rate
+                occ += cpu
+                occ[0] += now
+                times = np.cumsum(occ).tolist()
+                start = now
+                for i in range(k):
+                    wire_bytes = wires[i]
+                    total += wire_bytes
+                    append((msgs[i], start, wire_bytes, i == last))
+                    start = times[i]
+            else:
+                times = []
+                t_append = times.append
+                t = now
+                i = 0
+                for msg in msgs:
+                    wire_bytes = msg.payload_bytes + overhead
+                    total += wire_bytes
+                    append((msg, t, wire_bytes, i == last))
+                    t = t + (cpu if rate is None
+                             else cpu + wire_bytes / rate)
+                    t_append(t)
+                    i += 1
+            self.bytes_transferred += total
+            self.messages_transferred += k
+            schedule_batch(times, finish_run, argss)
+
+        flat = sim._flat
+        if flat is None:
+            heap = sim._heap
+            seq_next = sim._seq.__next__
+            push = heappush
+
+            def start_next() -> None:
+                if not backing:
+                    return
+                if batch_on and len(backing) > 1 and self.observer is None:
+                    start_run()
+                    return
+                msg = q_pop()
+                obs = self.observer
+                if obs is not None:
+                    obs.on_pop(self, msg)
+                self.busy = True
+                wire_bytes = msg.payload_bytes + overhead
+                self.bytes_transferred += wire_bytes
+                self.messages_transferred += 1
+                now = sim.now
+                push(heap, (now + (cpu if rate is None
+                                   else cpu + wire_bytes / rate),
+                            seq_next(), finish_fast,
+                            (msg, now, wire_bytes), None))
+                sim._pending += 1
+        else:
+            raw_push = flat.push_noh
+
+            def start_next() -> None:
+                if not backing:
+                    return
+                if batch_on and len(backing) > 1 and self.observer is None:
+                    start_run()
+                    return
+                msg = q_pop()
+                obs = self.observer
+                if obs is not None:
+                    obs.on_pop(self, msg)
+                self.busy = True
+                wire_bytes = msg.payload_bytes + overhead
+                self.bytes_transferred += wire_bytes
+                self.messages_transferred += 1
+                now = sim.now
+                raw_push(now + (cpu if rate is None
+                                else cpu + wire_bytes / rate),
+                         finish_fast, (msg, now, wire_bytes))
+                sim._pending += 1
 
         def enqueue(msg: Message) -> None:
             q_push(msg)
@@ -518,6 +638,15 @@ class Transport:
         self._heap = sim._heap
         self._seq_next = sim._seq.__next__
         self._local_cb = self._local_deliver
+        # Flat event store (fastheap mode): the tuple-heap inline push
+        # below would corrupt the flat heap's 3-tuple layout, so bind
+        # the flat-aware send/forward variants as instance attributes
+        # (``register`` resolves ``_on_tx_done`` through the instance,
+        # so the shadowing happens before any channel captures it).
+        if sim.fastheap_enabled:
+            self._raw_push = sim._flat.push_noh
+            self.send = self._send_flat  # type: ignore[method-assign]
+            self._on_tx_done = self._on_tx_done_flat  # type: ignore[method-assign]
         # Optional shared core fabric: when set, all inter-machine
         # traffic serializes through it (oversubscribed switch model).
         self.fabric = fabric
@@ -574,6 +703,28 @@ class Transport:
             heappush(self._heap, (sim.now + self.latency_s,
                                   self._seq_next(), self._rx_enq[msg.dst],
                                   (msg,), None))
+            sim._pending += 1
+
+    def _send_flat(self, msg: Message) -> None:
+        sim = self.sim
+        now = sim.now
+        msg.enqueue_time = now
+        if msg.src == msg.dst:
+            self._raw_push(now + self.loopback_latency_s,
+                           self._local_cb, (msg,))
+            sim._pending += 1
+        else:
+            self._tx[msg.src].enqueue(msg)
+
+    def _on_tx_done_flat(self, msg: Message) -> None:
+        if msg.kind is MsgKind.NOISE:
+            return
+        if self.fabric is not None:
+            self.fabric.enqueue(msg)
+        else:
+            sim = self.sim
+            self._raw_push(sim.now + self.latency_s,
+                           self._rx_enq[msg.dst], (msg,))
             sim._pending += 1
 
     def _on_fabric_done(self, msg: Message) -> None:

@@ -1,0 +1,229 @@
+"""Correctness battery for warm-start sweep execution.
+
+The warm-start executor's contract
+(:mod:`repro.analysis.warmstart`): a point either takes a *verified*
+steady-state extrapolation — matching a cold run to ``REL_TOL`` on
+times and **exactly** on event counts — or it runs cold,
+bit-identically to :func:`repro.analysis.runner.execute_point`.  The
+tests pin both branches, the static eligibility screen, the family
+grouping in ``run_grid(warm_start=True)``, the warm/exact cache
+namespace split, and the code-salt coverage of the executor modules
+themselves.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import SimCache
+from repro.analysis.cache import code_salt
+from repro.analysis import cache as cache_mod
+from repro.analysis.runner import SimPoint, execute_point, run_grid
+from repro.analysis.warmstart import (
+    REL_TOL,
+    WARM_LADDER,
+    WarmOutcome,
+    eligible,
+    execute_point_warm,
+    warm_iterations,
+)
+from repro.models import get_model, toy_model
+from repro.sim import ClusterConfig
+from repro.sim.faults import FaultPlan, StragglerFault
+from repro.strategies import baseline, p3
+
+ITER = warm_iterations(1) + 8  # comfortably past the first warm rung
+
+
+def _point(bw=4.0, iterations=ITER, warmup=1, **cfg):
+    return SimPoint("toy3", p3(),
+                    ClusterConfig(n_workers=2, bandwidth_gbps=bw, **cfg),
+                    iterations=iterations, warmup=warmup)
+
+
+def _close(a, b, tol=REL_TOL):
+    return math.isclose(a, b, rel_tol=tol, abs_tol=0.0)
+
+
+# ----------------------------------------------------------------------
+# Eligibility screen
+# ----------------------------------------------------------------------
+def test_eligible_needs_enough_iterations():
+    model = get_model("toy3")
+    assert eligible(model, _point(iterations=warm_iterations(1) + 2))
+    assert not eligible(model, _point(iterations=warm_iterations(1) + 1))
+
+
+def test_jitter_model_is_ineligible():
+    jittery = replace(toy_model(), jitter_sigma=0.05)
+    point = _point()
+    assert not eligible(jittery, point)
+    out = execute_point_warm(point, model=jittery)
+    assert out.mode == "cold" and out.exact
+
+
+def test_background_load_is_ineligible():
+    point = _point(background_load=0.2)
+    assert not eligible(get_model("toy3"), point)
+
+
+def test_fault_plan_is_ineligible():
+    plan = FaultPlan((StragglerFault(worker=0, factor=2.0, start=1.0,
+                                     duration=3.0),), seed=1)
+    point = _point(fault_plan=plan)
+    assert not eligible(get_model("toy3"), point)
+    out = execute_point_warm(point)
+    assert out.mode == "cold" and out.exact
+    assert out.result == execute_point(point)
+
+
+# ----------------------------------------------------------------------
+# Warm vs cold
+# ----------------------------------------------------------------------
+def test_warm_extrapolation_matches_cold_run():
+    point = _point()
+    warm = execute_point_warm(point)
+    cold = execute_point(point)
+    assert warm.mode.startswith("warm-p")
+    assert not warm.exact
+    assert warm.result.events_processed == cold.events_processed
+    assert _close(warm.result.throughput, cold.throughput)
+    assert _close(warm.result.mean_iteration_time, cold.mean_iteration_time)
+
+
+def test_cold_paths_are_bit_identical_to_execute_point():
+    point = _point(iterations=warm_iterations(1) + 1)  # ineligible
+    out = execute_point_warm(point)
+    assert out.mode == "cold"
+    assert out.result == execute_point(point)
+
+
+@pytest.mark.perf
+def test_quasi_periodic_point_falls_back_cold():
+    """vgg19/p3 at 10 Gbps drifts in its steady state (a persistent
+    ULP-scale slope, not settling) — verification must refuse it and
+    the fallback must reproduce the cold run bitwise."""
+    point = SimPoint("vgg19", p3(),
+                     ClusterConfig(n_workers=2, bandwidth_gbps=10.0),
+                     iterations=warm_iterations(2) + 2, warmup=2)
+    out = execute_point_warm(point)
+    assert out.mode in ("cold-fallback", "cold")
+    assert out.exact
+    assert out.result == execute_point(point)
+
+
+@given(st.sampled_from([2.0, 4.0, 8.0, 16.0]),
+       st.integers(min_value=0, max_value=3))
+@settings(max_examples=8, deadline=None)
+def test_property_warm_close_to_cold_across_grid(bw, extra_iters):
+    """Over a spread of bandwidths and iteration counts, every verified
+    extrapolation stays within REL_TOL of the cold run and nails the
+    event count exactly; unverified points return the cold result."""
+    point = _point(bw=bw, iterations=ITER + extra_iters)
+    warm = execute_point_warm(point)
+    cold = execute_point(point)
+    if warm.exact:
+        assert warm.result == cold
+    else:
+        assert warm.result.events_processed == cold.events_processed
+        assert _close(warm.result.throughput, cold.throughput)
+        assert _close(warm.result.mean_iteration_time,
+                      cold.mean_iteration_time)
+
+
+def test_warm_outcome_is_deterministic():
+    point = _point()
+    a = execute_point_warm(point)
+    b = execute_point_warm(point)
+    assert a == b  # WarmOutcome is a frozen dataclass: full equality
+
+
+# ----------------------------------------------------------------------
+# run_grid integration: families, jobs, cache namespaces
+# ----------------------------------------------------------------------
+def _grid():
+    return [
+        _point(bw=bw, iterations=it)
+        for bw in (4.0, 8.0)
+        for it in (ITER, warm_iterations(1) + 1)  # warm-able + ineligible
+    ]
+
+
+def test_run_grid_warm_matches_jobs_and_cache_states(tmp_path):
+    points = _grid()
+    serial = run_grid(points, warm_start=True)
+    pooled = run_grid(points, jobs=2, warm_start=True)
+    assert serial == pooled
+    cache = SimCache(tmp_path / "c")
+    missed = run_grid(points, cache=cache, warm_start=True)
+    hit = run_grid(points, cache=cache, warm_start=True)
+    assert missed == serial
+    assert hit == serial
+    assert cache.stats()["misses"] > 0
+
+
+def test_run_grid_warm_results_land_in_matching_namespace(tmp_path):
+    points = [_point(), _point(iterations=warm_iterations(1) + 1)]
+    cache = SimCache(tmp_path / "c")
+    run_grid(points, cache=cache, warm_start=True)
+    main = SimCache(tmp_path / "c")
+    warm_ns = SimCache(tmp_path / "c" / "warm")
+    warm_doc, cold_doc = points[0].to_doc(), points[1].to_doc()
+    # Extrapolated result: warm namespace only.
+    assert main.get(warm_doc) is None
+    assert warm_ns.get(warm_doc) is not None
+    # Exact (ineligible) result: main namespace only.
+    assert main.get(cold_doc) is not None
+    assert warm_ns.get(cold_doc) is None
+
+
+def test_warm_grid_agrees_with_cold_grid(tmp_path):
+    points = _grid()
+    warm = run_grid(points, warm_start=True)
+    cold = run_grid(points)
+    for w, c in zip(warm, cold):
+        assert w.events_processed == c.events_processed
+        assert _close(w.throughput, c.throughput)
+
+
+def test_exact_main_cache_entry_shadows_warm(tmp_path):
+    """The main cache is consulted first, so a cold (exact) result wins
+    over any previously stored extrapolation."""
+    point = _point()
+    cache = SimCache(tmp_path / "c")
+    run_grid([point], cache=cache, warm_start=True)   # stores warm
+    cold = run_grid([point], cache=SimCache(tmp_path / "c"))  # stores exact
+    out = run_grid([point], cache=SimCache(tmp_path / "c"), warm_start=True)
+    assert out == cold
+
+
+# ----------------------------------------------------------------------
+# Code-salt coverage of the executor modules
+# ----------------------------------------------------------------------
+def test_salt_covers_executor_modules(monkeypatch):
+    """The warm executor computes cached numbers, so its source bytes
+    must participate in the cache salt: dropping the module list from
+    the hash must change the digest (regression guard for
+    SALT_MODULES)."""
+    full = code_salt()
+    monkeypatch.setattr(cache_mod, "_salt_cache", None)
+    monkeypatch.setattr(cache_mod, "SALT_MODULES", ())
+    without_modules = code_salt()
+    monkeypatch.setattr(cache_mod, "_salt_cache", None)
+    assert full != without_modules
+
+
+def test_salt_modules_list_names_existing_files():
+    import repro
+    from pathlib import Path
+
+    root = Path(repro.__file__).parent
+    assert "analysis/runner.py" in cache_mod.SALT_MODULES
+    assert "analysis/warmstart.py" in cache_mod.SALT_MODULES
+    for module in cache_mod.SALT_MODULES:
+        assert (root / module).is_file(), module

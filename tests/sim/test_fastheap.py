@@ -1,0 +1,211 @@
+"""Unit and property tests for the flat-array event heap.
+
+:class:`repro.sim._fastheap.FlatHeap` must be *ordering-identical* to
+the engine's tuple heap: entries pop in ``(time, seq)`` order, bulk
+loading only rearranges the heap internally, and cancellation is an
+O(1) tombstone whose token can never hit the wrong event — not after
+the event fired, not after the slot was recycled.  These tests pin each
+of those guarantees directly against the class, below the engine.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim._fastheap import FlatHeap, check_heap, flatheap_impl, heap_extend
+
+
+def drain(fh: FlatHeap) -> list:
+    out = []
+    while True:
+        item = fh.pop()
+        if item is None:
+            return out
+        out.append(item)
+
+
+# ----------------------------------------------------------------------
+# Ordering
+# ----------------------------------------------------------------------
+def test_pop_orders_by_time():
+    fh = FlatHeap()
+    for t in (3.0, 1.0, 2.0, 0.5):
+        fh.push_noh(t, str, (t,))
+    assert [t for t, _fn, _a in drain(fh)] == [0.5, 1.0, 2.0, 3.0]
+
+
+def test_ties_pop_in_push_order():
+    fh = FlatHeap()
+    for i in range(8):
+        fh.push_noh(1.0, str, (i,))
+    assert [a[0] for _t, _fn, a in drain(fh)] == list(range(8))
+
+
+def test_push_batch_matches_individual_pushes():
+    times = [5.0, 5.0, 7.0, 7.0, 9.0] * 8  # big enough to take heapify
+    a = FlatHeap()
+    a.push_batch(times, str, [(i,) for i in range(len(times))])
+    b = FlatHeap()
+    for i, t in enumerate(times):
+        b.push_noh(t, str, (i,))
+    assert drain(a) == drain(b)
+
+
+def test_batch_interleaves_with_singles_in_seq_order():
+    fh = FlatHeap()
+    fh.push_noh(1.0, str, ("early",))
+    fh.push_batch([1.0, 1.0], str, [("b0",), ("b1",)])
+    fh.push_noh(1.0, str, ("late",))
+    assert [a[0] for _t, _fn, a in drain(fh)] == \
+        ["early", "b0", "b1", "late"]
+
+
+# ----------------------------------------------------------------------
+# Cancellation tombstones
+# ----------------------------------------------------------------------
+def test_cancel_tombstones_event():
+    fh = FlatHeap()
+    fh.push_noh(1.0, str, ("keep",))
+    slot, seq = fh.push(2.0, str, ("drop",))
+    assert fh.cancel(slot, seq) is True
+    assert [a[0] for _t, _fn, a in drain(fh)] == ["keep"]
+
+
+def test_cancel_is_idempotent():
+    fh = FlatHeap()
+    slot, seq = fh.push(1.0, str, ())
+    assert fh.cancel(slot, seq) is True
+    assert fh.cancel(slot, seq) is False
+
+
+def test_cancel_after_pop_is_stale():
+    fh = FlatHeap()
+    slot, seq = fh.push(1.0, str, ())
+    assert fh.pop() is not None
+    assert fh.cancel(slot, seq) is False
+
+
+def test_stale_token_cannot_kill_recycled_slot():
+    """A token kept past its event's pop must not cancel the *new*
+    event that recycled the slot — the per-slot seq check rejects it."""
+    fh = FlatHeap()
+    slot, seq = fh.push(1.0, str, ("old",))
+    fh.pop()
+    slot2, _seq2 = fh.push(2.0, str, ("new",))
+    assert slot2 == slot  # free list recycled the slot
+    assert fh.cancel(slot, seq) is False
+    assert [a[0] for _t, _fn, a in drain(fh)] == ["new"]
+
+
+def test_peek_time_drops_leading_tombstones():
+    fh = FlatHeap()
+    slot, seq = fh.push(1.0, str, ())
+    fh.push_noh(2.0, str, ())
+    fh.cancel(slot, seq)
+    assert fh.peek_time() == 2.0
+    assert fh.live_count() == 1
+
+
+def test_free_list_reuse_bounds_slot_table():
+    fh = FlatHeap()
+    for round_ in range(50):
+        fh.push_noh(float(round_), str, ())
+        fh.pop()
+    assert len(fh.fns) == 1  # one slot, recycled 50 times
+
+
+# ----------------------------------------------------------------------
+# heap_extend / invariants
+# ----------------------------------------------------------------------
+def test_heap_extend_small_and_large_batches_keep_invariant():
+    for k in (1, 8, 9, 64, 500):
+        heap = [(float(i), i, None) for i in range(0, 40, 3)]
+        entries = [(float(j % 7), 1000 + j, None) for j in range(k)]
+        import heapq
+
+        heapq.heapify(heap)
+        heap_extend(heap, entries)
+        check_heap(heap)
+        assert len(heap) == 14 + k
+
+
+def test_check_heap_raises_on_violation():
+    with pytest.raises(AssertionError):
+        check_heap([(5.0, 1, None), (1.0, 0, None)])
+
+
+def test_check_invariants_accepts_tombstoned_heap():
+    fh = FlatHeap()
+    fh.push_batch([1.0, 2.0, 3.0], str)
+    slot, seq = fh.push(4.0, str, ())
+    fh.cancel(slot, seq)
+    fh.pop()
+    fh.check_invariants()
+
+
+def test_flatheap_impl_resolves_python_fallback(monkeypatch):
+    """No compiled extension ships; every spelling must fall back."""
+    from repro.sim import _fastheap
+
+    for requested in ("", "compiled", "c", "auto", "COMPILED"):
+        monkeypatch.setattr(_fastheap, "_impl_cache", None)
+        monkeypatch.setenv(_fastheap.FASTHEAP_IMPL_ENV, requested)
+        cls, name = _fastheap.flatheap_impl()
+        assert cls is FlatHeap
+        assert name == "python"
+
+
+def test_flatheap_impl_is_memoized():
+    assert flatheap_impl() is flatheap_impl()
+
+
+# ----------------------------------------------------------------------
+# Properties
+# ----------------------------------------------------------------------
+@given(st.lists(st.tuples(st.floats(min_value=0.0, max_value=1e6,
+                                    allow_nan=False),
+                          st.booleans()),
+                max_size=80))
+@settings(max_examples=60, deadline=None)
+def test_property_pop_order_matches_sorted_reference(entries):
+    """Live events pop exactly in ``(time, push-order)`` — the same total
+    order ``sorted`` produces on ``(time, seq)`` — regardless of the mix
+    of singles, batches, and cancellations."""
+    fh = FlatHeap()
+    reference = []  # (time, seq, idx) for live entries
+    tokens = []
+    for i, (t, cancellable) in enumerate(entries):
+        if cancellable:
+            slot, seq = fh.push(t, str, (i,))
+            tokens.append((slot, seq, t, i))
+        else:
+            fh.push_noh(t, str, (i,))
+            reference.append((t, i))
+    # Cancel every other cancellable entry.
+    for j, (slot, seq, t, i) in enumerate(tokens):
+        if j % 2:
+            assert fh.cancel(slot, seq) is True
+        else:
+            reference.append((t, i))
+    fh.check_invariants()
+    got = [(t, a[0]) for t, _fn, a in drain(fh)]
+    # seq increases with i, so sorting on (time, i) is the engine order.
+    assert got == sorted(reference)
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=100.0,
+                          allow_nan=False),
+                min_size=1, max_size=60))
+@settings(max_examples=40, deadline=None)
+def test_property_batch_and_single_loading_agree(times):
+    """Bulk loading changes the arrangement, never the pop order."""
+    srt = sorted(times)
+    a = FlatHeap()
+    a.push_batch(srt, str, [(i,) for i in range(len(srt))])
+    b = FlatHeap()
+    for i, t in enumerate(srt):
+        b.push_noh(t, str, (i,))
+    a.check_invariants()
+    assert drain(a) == drain(b)
