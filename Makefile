@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-perf test-aio coverage bench bench-snapshot perf-smoke live-demo report quick-report figures clean
+.PHONY: install test test-fast test-perf test-aio test-tenancy coverage bench bench-snapshot perf-smoke live-demo report quick-report figures clean
 
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
@@ -26,6 +26,14 @@ test-aio:
 	$(PYTHON) -m pytest tests/live/test_membership.py \
 	    tests/live/test_aio_transport.py tests/live/test_aio_cluster.py \
 	    tests/live/test_driver_cleanup.py -x -q
+
+# The multi-tenant battery: fairness/starvation properties, tenant
+# isolation (bit-identity), cross-substrate scheduler conformance, and
+# the shaper-accounting regressions (run by the blocking CI tenancy job)
+test-tenancy:
+	$(PYTHON) -m pytest tests/tenancy/ -x -q -m tenancy
+	$(PYTHON) -m pytest tests/live/test_transport.py \
+	    tests/live/test_aio_transport.py -x -q
 
 # stdlib-only coverage measurement (CI enforces the floor via pytest-cov)
 coverage:

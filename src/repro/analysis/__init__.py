@@ -57,6 +57,13 @@ from .series import FigureData, Series, speedup
 from .stats import SeedStats, speedup_stats, summarize, throughput_stats
 from .storage import load_figure, save_figure
 from .tails import iteration_time_percentiles, tail_comparison
+from .tenancy import (
+    SWEEP_POLICIES,
+    SWEEP_TENANTS,
+    default_workload,
+    run_tenant_scenario,
+    tenancy_sweep,
+)
 from .slice_size import FIG12_SLICES, fig12_slice_size_sweep
 from .utilization import (
     FIG8_9_CONFIGS,
@@ -141,4 +148,9 @@ __all__ = [
     "straggler_sensitivity",
     "speedup",
     "utilization_trace",
+    "SWEEP_POLICIES",
+    "SWEEP_TENANTS",
+    "default_workload",
+    "run_tenant_scenario",
+    "tenancy_sweep",
 ]

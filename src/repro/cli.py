@@ -428,6 +428,34 @@ def cmd_summary(args: argparse.Namespace) -> None:
         print(f"{model:>12}  {s:>15.2f}x  {paper.get(model, float('nan')):>7.2f}x")
 
 
+def cmd_tenants(args: argparse.Namespace) -> None:
+    """Multi-tenant scheduling: admission ledger, shares, SLO report."""
+    from .analysis.tenancy import run_tenant_scenario, tenancy_sweep
+    if args.sweep:
+        fig = tenancy_sweep(
+            args.model,
+            tenants=[int(s) for s in args.tenant_counts.split(",")],
+            policies=[s.strip() for s in args.policies.split(",")],
+            bandwidth_gbps=args.bandwidth, workers_per_job=args.workers,
+            iterations=args.iterations, warmup=args.warmup, seed=args.seed)
+        _emit(fig, args)
+        for name, value in sorted(fig.notes.items()):
+            print(f"  {name} = {value}")
+        return
+    weights = ([float(w) for w in args.weights.split(",")]
+               if args.weights else None)
+    res = run_tenant_scenario(
+        args.tenants, policy=args.policy, model=args.model,
+        strategy=args.strategy, bandwidth_gbps=args.bandwidth,
+        workers_per_job=args.workers, iterations=args.iterations,
+        warmup=args.warmup, n_slots=args.slots, weights=weights,
+        stagger_s=args.stagger, monitor=args.monitor, seed=args.seed)
+    print(res.report())
+    print("admission ledger:")
+    for ev in res.log:
+        print(f"  t={ev.t:>9.3f}s  {ev.kind:<8} {ev.job}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="p3-repro",
@@ -559,6 +587,40 @@ def build_parser() -> argparse.ArgumentParser:
                          help="drive placement with per-key loads measured "
                               "from a profiling run (obs event stream) "
                               "instead of static parameter counts")
+    tenants_p = add("tenants", cmd_tenants,
+                    "multi-tenant scheduler: admission, fair sharing, and "
+                    "per-job SLO report (see docs/tenancy.md)",
+                    model_default="resnet50")
+    tenants_p.add_argument("--tenants", type=int, default=4,
+                           help="number of tenants (one job each)")
+    tenants_p.add_argument("--policy", default="weighted",
+                           choices=("weighted", "equal", "none"),
+                           help="cross-job bandwidth-sharing policy")
+    tenants_p.add_argument("--strategy", default="mixed",
+                           choices=("mixed", "p3", "baseline"),
+                           help="per-job strategy; mixed alternates p3/"
+                                "baseline across tenants")
+    tenants_p.add_argument("--bandwidth", type=float, default=10.0,
+                           help="shared fabric bandwidth (Gbps)")
+    tenants_p.add_argument("--slots", type=int,
+                           help="worker-slot pool size (default: enough "
+                                "for all jobs at once)")
+    tenants_p.add_argument("--warmup", type=int, default=1)
+    tenants_p.add_argument("--weights",
+                           help="comma list of per-tenant weights "
+                                "(weighted policy)")
+    tenants_p.add_argument("--stagger", type=float, default=0.0,
+                           help="seconds between tenant arrivals")
+    tenants_p.add_argument("--seed", type=int, default=0)
+    tenants_p.add_argument("--monitor", action="store_true",
+                           help="run with the cross-job invariant monitor")
+    tenants_p.add_argument("--sweep", action="store_true",
+                           help="tenant-count x policy sweep instead of a "
+                                "single scenario")
+    tenants_p.add_argument("--tenant-counts", default="2,4,8",
+                           help="comma list of tenant counts (--sweep)")
+    tenants_p.add_argument("--policies", default="weighted,equal,none",
+                           help="comma list of policies (--sweep)")
     report_p = add("report", cmd_report, "full evaluation -> markdown report")
     report_p.add_argument("--quick", action="store_true")
     report_p.add_argument("--out", dest="out", default="report.md")

@@ -35,7 +35,8 @@ class AioAggregator(Node):
 
     def __init__(self, group_id: int, cfg: LiveClusterConfig,
                  strategy: Optional[str] = None,
-                 epoch0: Optional[float] = None) -> None:
+                 epoch0: Optional[float] = None,
+                 shaper: Optional[TokenBucket] = None) -> None:
         super().__init__(f"agg{group_id}")
         self.gid = group_id
         self.cfg = cfg
@@ -60,8 +61,12 @@ class AioAggregator(Node):
         self.pushes_combined = 0
         self.pulls_forwarded = 0
         self.heartbeats_seen = 0
-        self._shaper = (TokenBucket(cfg.rate_bytes_per_s, cfg.burst_bytes)
-                        if cfg.rate_bytes_per_s is not None else None)
+        if shaper is not None:
+            self._shaper = shaper
+        else:
+            self._shaper = (TokenBucket(cfg.rate_bytes_per_s,
+                                        cfg.burst_bytes)
+                            if cfg.rate_bytes_per_s is not None else None)
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -84,13 +84,22 @@ class EpochCoordinator:
 
 
 def run_live_aio(cfg: LiveClusterConfig,
-                 strategy: Optional[str] = None) -> LiveRunResult:
-    """Run one full live training job on a single event loop."""
-    return asyncio.run(_run_cluster(cfg, strategy))
+                 strategy: Optional[str] = None,
+                 shaper=None) -> LiveRunResult:
+    """Run one full live training job on a single event loop.
+
+    ``shaper`` (any reserve/refund object, e.g. a
+    :class:`repro.tenancy.TenantShare`) replaces every node's private
+    :class:`TokenBucket` so the whole job draws from one shared
+    allocation — the rack-level fair-sharing model of
+    :func:`repro.tenancy.run_live_tenants`.
+    """
+    return asyncio.run(_run_cluster(cfg, strategy, shaper=shaper))
 
 
 async def _run_cluster(cfg: LiveClusterConfig,
-                       strategy: Optional[str]) -> LiveRunResult:
+                       strategy: Optional[str],
+                       shaper=None) -> LiveRunResult:
     strategy = strategy or cfg.strategy
     epoch0 = time.monotonic()
     sched = cfg.membership or MembershipSchedule.static(cfg.n_workers,
@@ -107,7 +116,8 @@ async def _run_cluster(cfg: LiveClusterConfig,
     store = store_cfg.build_initialized_store(strategy)
     coordinator = EpochCoordinator(plans, sched)
     servers = [AioServerShard(s, cfg, store.shards[s], plans, sched,
-                              coordinator, strategy=strategy, epoch0=epoch0)
+                              coordinator, strategy=strategy, epoch0=epoch0,
+                              shaper=shaper)
                for s in range(cfg.n_servers)]
     coordinator.servers = servers
     aggregators: List[AioAggregator] = []
@@ -117,7 +127,8 @@ async def _run_cluster(cfg: LiveClusterConfig,
     try:
         addresses = [(cfg.host, await srv.start()) for srv in servers]
         if cfg.two_tier:
-            aggregators = [AioAggregator(g, cfg, strategy, epoch0)
+            aggregators = [AioAggregator(g, cfg, strategy, epoch0,
+                                         shaper=shaper)
                            for g in range(cfg.n_groups)]
             agg_ports = [await agg.start(addresses) for agg in aggregators]
             worker_addresses = {
@@ -127,7 +138,8 @@ async def _run_cluster(cfg: LiveClusterConfig,
                          for agg in aggregators]
         else:
             worker_addresses = {w: addresses for w in sched.all_workers}
-        workers = {w: AioWorker(w, cfg, plans, sched, strategy, epoch0)
+        workers = {w: AioWorker(w, cfg, plans, sched, strategy, epoch0,
+                                shaper=shaper)
                    for w in sched.all_workers}
 
         async def _drive(w: int) -> dict:

@@ -45,7 +45,8 @@ class AioServerShard(Node):
                  shard: ServerShard, plans: List[KeyPlan],
                  schedule: MembershipSchedule, coordinator,
                  strategy: Optional[str] = None,
-                 epoch0: Optional[float] = None) -> None:
+                 epoch0: Optional[float] = None,
+                 shaper: Optional[TokenBucket] = None) -> None:
         super().__init__(f"server{shard_id}")
         self.sid = shard_id
         self.cfg = cfg
@@ -74,8 +75,12 @@ class AioServerShard(Node):
         self.error: Optional[str] = None
         self.pushes_received = 0
         self.heartbeats_seen = 0
-        self._shaper = (TokenBucket(cfg.rate_bytes_per_s, cfg.burst_bytes)
-                        if cfg.rate_bytes_per_s is not None else None)
+        if shaper is not None:
+            self._shaper = shaper
+        else:
+            self._shaper = (TokenBucket(cfg.rate_bytes_per_s,
+                                        cfg.burst_bytes)
+                            if cfg.rate_bytes_per_s is not None else None)
         self.recorder = (EventRecorder("live", clock=time.monotonic)
                          if cfg.observe else None)
         self._layer_index = {name: i for i, name in

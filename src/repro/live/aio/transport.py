@@ -286,7 +286,7 @@ class AsyncPrioritySender:
                         nbytes=len(preempted.payload) - preempted.offset,
                         detail=f"overtaken_by_key={item.key}")
                 t0 = self._clock()
-                if not await self._write(frame):
+                if not await self._write(frame, item.priority):
                     continue
                 t1 = self._clock()
                 item.wire_s += t1 - t0
@@ -310,16 +310,25 @@ class AsyncPrioritySender:
             self._error = exc
             self._progress.set()
 
-    async def _write(self, frame: bytes) -> bool:
+    async def _write(self, frame: bytes,
+                     priority: int = CONTROL_PRIORITY + 1) -> bool:
         """Shape, sabotage, and write one frame.
 
-        Returns False when the connection died mid-write: the sender
-        parks (``broken``) and the frame survives in the outbox for the
-        post-:meth:`rebind` retransmission (unreliable frames — acks and
-        heartbeats — are repairable by design and simply dropped).
+        Messages at or below ``CONTROL_PRIORITY`` ride the unshaped
+        CONTROL lane (cluster admission/completion and acks must not
+        starve behind a backlogged tenant's gradients).  Returns False
+        when the connection died mid-write: the sender parks (``broken``)
+        and the frame survives in the outbox for the post-:meth:`rebind`
+        retransmission (unreliable frames — acks and heartbeats — are
+        repairable by design and simply dropped).  A failed write refunds
+        its shaper reservation: the bytes never reached the wire and the
+        retransmission reserves again, so without the refund a shared
+        bucket would be debited twice per reconnect.
         """
-        if self.shaper is not None:
-            wait = self.shaper.reserve(len(frame))
+        reserved = 0
+        if self.shaper is not None and priority > CONTROL_PRIORITY:
+            reserved = len(frame)
+            wait = self.shaper.reserve(reserved)
             if wait > 0:
                 await asyncio.sleep(wait)
         try:
@@ -335,6 +344,8 @@ class AsyncPrioritySender:
         except (ConnectionError, OSError) as exc:
             if self._outbox is None:
                 raise
+            if reserved:
+                self.shaper.refund(reserved)
             self._broken = exc
             self._progress.set()
             return False

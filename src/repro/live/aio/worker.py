@@ -51,7 +51,8 @@ class AioWorker(Node):
     def __init__(self, worker_id: int, cfg: LiveClusterConfig,
                  plans: List[KeyPlan], schedule: MembershipSchedule,
                  strategy: Optional[str] = None,
-                 epoch0: Optional[float] = None) -> None:
+                 epoch0: Optional[float] = None,
+                 shaper: Optional[TokenBucket] = None) -> None:
         super().__init__(f"worker{worker_id}")
         self.wid = worker_id
         self.cfg = cfg
@@ -80,8 +81,15 @@ class AioWorker(Node):
         self._acks = 0
         self._fifo_seq = 0
         # One bucket across connections and incarnations: the "NIC".
-        self._shaper = (TokenBucket(cfg.rate_bytes_per_s, cfg.burst_bytes)
-                        if cfg.rate_bytes_per_s is not None else None)
+        # An injected shaper (any object with reserve/refund — e.g. a
+        # repro.tenancy TenantShare) replaces the private bucket so many
+        # nodes can draw from one fair-shared allocation.
+        if shaper is not None:
+            self._shaper = shaper
+        else:
+            self._shaper = (TokenBucket(cfg.rate_bytes_per_s,
+                                        cfg.burst_bytes)
+                            if cfg.rate_bytes_per_s is not None else None)
         self._conns: List[PeerConnection] = []
         self._all_conns: List[PeerConnection] = []
         self._wd_task: Optional[asyncio.Task] = None

@@ -110,6 +110,22 @@ class TokenBucket:
                 return 0.0
             return -self._tokens / self.rate
 
+    def refund(self, nbytes: int) -> None:
+        """Return ``nbytes`` of a prior :meth:`reserve` that never hit
+        the wire (e.g. the write failed on a broken connection).
+
+        Without the refund, a frame that is reserved, fails to send, and
+        is later retransmitted is debited twice; on a bucket shared by
+        several senders those ghost bytes permanently steal tokens from
+        the co-owners, and the drift grows with every reconnect.  Capped
+        at ``burst`` — a refund can never mint capacity the bucket could
+        not have held.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        with self._lock:
+            self._tokens = min(self.burst, self._tokens + nbytes)
+
 
 @dataclass(frozen=True)
 class ChunkRecord:
@@ -697,7 +713,12 @@ class PrioritySender:
                                 time.sleep(wait)
                         self.sock.sendall(fb)
                     continue
-                if self.shaper is not None:
+                # CONTROL lane: admission/completion and ack traffic
+                # (priority <= CONTROL_PRIORITY) bypasses the shaper so
+                # cluster control never starves behind bulk gradients of
+                # a backlogged tenant.
+                if (self.shaper is not None
+                        and item.priority > CONTROL_PRIORITY):
                     wait = self.shaper.reserve(len(frame))
                     if wait > 0:
                         time.sleep(wait)

@@ -113,6 +113,28 @@ class Histogram:
             else:
                 self._buckets[self._index(value)] += 1
 
+    def observe_many(self, values) -> None:
+        """Observe an iterable of samples (one lock acquisition total).
+
+        The SLO reporters (:mod:`repro.tenancy`) fold whole per-job
+        iteration-time arrays into a histogram at collection time; doing
+        it sample-by-sample would take the lock O(n) times for no
+        benefit.
+        """
+        with self._lock:
+            for value in values:
+                value = float(value)
+                self.count += 1
+                self.total += value
+                if value < self.min:
+                    self.min = value
+                if value > self.max:
+                    self.max = value
+                if value <= self._lo:
+                    self._underflow += 1
+                else:
+                    self._buckets[self._index(value)] += 1
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
@@ -178,6 +200,9 @@ class _NullHistogram(Histogram):
     __slots__ = ()
 
     def observe(self, value: float) -> None:  # pragma: no cover - trivial
+        pass
+
+    def observe_many(self, values) -> None:  # pragma: no cover - trivial
         pass
 
 

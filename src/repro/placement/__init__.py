@@ -17,6 +17,7 @@ from .plan import (
     PlacementPlan,
     PlacementSpec,
     coverage_check,
+    lease_block,
     plan_placement,
     round_robin_max_load,
     split_demand,
@@ -33,6 +34,7 @@ __all__ = [
     "apply_to_placed",
     "coverage_check",
     "key_loads_from_events",
+    "lease_block",
     "measured_demands",
     "plan_placement",
     "round_robin_max_load",

@@ -190,6 +190,28 @@ def worker_groups(n_workers: int, group_size: int) -> Tuple[Tuple[int, ...], ...
     )
 
 
+def lease_block(free_slots: Sequence[int], n: int) -> Tuple[int, ...]:
+    """Pick ``n`` machine slots from a free pool, preferring the lowest
+    contiguous run.
+
+    Multi-tenant admission (:class:`repro.tenancy.ClusterLease`) carves
+    each job's worker machines out of one shared pool; a contiguous
+    block mirrors the locality guarantee :func:`worker_groups` gives
+    within a job (adjacent machines, rack-friendly).  Falls back to the
+    ``n`` lowest free slots when the pool is fragmented.  Deterministic
+    for a given pool.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    free = sorted(free_slots)
+    if n > len(free):
+        raise ValueError(f"need {n} slots but only {len(free)} free")
+    for i in range(len(free) - n + 1):
+        if free[i + n - 1] - free[i] == n - 1:
+            return tuple(free[i:i + n])
+    return tuple(free[:n])
+
+
 def _split_all(demands: Sequence[KeyDemand], n_servers: int,
                spec: PlacementSpec) -> List[Tuple[KeyDemand, int, int]]:
     """Expand hot keys into parts: (demand, part_index, part_size).

@@ -349,12 +349,17 @@ class ClusterSim:
                  config: ClusterConfig, trace_utilization: bool = False,
                  obs: Optional[ObsSession] = None,
                  artifacts: Optional[PlanArtifacts] = None,
-                 cycle_hook=None) -> None:
+                 cycle_hook=None, sim: Optional[Simulator] = None,
+                 link_cancellable: Optional[bool] = None) -> None:
         self.model = model
         self.strategy = strategy
         self.config = config
         self.obs = obs
-        self.sim = Simulator()
+        # ``sim`` lets several ClusterSims share one event engine
+        # (repro.tenancy.MultiJobSim): machine ids stay job-local because
+        # each instance owns its Transport and channels, so N jobs
+        # compose on a single clock without key/id collisions.
+        self.sim = sim if sim is not None else Simulator()
         self.n_workers = config.n_workers
         self.n_servers = config.servers
         # Iteration-boundary hook (worker, iteration, sim-time); the
@@ -402,7 +407,11 @@ class ClusterSim:
         # Link faults reschedule in-flight completions via set_rate;
         # without a fault plan every channel is static, which unlocks
         # the handle-free completion fast path (see network.Channel).
+        # ``link_cancellable=True`` forces the dynamic path for callers
+        # that retune rates mid-run (cross-job fair sharing).
         dynamic_links = config.fault_plan is not None and bool(config.fault_plan)
+        if link_cancellable is not None:
+            dynamic_links = dynamic_links or link_cancellable
         fabric = None
         if config.oversubscription > 1.0:
             # Shared core switch: aggregate edge bandwidth divided by the
@@ -455,6 +464,8 @@ class ClusterSim:
             for tx in self.tx_channels:
                 tx.observer = adapter
         self._done_count = 0
+        self._run_iterations = 0
+        self._run_warmup = 0
         self.background: Optional[BackgroundTraffic] = None
         if config.background_load > 0:
             self.background = BackgroundTraffic(
@@ -555,15 +566,34 @@ class ClusterSim:
         exact during the run (slower loop) so hooks can read them
         mid-simulation — the warm-start verifier needs this.
         """
+        self.start_run(iterations, warmup)
+        self.sim.run(max_events=max_events, live_counters=live_counters)
+        return self.collect()
+
+    def start_run(self, iterations: int, warmup: int = 2) -> None:
+        """Schedule the run's initial events without draining the engine.
+
+        Multi-job composition (:class:`repro.tenancy.MultiJobSim`) starts
+        each admitted job on a *shared* engine — possibly mid-drain, at
+        ``sim.now > 0`` — and calls :meth:`collect` once its workers
+        finish.  ``run`` is exactly ``start_run`` + ``sim.run`` +
+        ``collect``.
+        """
         if iterations <= warmup:
             raise ValueError("iterations must exceed warmup")
+        self._run_iterations = iterations
+        self._run_warmup = warmup
         for w in self.workers:
             w.start(iterations)
         if self.background is not None:
             self.background.start()
         if self.fault_injector is not None:
             self.fault_injector.start()
-        self.sim.run(max_events=max_events, live_counters=live_counters)
+
+    def collect(self) -> RunResult:
+        """Assemble the :class:`RunResult` after the engine has drained
+        (or after :attr:`all_workers_done` on a shared engine)."""
+        warmup = self._run_warmup
         if self._done_count < self.n_workers:
             stuck = [w.wid for w in self.workers if not w.done]
             raise SimulationError(

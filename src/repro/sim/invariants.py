@@ -60,7 +60,7 @@ class InvariantMonitor:
     ledgers balance.
     """
 
-    def __init__(self, cluster: ClusterSim) -> None:
+    def __init__(self, cluster: ClusterSim, wrap_clock: bool = True) -> None:
         self.cluster = cluster
         # Ledgers: (src, dst, kind) -> [messages, payload_bytes]
         self.sent: Dict[Tuple[int, int, str], list] = defaultdict(lambda: [0, 0])
@@ -76,7 +76,11 @@ class InvariantMonitor:
         self.agg_pushes_delivered: Dict[Tuple[int, int], int] = defaultdict(int)
         self.agg_contribs_consumed: Dict[Tuple[int, int], int] = defaultdict(int)
         self.events_seen = 0
-        self._wrap_clock()
+        # On a shared engine (repro.tenancy) the multi-job monitor wraps
+        # the clock exactly once and fans events_seen out to each job
+        # monitor; wrapping per job would nest N step() closures.
+        if wrap_clock:
+            self._wrap_clock()
         self._wrap_transport()
         self._wrap_channels()
         for server in cluster.servers:
@@ -317,6 +321,115 @@ class InvariantMonitor:
             "payload_bytes": sum(v[1] for v in self.sent.values()),
             "pushes_delivered": sum(self.pushes_delivered.values()),
             "contribs_consumed": sum(self.contribs_consumed.values()),
+        }
+
+
+class MultiJobInvariantMonitor:
+    """Invariants for a shared-engine multi-tenant run, plus the
+    cross-job ledger.
+
+    Attaches one :class:`InvariantMonitor` per job (all the per-job
+    checks — conservation, exactly-once, gating — keep holding *under
+    contention*) and adds the boundary check those cannot express:
+    **no message sent by one job is ever delivered to another job's
+    endpoint**.  Every message is claimed by its sending job at
+    ``transport.send`` time and verified at delivery; since key ids and
+    machine ids are job-local (every job numbers them from zero), only
+    identity tracking can catch a crossing — the ledger therefore keeps
+    a strong reference to each claimed message so ``id()`` is never
+    reused.  That is test-scale bookkeeping by design: attach it in the
+    tenancy suites, not in production sweeps.
+    """
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.monitors: Dict[str, InvariantMonitor] = {}
+        self.events_seen = 0
+        self._owner: Dict[int, str] = {}      # id(msg) -> sending job
+        self._refs: list = []                 # keepalive: id() stability
+        self.sent_by_job: Dict[str, int] = defaultdict(int)
+        self.delivered_by_job: Dict[str, int] = defaultdict(int)
+        self.crossings = 0
+        orig_step = sim.step
+
+        def step() -> bool:
+            ran = orig_step()
+            if ran:
+                self.events_seen += 1
+            return ran
+
+        sim.step = step  # type: ignore[method-assign]
+
+    def attach(self, job: str, cluster: ClusterSim) -> InvariantMonitor:
+        """Wrap one job's cluster; call before its ``start_run``."""
+        if job in self.monitors:
+            raise ValueError(f"job {job!r} already monitored")
+        if cluster.sim is not self.sim:
+            raise ValueError(f"job {job!r} runs on a different engine")
+        transport = cluster.transport
+        # The ledger wraps FIRST, the per-job monitor second: the
+        # monitor's own transport wrap re-registers every deliver
+        # endpoint (rebuilding the RX completion closures) and then
+        # wraps channel ``on_complete`` — anything registered after it
+        # would silently discard those channel wrappers.
+        orig_send = transport.send
+
+        def send(msg: Message, _job=job) -> None:
+            self._owner[id(msg)] = _job
+            self._refs.append(msg)
+            self.sent_by_job[_job] += 1
+            orig_send(msg)
+
+        transport.send = send  # type: ignore[method-assign]
+        for machine in list(transport._deliver):
+            endpoint = transport._deliver[machine]
+
+            def deliver(msg: Message, _endpoint=endpoint, _job=job) -> None:
+                owner = self._owner.get(id(msg))
+                if owner != _job:
+                    self.crossings += 1
+                    raise InvariantViolation(
+                        f"message {msg.kind.value} key={msg.key} delivered "
+                        f"to job {_job!r} but sent by {owner!r}: "
+                        "gradient/update crossed a job boundary")
+                self.delivered_by_job[_job] += 1
+                _endpoint(msg)
+
+            transport.register(machine, transport._tx[machine],
+                               transport._rx[machine], deliver)
+        monitor = InvariantMonitor(cluster, wrap_clock=False)
+        self.monitors[job] = monitor
+        return monitor
+
+    def assert_all_final(self) -> None:
+        """Every job's own invariants plus the cross-job ledger."""
+        if not self.monitors:
+            raise InvariantViolation("no jobs were attached")
+        for job, monitor in sorted(self.monitors.items()):
+            # The shared clock wrapper counted for everyone.
+            monitor.events_seen = self.events_seen
+            try:
+                monitor.assert_all_final()
+            except InvariantViolation as exc:
+                raise InvariantViolation(f"job {job!r}: {exc}") from None
+        if self.crossings:
+            raise InvariantViolation(
+                f"{self.crossings} messages crossed job boundaries")
+        for job in sorted(self.monitors):
+            sent = self.sent_by_job[job]
+            delivered = self.delivered_by_job[job]
+            if sent != delivered:
+                raise InvariantViolation(
+                    f"job {job!r}: {sent} messages claimed at send but "
+                    f"{delivered} delivered inside the job")
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "jobs": len(self.monitors),
+            "events": self.events_seen,
+            "messages_sent": sum(self.sent_by_job.values()),
+            "messages_delivered": sum(self.delivered_by_job.values()),
+            "crossings": self.crossings,
         }
 
 

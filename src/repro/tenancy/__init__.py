@@ -1,0 +1,62 @@
+"""Multi-tenant training-as-a-service over both substrates.
+
+"Millions of users" means many concurrent training jobs sharing one
+cluster and one network.  This package adds the serving layer:
+
+* :class:`JobSpec` / :class:`JobResult` — what tenants submit and what
+  they get back, with SLO percentiles from the obs histograms;
+* :class:`ClusterLease` + :class:`JobScheduler` — dependency-aware,
+  starvation-free FIFO admission over a shared worker-slot pool;
+* :class:`FairShaper` / :class:`TenantShare` — weighted fair,
+  work-conserving division of one physical link across tenants,
+  drop-in compatible with the live senders' ``TokenBucket`` slot;
+* :class:`MultiJobSim` — N independent ``ClusterSim`` key universes on
+  one shared event engine with fluid bandwidth resharing;
+* :func:`run_live_tenants` — the same scheduler driving real asyncio
+  jobs with per-tenant shaping.
+
+See ``docs/tenancy.md`` for the scheduler model, fairness semantics and
+the SLO report format.
+"""
+
+from .scheduler import ClusterLease, JobScheduler
+from .shaper import FairShaper, TenantShare
+from .sim import MultiJobSim, TenancyConfig, run_multi_job
+from .spec import (
+    TENANCY_POLICIES,
+    JobEvent,
+    JobResult,
+    JobSpec,
+    TenancyError,
+    TenancyResult,
+    iteration_slo,
+    tenant_weights,
+    validate_workload,
+)
+
+__all__ = [
+    "TENANCY_POLICIES",
+    "ClusterLease",
+    "FairShaper",
+    "JobEvent",
+    "JobResult",
+    "JobScheduler",
+    "JobSpec",
+    "MultiJobSim",
+    "TenancyConfig",
+    "TenancyError",
+    "TenancyResult",
+    "TenantShare",
+    "iteration_slo",
+    "run_live_tenants",
+    "run_multi_job",
+    "tenant_weights",
+    "validate_workload",
+]
+
+
+def run_live_tenants(*args, **kwargs):
+    """Lazy wrapper for :func:`repro.tenancy.live.run_live_tenants`
+    (keeps ``import repro.tenancy`` free of the live stack)."""
+    from .live import run_live_tenants as _run
+    return _run(*args, **kwargs)

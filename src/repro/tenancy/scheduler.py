@@ -1,0 +1,158 @@
+"""Admission scheduling: the capacity lease pool and the FIFO scheduler.
+
+Substrate-agnostic by construction — the scheduler never looks at a
+clock.  The sim driver feeds it simulated time, the live driver feeds it
+wall time, and the conformance tests compare the resulting event ledgers
+directly.
+
+Starvation freedom is a *structural* property here: admission is strict
+FIFO with head-of-line blocking on capacity.  A runnable job is never
+bypassed by a later job that happens to fit — when the head does not
+fit, admission stops until a completion frees its slots.  Since every
+admitted job completes and every job's ``n_workers`` is validated
+against the pool size, the head always eventually fits, so by induction
+every job runs (``tests/tenancy/test_fairness.py`` checks this under
+arbitrary arrival orders).  Jobs that are not yet runnable (future
+arrival, pending dependency) are skipped without penalty: they cannot be
+starved by jobs admitted while they were ineligible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..placement import lease_block
+from .spec import JobEvent, JobSpec, TenancyError, validate_workload
+
+
+class ClusterLease:
+    """A shared pool of worker-machine slots leased to running jobs.
+
+    Slots are concrete machine ids ``0..n_slots-1``; acquisition carves
+    a preferably-contiguous block via
+    :func:`repro.placement.lease_block`, so reports can show exactly
+    which machines a job held.
+    """
+
+    def __init__(self, n_slots: int) -> None:
+        if n_slots <= 0:
+            raise TenancyError("n_slots must be positive")
+        self.n_slots = n_slots
+        self._free: List[int] = list(range(n_slots))
+        self._held: Dict[str, Tuple[int, ...]] = {}
+
+    @property
+    def available(self) -> int:
+        return len(self._free)
+
+    def held(self, job: str) -> Tuple[int, ...]:
+        return self._held[job]
+
+    def acquire(self, job: str, n_workers: int) -> Tuple[int, ...]:
+        if job in self._held:
+            raise TenancyError(f"job {job!r} already holds a lease")
+        if n_workers > len(self._free):
+            raise TenancyError(
+                f"job {job!r} needs {n_workers} slots, only "
+                f"{len(self._free)} free")
+        block = lease_block(self._free, n_workers)
+        taken = set(block)
+        self._free = [s for s in self._free if s not in taken]
+        self._held[job] = block
+        return block
+
+    def release(self, job: str) -> Tuple[int, ...]:
+        try:
+            block = self._held.pop(job)
+        except KeyError:
+            raise TenancyError(f"job {job!r} holds no lease") from None
+        self._free = sorted(self._free + list(block))
+        return block
+
+
+class JobScheduler:
+    """Dependency-aware FIFO admission over a :class:`ClusterLease`."""
+
+    def __init__(self, jobs: Sequence[JobSpec], lease: ClusterLease) -> None:
+        self.jobs = validate_workload(jobs)
+        self.lease = lease
+        for j in self.jobs:
+            if j.n_workers > lease.n_slots:
+                raise TenancyError(
+                    f"job {j.name!r} needs {j.n_workers} workers but the "
+                    f"cluster has only {lease.n_slots} slots")
+        # FIFO by (arrival, name): name breaks ties deterministically so
+        # both substrates and all runs agree on the queue order.
+        self._queue: List[JobSpec] = sorted(
+            self.jobs, key=lambda j: (j.arrival_s, j.name))
+        self._running: Dict[str, float] = {}    # name -> admitted_at
+        self._completed: Dict[str, float] = {}  # name -> completed_at
+        self.log: List[JobEvent] = [
+            JobEvent(j.arrival_s, "submit", j.name) for j in self._queue]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return not self._queue and not self._running
+
+    @property
+    def running(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._running))
+
+    @property
+    def completed(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._completed))
+
+    def running_jobs(self) -> Tuple[JobSpec, ...]:
+        by_name = {j.name: j for j in self.jobs}
+        return tuple(by_name[n] for n in sorted(self._running))
+
+    def _eligible(self, job: JobSpec, now: float) -> bool:
+        return (job.arrival_s <= now
+                and all(d in self._completed for d in job.after))
+
+    def next_arrival(self, now: float) -> Optional[float]:
+        """The next future arrival time, or None when none remain."""
+        future = [j.arrival_s for j in self._queue if j.arrival_s > now]
+        return min(future) if future else None
+
+    def next_admissions(self, now: float) -> List[JobSpec]:
+        """Jobs to admit at ``now``, in queue order.
+
+        Scans the FIFO queue: ineligible jobs are passed over, and the
+        scan *stops* at the first eligible job that does not fit — the
+        head-of-line rule that makes the scheduler starvation-free.
+        """
+        out: List[JobSpec] = []
+        avail = self.lease.available
+        for job in self._queue:
+            if not self._eligible(job, now):
+                continue
+            if job.n_workers > avail:
+                break
+            out.append(job)
+            avail -= job.n_workers
+        return out
+
+    # ------------------------------------------------------------------
+    # Transitions
+    # ------------------------------------------------------------------
+    def admit(self, job: JobSpec, now: float) -> Tuple[int, ...]:
+        if job not in self._queue:
+            raise TenancyError(f"job {job.name!r} is not queued")
+        slots = self.lease.acquire(job.name, job.n_workers)
+        self._queue.remove(job)
+        self._running[job.name] = now
+        self.log.append(JobEvent(now, "admit", job.name))
+        return slots
+
+    def complete(self, name: str, now: float) -> float:
+        if name not in self._running:
+            raise TenancyError(f"job {name!r} is not running")
+        self.lease.release(name)
+        admitted = self._running.pop(name)
+        self._completed[name] = now
+        self.log.append(JobEvent(now, "complete", name))
+        return admitted

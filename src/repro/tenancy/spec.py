@@ -1,0 +1,263 @@
+"""Job specifications and results for multi-tenant training.
+
+A :class:`JobSpec` describes one training job a tenant submits to the
+shared cluster: what to train (model + strategy), how big it is
+(``n_workers``), when it may start (``arrival_s`` + ``after``
+dependencies), and how its tenant shares the fabric (``weight``,
+optional ``deadline_s`` hint).  Specs are frozen and hashable so a
+workload is a plain tuple of them.
+
+:class:`JobResult` pairs the spec with its scheduling outcome and the
+underlying substrate result, and renders the SLO percentiles through a
+:class:`repro.obs.registry.Histogram` — the same streaming-percentile
+instrument both substrates already report with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..models.base import ModelSpec
+from ..strategies.base import StrategyConfig
+
+
+class TenancyError(RuntimeError):
+    """A scheduling/leasing/workload-validation failure."""
+
+
+#: Scheduling policies: ``weighted`` splits bandwidth by tenant weight,
+#: ``equal`` gives every active tenant the same share, ``none`` leaves
+#: every job at full NIC rate (no cross-job contention modeled).
+TENANCY_POLICIES = ("weighted", "equal", "none")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One tenant's training job, as submitted to the scheduler."""
+
+    name: str
+    tenant: str
+    model: Union[str, ModelSpec] = "toy3"
+    strategy: Union[str, StrategyConfig] = "p3"
+    n_workers: int = 2
+    iterations: int = 6
+    warmup: int = 2
+    weight: float = 1.0
+    arrival_s: float = 0.0
+    deadline_s: Optional[float] = None  # SLO hint, reported not enforced
+    after: Tuple[str, ...] = ()
+    placement: str = "round_robin"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TenancyError("job name must be non-empty")
+        if not self.tenant:
+            raise TenancyError("tenant must be non-empty")
+        if self.n_workers <= 0:
+            raise TenancyError("n_workers must be positive")
+        if self.warmup < 0 or self.iterations <= self.warmup:
+            raise TenancyError("need iterations > warmup >= 0")
+        if self.weight <= 0:
+            raise TenancyError("weight must be positive")
+        if self.arrival_s < 0:
+            raise TenancyError("arrival_s must be non-negative")
+        if self.name in self.after:
+            raise TenancyError(f"job {self.name!r} depends on itself")
+
+    def resolve_model(self) -> ModelSpec:
+        if isinstance(self.model, str):
+            from ..models import get_model
+            return get_model(self.model)
+        return self.model
+
+    def resolve_strategy(self) -> StrategyConfig:
+        if isinstance(self.strategy, str):
+            from ..strategies import get_strategy
+            return get_strategy(self.strategy)
+        return self.strategy
+
+    @property
+    def strategy_name(self) -> str:
+        return (self.strategy if isinstance(self.strategy, str)
+                else self.strategy.name)
+
+    @property
+    def model_name(self) -> str:
+        return (self.model if isinstance(self.model, str)
+                else self.model.name)
+
+
+@dataclass(frozen=True)
+class JobEvent:
+    """One scheduler ledger entry: submit, admit, or complete."""
+
+    t: float
+    kind: str  # "submit" | "admit" | "complete"
+    job: str
+
+
+def validate_workload(jobs) -> Tuple[JobSpec, ...]:
+    """Check a workload is schedulable: unique names, resolvable acyclic
+    dependencies, consistent per-tenant weights."""
+    jobs = tuple(jobs)
+    if not jobs:
+        raise TenancyError("workload is empty")
+    names = [j.name for j in jobs]
+    if len(set(names)) != len(names):
+        dup = sorted({n for n in names if names.count(n) > 1})
+        raise TenancyError(f"duplicate job names: {dup}")
+    known = set(names)
+    for j in jobs:
+        missing = [d for d in j.after if d not in known]
+        if missing:
+            raise TenancyError(
+                f"job {j.name!r} depends on unknown jobs {missing}")
+    # Kahn's toposort rejects dependency cycles.
+    indeg = {j.name: len(j.after) for j in jobs}
+    dependents: Dict[str, List[str]] = {j.name: [] for j in jobs}
+    for j in jobs:
+        for d in j.after:
+            dependents[d].append(j.name)
+    ready = [n for n, d in indeg.items() if d == 0]
+    seen = 0
+    while ready:
+        n = ready.pop()
+        seen += 1
+        for m in dependents[n]:
+            indeg[m] -= 1
+            if indeg[m] == 0:
+                ready.append(m)
+    if seen != len(jobs):
+        cyclic = sorted(n for n, d in indeg.items() if d > 0)
+        raise TenancyError(f"dependency cycle among jobs {cyclic}")
+    tenant_weights(jobs)  # raises on inconsistent weights
+    return jobs
+
+
+def tenant_weights(jobs) -> Dict[str, float]:
+    """Per-tenant fair-share weight; every job of a tenant must agree."""
+    weights: Dict[str, float] = {}
+    for j in jobs:
+        prev = weights.setdefault(j.tenant, j.weight)
+        if prev != j.weight:
+            raise TenancyError(
+                f"tenant {j.tenant!r} has inconsistent weights "
+                f"({prev} vs {j.weight} on job {j.name!r})")
+    return weights
+
+
+def iteration_slo(iteration_times) -> Dict[str, float]:
+    """Fold per-iteration seconds into p50/p95/p99 via the obs histogram.
+
+    This is the single SLO definition every reporter uses — the sim's
+    :class:`~repro.sim.cluster.RunResult`, the live cluster, and the
+    analysis sweep all pass their steady-state iteration times through
+    the same :class:`repro.obs.registry.Histogram` snapshot.
+    """
+    from ..obs.registry import Histogram
+    hist = Histogram("job.iteration_s")
+    hist.observe_many(iteration_times)
+    snap = hist.snapshot()
+    return {"count": snap["count"], "mean": snap["mean"],
+            "p50": snap["p50"], "p95": snap["p95"], "p99": snap["p99"]}
+
+
+@dataclass
+class JobResult:
+    """Scheduling outcome + substrate result for one completed job."""
+
+    job: JobSpec
+    admitted_s: float
+    completed_s: float
+    slots: Tuple[int, ...]
+    result: object  # RunResult (sim) or LiveRunResult (live)
+
+    @property
+    def queue_wait_s(self) -> float:
+        return self.admitted_s - self.job.arrival_s
+
+    @property
+    def running_s(self) -> float:
+        return self.completed_s - self.admitted_s
+
+    @property
+    def turnaround_s(self) -> float:
+        return self.completed_s - self.job.arrival_s
+
+    @property
+    def deadline_met(self) -> Optional[bool]:
+        if self.job.deadline_s is None:
+            return None
+        return self.turnaround_s <= self.job.deadline_s
+
+    def iteration_times(self):
+        """Steady-state per-iteration seconds (worker 0, warmup skipped)."""
+        times = self.result.iteration_times
+        if isinstance(times, dict):  # live: per-worker dict
+            return times[min(times)][self.job.warmup:]
+        return times  # sim RunResult already skips warmup
+
+    def slo(self) -> Dict[str, float]:
+        return iteration_slo(self.iteration_times())
+
+
+@dataclass
+class TenancyResult:
+    """Outcome of one multi-tenant run on either substrate."""
+
+    policy: str
+    n_slots: int
+    bandwidth_gbps: Optional[float]
+    jobs: Dict[str, JobResult]
+    log: Tuple[JobEvent, ...]
+    makespan_s: float
+    notes: Dict[str, float] = field(default_factory=dict)
+
+    def job_order(self, kind: str = "admit") -> Tuple[str, ...]:
+        """Job names in ledger order for one event kind — the admission
+        (or completion) sequence both substrates must agree on."""
+        return tuple(e.job for e in self.log if e.kind == kind)
+
+    def slo_table(self) -> List[Dict[str, object]]:
+        rows: List[Dict[str, object]] = []
+        for name in self.job_order("admit"):
+            jr = self.jobs[name]
+            row: Dict[str, object] = {
+                "job": name,
+                "tenant": jr.job.tenant,
+                "strategy": jr.job.strategy_name,
+                "workers": jr.job.n_workers,
+                "wait_s": jr.queue_wait_s,
+                "running_s": jr.running_s,
+            }
+            row.update(jr.slo())
+            if jr.deadline_met is not None:
+                row["deadline_met"] = jr.deadline_met
+            rows.append(row)
+        return rows
+
+    def report(self) -> str:
+        """Human-readable SLO report (docs/tenancy.md documents it)."""
+        head = (f"{'job':<12} {'tenant':<10} {'strategy':<10} "
+                f"{'wkrs':>4} {'wait_s':>8} {'run_s':>8} "
+                f"{'p50_ms':>8} {'p95_ms':>8} {'p99_ms':>8}")
+        lines = [
+            f"tenancy report — policy={self.policy} slots={self.n_slots}"
+            + (f" bw={self.bandwidth_gbps:g}Gbps"
+               if self.bandwidth_gbps is not None else "")
+            + f" makespan={self.makespan_s:.3f}s",
+            head, "-" * len(head),
+        ]
+        for row in self.slo_table():
+            lines.append(
+                f"{row['job']:<12} {row['tenant']:<10} "
+                f"{row['strategy']:<10} {row['workers']:>4} "
+                f"{row['wait_s']:>8.3f} {row['running_s']:>8.3f} "
+                f"{row['p50'] * 1e3:>8.2f} {row['p95'] * 1e3:>8.2f} "
+                f"{row['p99'] * 1e3:>8.2f}"
+                + ("" if "deadline_met" not in row
+                   else ("  [SLO ok]" if row["deadline_met"]
+                         else "  [SLO MISSED]")))
+        return "\n".join(lines)

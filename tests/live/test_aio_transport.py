@@ -260,3 +260,72 @@ def test_chaos_plan_frame_matches_sendall_byte_for_byte():
     assert stats["frames_dropped"] > 0
     assert stats["frames_duplicated"] > 0
     assert stats["frames_corrupted"] > 0
+
+
+# ----------------------------------------------------------------------
+# Shaper accounting on the async sender (tenancy satellite)
+# ----------------------------------------------------------------------
+class BrokenWriter:
+    """StreamWriter stand-in whose connection is already dead."""
+
+    def __init__(self) -> None:
+        self.writes = 0
+
+    def write(self, data: bytes) -> None:
+        self.writes += 1
+
+    async def drain(self) -> None:
+        raise ConnectionResetError("peer went away")
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+
+@pytest.mark.asyncio
+async def test_broken_write_refunds_shaper_reservation():
+    """Regression: a write that dies on a dead connection must refund
+    its token reservation.  The frame survives in the outbox and is
+    *reserved again* when retransmitted after rebind — without the
+    refund, every reconnect double-debits a shared (per-tenant) bucket,
+    permanently stealing bandwidth from the tenant's other senders."""
+    clock = FakeClock()
+    shaper = TokenBucket(1000.0, burst_bytes=10_000, clock=clock)
+    sender = AsyncPrioritySender(
+        BrokenWriter(), sender_id=0, shaper=shaper,
+        retry=RetryPolicy(ack_timeout_s=60.0, max_backoff_s=60.0))
+    frame = b"x" * 500
+    assert not await sender._write(frame)
+    assert sender.broken
+    # The reservation came back in full: the burst is untouched.
+    assert shaper.reserve(10_000) == 0.0
+    sender.abort()
+    await asyncio.gather(sender._task, return_exceptions=True)
+
+
+@pytest.mark.asyncio
+async def test_control_lane_bypasses_shaper():
+    """Frames at CONTROL_PRIORITY or below never touch the bucket: a
+    tenant whose bucket is deep in debt can still ack and heartbeat."""
+    from repro.live.transport import CONTROL_PRIORITY
+
+    clock = FakeClock()
+    shaper = TokenBucket(1000.0, burst_bytes=100, clock=clock)
+    shaper.reserve(100_000)  # bucket owes 100 seconds of debt
+    server, port, accepted = await start_accept_server()
+    reader, writer = await asyncio.open_connection(HOST, port)
+    try:
+        sender = AsyncPrioritySender(writer, sender_id=0, shaper=shaper,
+                                     chunk_bytes=4096)
+        sender.send(WireKind.HEARTBEAT, -1, 0, CONTROL_PRIORITY,
+                    payload=b"hb")
+        await asyncio.wait_for(sender.flush(), 2.0)  # no 100 s stall
+        await sender.close(1.0)
+    finally:
+        writer.close()
+        server.close()
+        await server.wait_closed()

@@ -68,6 +68,59 @@ def test_bucket_validates_args():
         TokenBucket(0.0)
     with pytest.raises(ValueError):
         TokenBucket(100.0).reserve(-1)
+    with pytest.raises(ValueError):
+        TokenBucket(100.0).refund(-1)
+
+
+def test_bucket_refund_restores_reserved_tokens():
+    """Regression: a failed write must give its bytes back.  Before
+    ``refund`` existed, a broken connection left the reservation debited
+    — harmless for a private bucket (it dies with the sender) but a
+    permanent ghost-byte debt on a *shared* bucket, silently shrinking
+    every other sender's rate after each retransmission."""
+    clock = FakeClock()
+    bucket = TokenBucket(1000.0, burst_bytes=500, clock=clock)
+    assert bucket.reserve(400) == 0.0
+    bucket.refund(400)                        # the write never happened
+    assert bucket.reserve(500) == 0.0         # full burst is back
+    # Retrying the same frame after a refund costs the same as the
+    # first attempt — no drift across fail/refund/retry cycles.
+    for _ in range(50):
+        wait = bucket.reserve(500)
+        bucket.refund(500)
+    assert bucket.reserve(500) == pytest.approx(wait)
+
+
+def test_bucket_refund_caps_at_burst():
+    """Refunding more than was reserved (or refunding after a refill)
+    must not mint tokens beyond the burst."""
+    clock = FakeClock()
+    bucket = TokenBucket(1000.0, burst_bytes=100, clock=clock)
+    bucket.refund(10_000)
+    assert bucket.reserve(100) == 0.0
+    assert bucket.reserve(100) == pytest.approx(0.1)
+
+
+def test_shared_bucket_conserves_tokens_across_senders():
+    """Two senders on one bucket: interleaved reserve/refund cycles by a
+    flaky sender leave the healthy sender's long-run rate intact."""
+    clock = FakeClock()
+    bucket = TokenBucket(1000.0, burst_bytes=100, clock=clock)
+    healthy = 0
+    for step in range(1, 201):
+        clock.t = step * 0.1                  # +100 tokens per step
+        # Flaky sender reserves and always fails, refunding in full.
+        bucket.reserve(60)
+        bucket.refund(60)
+        # Healthy sender takes whatever is immediately available
+        # (float accrual can leave ~1e-17 s of residual wait).
+        if bucket.reserve(100) < 1e-9:
+            healthy += 100
+        else:
+            bucket.refund(100)
+    # 20 simulated seconds at 1000 B/s: the healthy sender alone should
+    # see the full rate (the flaky one never put bytes on the wire).
+    assert healthy == pytest.approx(20_000, rel=0.05)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,1 @@
+"""Fairness, isolation and conformance battery for repro.tenancy."""
